@@ -1,0 +1,47 @@
+"""Figure 5: query delay vs range size (PIRA, DCF-CAN, logN).
+
+Expected shape (paper, N=2000, ranges 2..300): PIRA's average delay is flat
+and stays below logN regardless of the range size; DCF-CAN's delay is several
+times larger and grows markedly with the range size.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.figures import ascii_chart
+
+
+def test_figure5_query_delay_vs_range_size(benchmark, rangesize_sweep, config):
+    # Time a representative PIRA query batch (the quantity Figure 5 plots).
+    from repro.experiments.common import build_and_load, make_values, run_scheme_queries
+    from repro.rangequery.armada_scheme import ArmadaScheme
+
+    scheme = build_and_load(
+        lambda: ArmadaScheme(space=config.space, object_id_length=config.object_id_length),
+        config.with_overrides(queries_per_point=20),
+        400,
+        make_values(config.with_overrides(objects=800)),
+    )
+    benchmark.pedantic(
+        lambda: run_scheme_queries(scheme, config.with_overrides(queries_per_point=20), 150.0, 150.0),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Reproduced series and shape assertions.
+    pira = [row.avg_delay for row in rangesize_sweep.pira_rows]
+    dcf = [row.avg_delay for row in rangesize_sweep.dcf_rows]
+    log_n = rangesize_sweep.log_n
+
+    assert all(delay <= log_n for delay in pira), "PIRA average delay must stay below logN"
+    assert max(pira) - min(pira) < 2.5, "PIRA delay must be flat in the range size"
+    assert dcf[-1] > dcf[0], "DCF-CAN delay must grow with the range size"
+    assert dcf[-1] > pira[-1] * 2, "DCF-CAN must be much slower than PIRA for large ranges"
+
+    emit(
+        "Figure 5 (reproduced): query delay vs range size",
+        ascii_chart(rangesize_sweep.range_sizes, rangesize_sweep.delay_series())
+        + "\n\n"
+        + rangesize_sweep.to_csv()["figure5"],
+    )

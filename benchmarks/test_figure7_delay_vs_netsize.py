@@ -1,0 +1,50 @@
+"""Figure 7: query delay vs network size (range size fixed at 20).
+
+Expected shape: PIRA's delay stays below logN and grows only logarithmically
+with N; DCF-CAN's delay grows like N**(1/2) and the gap widens as the network
+grows.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.figures import ascii_chart
+
+
+def test_figure7_query_delay_vs_network_size(benchmark, netsize_sweep, config):
+    from repro.experiments.common import build_and_load, make_values, run_scheme_queries
+    from repro.rangequery.armada_scheme import ArmadaScheme
+
+    largest = max(config.network_sizes)
+    scheme = build_and_load(
+        lambda: ArmadaScheme(space=config.space, object_id_length=config.object_id_length),
+        config.with_overrides(queries_per_point=20),
+        largest,
+        make_values(config),
+    )
+    benchmark.pedantic(
+        lambda: run_scheme_queries(
+            scheme, config.with_overrides(queries_per_point=20), config.fixed_range_size, largest
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    pira_rows = netsize_sweep.pira_rows
+    dcf_rows = netsize_sweep.dcf_rows
+
+    for row in pira_rows:
+        assert row.avg_delay <= row.log_n, "PIRA average delay must stay below logN at every N"
+    assert dcf_rows[-1].avg_delay > pira_rows[-1].avg_delay, "DCF-CAN slower at the largest N"
+    # The advantage of PIRA grows with the network size (paper's observation).
+    gap_small = dcf_rows[0].avg_delay - pira_rows[0].avg_delay
+    gap_large = dcf_rows[-1].avg_delay - pira_rows[-1].avg_delay
+    assert gap_large > gap_small
+
+    emit(
+        "Figure 7 (reproduced): query delay vs network size",
+        ascii_chart([float(n) for n in netsize_sweep.network_sizes], netsize_sweep.delay_series())
+        + "\n\n"
+        + netsize_sweep.to_csv()["figure7"],
+    )

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/`` importable without an installed package.
+
+This keeps ``pytest`` usable straight from a clean checkout (and in offline
+environments where editable installs are awkward); an installed ``repro``
+package takes precedence only if it appears earlier on ``sys.path``.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

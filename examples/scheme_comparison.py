@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compare Armada against the baseline range-query schemes on one workload.
+
+A miniature version of the paper's Table 1 / Figures 5-8: every scheme is
+built at the same network size, loaded with the same objects and swept with
+the same random queries, and the per-scheme averages are printed side by
+side.
+
+Run with::
+
+    python examples/scheme_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import aggregate_measurements
+from repro.analysis.tables import format_table
+from repro.rangequery import (
+    ArmadaScheme,
+    DcfCanScheme,
+    PhtScheme,
+    ScrapScheme,
+    SkipGraphScheme,
+    SquidScheme,
+)
+from repro.rangequery.base import AttributeSpace
+from repro.sim.rng import DeterministicRNG
+from repro.workloads.queries import RangeQueryWorkload
+from repro.workloads.values import uniform_values
+
+NUM_PEERS = 512
+NUM_OBJECTS = 2000
+NUM_QUERIES = 50
+RANGE_SIZE = 50.0
+
+
+def main() -> None:
+    print("=" * 70)
+    print(f"Scheme comparison: {NUM_PEERS} peers, {NUM_OBJECTS} objects, "
+          f"{NUM_QUERIES} queries of size {RANGE_SIZE:g}")
+    print("=" * 70)
+
+    space = AttributeSpace(0.0, 1000.0)
+    rng = DeterministicRNG(99)
+    values = uniform_values(rng.substream("values"), NUM_OBJECTS, space.low, space.high)
+    workload = RangeQueryWorkload(range_size=RANGE_SIZE, low=space.low, high=space.high, count=NUM_QUERIES)
+    queries = workload.as_list(rng.substream("queries"))
+
+    schemes = [
+        ArmadaScheme(space=space),
+        DcfCanScheme(space=space),
+        SkipGraphScheme(space=space),
+        ScrapScheme(space=space),
+        SquidScheme(space=space),
+        PhtScheme(space=space, substrate="fissione"),
+    ]
+
+    rows = []
+    for scheme in schemes:
+        scheme.build(NUM_PEERS, seed=99)
+        scheme.load(values)
+        measurements = [scheme.query(low, high) for low, high in queries]
+        row = aggregate_measurements(scheme.name, RANGE_SIZE, measurements, scheme.size)
+        exact = all(
+            sorted(measurement.matches)
+            == sorted(value for value in values if low <= value <= high)
+            for measurement, (low, high) in zip(measurements, queries)
+        )
+        rows.append(
+            [
+                scheme.name,
+                row.avg_delay,
+                row.max_delay,
+                row.log_n,
+                row.avg_messages,
+                row.avg_destinations,
+                exact,
+            ]
+        )
+
+    print(
+        format_table(
+            ["scheme", "avg delay", "max delay", "logN", "avg msgs", "avg destpeers", "exact results"],
+            rows,
+        )
+    )
+    print("\nOnly Armada keeps the average delay below logN and the maximum below 2*logN.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that legacy editable installs (``pip install -e . --no-use-pep517``) work in
+offline environments whose setuptools cannot build PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

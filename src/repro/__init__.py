@@ -1,0 +1,23 @@
+"""Reproduction of "Delay-Bounded Range Queries in DHT-based Peer-to-Peer Systems".
+
+The package is organised as a layered library:
+
+* :mod:`repro.sim` -- discrete-event simulation substrate.
+* :mod:`repro.kautz` -- Kautz strings, regions and graphs.
+* :mod:`repro.fissione` -- the FISSIONE constant-degree DHT.
+* :mod:`repro.core` -- Armada: Single_hash / Multiple_hash naming, PIRA and
+  MIRA range-query routing, the high-level :class:`repro.core.ArmadaSystem`.
+* :mod:`repro.dhts` -- baseline DHTs (Chord, CAN, Skip Graph).
+* :mod:`repro.rangequery` -- baseline range-query schemes (DCF-CAN, PHT,
+  Squid, SCRAP) plus a common scheme interface used by the experiments.
+* :mod:`repro.workloads` -- value / query workload generators.
+* :mod:`repro.analysis` -- statistics, table and figure emitters.
+* :mod:`repro.experiments` -- the parameter sweeps regenerating every table
+  and figure of the paper (see EXPERIMENTS.md).
+"""
+
+from repro.core.armada import ArmadaSystem
+
+__version__ = "1.0.0"
+
+__all__ = ["ArmadaSystem", "__version__"]

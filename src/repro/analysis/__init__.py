@@ -1,0 +1,13 @@
+"""Aggregation, table and figure emitters for the experiment harness."""
+
+from repro.analysis.figures import ascii_chart, series_to_csv
+from repro.analysis.stats import AggregateRow, aggregate_measurements
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "AggregateRow",
+    "aggregate_measurements",
+    "format_table",
+    "ascii_chart",
+    "series_to_csv",
+]

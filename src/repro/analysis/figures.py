@@ -1,0 +1,68 @@
+"""Figure emitters: CSV series and quick ASCII charts.
+
+The paper's figures are line charts (metric vs range size / network size,
+one series per scheme).  The experiment harness emits the underlying series
+as CSV (for plotting elsewhere) and can render a rough ASCII chart for the
+terminal, which is enough to read off the qualitative shape the reproduction
+is checked against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def series_to_csv(x_label: str, x_values: Sequence[float], series: Dict[str, Sequence[float]]) -> str:
+    """CSV text with one column per series."""
+    names = list(series.keys())
+    lines = [",".join([x_label] + names)]
+    for index, x_value in enumerate(x_values):
+        row = [f"{x_value:g}"]
+        for name in names:
+            values = series[name]
+            row.append(f"{values[index]:.4f}" if index < len(values) else "")
+        lines.append(",".join(row))
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 64,
+    title: str = "",
+) -> str:
+    """A rough ASCII line chart (one marker character per series)."""
+    markers = "*o+x#@%&"
+    all_values: List[float] = [value for values in series.values() for value in values]
+    if not all_values or not x_values:
+        return title
+    top = max(all_values)
+    bottom = min(0.0, min(all_values))
+    span = top - bottom or 1.0
+
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    x_min, x_max = min(x_values), max(x_values)
+    x_span = (x_max - x_min) or 1.0
+    for series_index, (name, values) in enumerate(series.items()):
+        marker = markers[series_index % len(markers)]
+        for x_value, y_value in zip(x_values, values):
+            column = int((x_value - x_min) / x_span * (width - 1))
+            row = int((y_value - bottom) / span * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{top:10.1f} ┐")
+    for row in grid:
+        lines.append("           │" + "".join(row))
+    lines.append(f"{bottom:10.1f} └" + "─" * width)
+    lines.append(
+        "            " + f"{x_min:<10g}" + " " * max(0, width - 20) + f"{x_max:>10g}"
+    )
+    legend = "   ".join(
+        f"{markers[index % len(markers)]} {name}" for index, name in enumerate(series.keys())
+    )
+    lines.append("            " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Aggregation of per-query measurements into the paper's reported metrics.
+
+For each experiment point the paper reports averages over the issued
+queries of: delay, messages, destination peers (``Destpeers``), and the two
+derived ratios ``MesgRatio = Messages / Destpeers`` and
+``IncreRatio = (Messages - logN) / (Destpeers - 1)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.rangequery.base import QueryMeasurement
+
+
+@dataclass(frozen=True)
+class AggregateRow:
+    """Averaged metrics for one experiment point (one scheme, one x-value)."""
+
+    scheme: str
+    x_value: float
+    queries: int
+    avg_delay: float
+    max_delay: float
+    avg_messages: float
+    avg_destinations: float
+    mesg_ratio: float
+    incre_ratio: float
+    log_n: float
+    avg_matches: float = 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for CSV and JSON emitters."""
+        return {
+            "scheme": self.scheme,
+            "x": self.x_value,
+            "queries": self.queries,
+            "avg_delay": self.avg_delay,
+            "max_delay": self.max_delay,
+            "avg_messages": self.avg_messages,
+            "avg_destinations": self.avg_destinations,
+            "mesg_ratio": self.mesg_ratio,
+            "incre_ratio": self.incre_ratio,
+            "log_n": self.log_n,
+            "avg_matches": self.avg_matches,
+        }
+
+
+def aggregate_measurements(
+    scheme: str,
+    x_value: float,
+    measurements: Iterable[QueryMeasurement],
+    network_size: int,
+) -> AggregateRow:
+    """Average a batch of per-query measurements into one experiment row.
+
+    ``MesgRatio`` and ``IncreRatio`` are computed from the batch averages,
+    matching the definitions in Section 4.3.3 of the paper.
+    """
+    samples: List[QueryMeasurement] = list(measurements)
+    log_n = math.log2(network_size) if network_size > 0 else 0.0
+    if not samples:
+        return AggregateRow(
+            scheme=scheme,
+            x_value=x_value,
+            queries=0,
+            avg_delay=0.0,
+            max_delay=0.0,
+            avg_messages=0.0,
+            avg_destinations=0.0,
+            mesg_ratio=0.0,
+            incre_ratio=0.0,
+            log_n=log_n,
+        )
+    count = len(samples)
+    avg_delay = sum(sample.delay_hops for sample in samples) / count
+    max_delay = max(sample.delay_hops for sample in samples)
+    avg_messages = sum(sample.messages for sample in samples) / count
+    avg_destinations = sum(sample.destination_peers for sample in samples) / count
+    avg_matches = sum(len(sample.matches) for sample in samples) / count
+    mesg_ratio = avg_messages / avg_destinations if avg_destinations > 0 else 0.0
+    incre_ratio = (
+        (avg_messages - log_n) / (avg_destinations - 1) if avg_destinations > 1 else 0.0
+    )
+    return AggregateRow(
+        scheme=scheme,
+        x_value=x_value,
+        queries=count,
+        avg_delay=avg_delay,
+        max_delay=max_delay,
+        avg_messages=avg_messages,
+        avg_destinations=avg_destinations,
+        mesg_ratio=mesg_ratio,
+        incre_ratio=incre_ratio,
+        log_n=log_n,
+        avg_matches=avg_matches,
+    )

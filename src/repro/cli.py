@@ -1,0 +1,137 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Examples
+--------
+Run everything with the quick (CI-sized) configuration::
+
+    armada-repro all --profile quick
+
+Reproduce Figure 5/6 with the paper's full query count and write the CSV
+series next to the terminal output::
+
+    armada-repro figures-rangesize --profile paper --csv-dir results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, Optional
+
+from repro.experiments import analytics as analytics_experiment
+from repro.experiments import ablation as ablation_experiment
+from repro.experiments import figures_netsize, figures_rangesize
+from repro.experiments import fissione_props as fissione_experiment
+from repro.experiments import mira as mira_experiment
+from repro.experiments import table1 as table1_experiment
+from repro.experiments.common import ExperimentConfig
+
+_COMMANDS = (
+    "table1",
+    "figures-rangesize",
+    "figures-netsize",
+    "analytics",
+    "fissione",
+    "mira",
+    "ablation",
+    "all",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="armada-repro",
+        description="Reproduce the tables and figures of the Armada paper (ICDCS 2006).",
+    )
+    parser.add_argument("command", choices=_COMMANDS, help="experiment to run")
+    parser.add_argument(
+        "--profile",
+        choices=("quick", "default", "paper"),
+        default="default",
+        help="experiment size: quick (seconds), default, or paper (1000 queries/point)",
+    )
+    parser.add_argument("--peers", type=int, default=None, help="override the network size")
+    parser.add_argument(
+        "--queries", type=int, default=None, help="override the number of queries per point"
+    )
+    parser.add_argument("--objects", type=int, default=None, help="override the number of objects")
+    parser.add_argument("--seed", type=int, default=None, help="override the experiment seed")
+    parser.add_argument(
+        "--csv-dir", default=None, help="directory to write figure CSV series into"
+    )
+    return parser
+
+
+def make_config(args: argparse.Namespace) -> ExperimentConfig:
+    """Resolve the experiment configuration from the CLI arguments."""
+    if args.profile == "quick":
+        config = ExperimentConfig.quick()
+    elif args.profile == "paper":
+        config = ExperimentConfig.paper()
+    else:
+        config = ExperimentConfig()
+    overrides = {}
+    if args.peers is not None:
+        overrides["peers"] = args.peers
+    if args.queries is not None:
+        overrides["queries_per_point"] = args.queries
+    if args.objects is not None:
+        overrides["objects"] = args.objects
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def _write_csvs(csv_dir: Optional[str], csvs: Dict[str, str]) -> None:
+    if csv_dir is None:
+        return
+    os.makedirs(csv_dir, exist_ok=True)
+    for name, text in csvs.items():
+        path = os.path.join(csv_dir, f"{name}.csv")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {path}")
+
+
+def run_command(command: str, config: ExperimentConfig, csv_dir: Optional[str] = None) -> str:
+    """Run one experiment command and return its formatted output."""
+    if command == "table1":
+        return table1_experiment.run(config).format()
+    if command == "figures-rangesize":
+        result = figures_rangesize.run(config)
+        _write_csvs(csv_dir, result.to_csv())
+        return result.format()
+    if command == "figures-netsize":
+        result = figures_netsize.run(config)
+        _write_csvs(csv_dir, result.to_csv())
+        return result.format()
+    if command == "analytics":
+        return analytics_experiment.run(config).format()
+    if command == "fissione":
+        return fissione_experiment.run(config).format()
+    if command == "mira":
+        return mira_experiment.run(config).format()
+    if command == "ablation":
+        return ablation_experiment.run(config).format()
+    if command == "all":
+        outputs = []
+        for sub_command in ("fissione", "table1", "figures-rangesize", "figures-netsize", "analytics", "mira", "ablation"):
+            outputs.append(run_command(sub_command, config, csv_dir))
+        return "\n\n".join(outputs)
+    raise ValueError(f"unknown command {command!r}")
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    config = make_config(args)
+    output = run_command(args.command, config, csv_dir=args.csv_dir)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - direct execution convenience
+    sys.exit(main())

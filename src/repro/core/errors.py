@@ -1,0 +1,15 @@
+"""Exception types raised by the Armada core."""
+
+from __future__ import annotations
+
+
+class ArmadaError(RuntimeError):
+    """Base class for Armada-specific errors."""
+
+
+class NamingError(ArmadaError):
+    """Raised when a value cannot be mapped onto the Kautz namespace."""
+
+
+class QueryError(ArmadaError):
+    """Raised for malformed range queries (e.g. low bound above high bound)."""

@@ -1,0 +1,204 @@
+"""MIRA: multi-attribute range queries over FISSIONE (Section 5).
+
+MIRA follows PIRA's pruning search over the forward routing tree of the
+querying peer, with two differences forced by ``Multiple_hash`` not being
+interval preserving:
+
+* the pair ``(LowT, HighT)`` names the low/high *corners* of the query box,
+  and only their common prefix ``ComT`` is used (to locate the destination
+  level ``b - f``); the region ``<LowT, HighT>`` itself may strictly contain
+  the query's ObjectIDs, so it is never used as a filter;
+* the forwarding and destination predicates ask whether the axis-aligned box
+  represented by a label prefix in the multi-attribute partition tree
+  intersects the query box (:meth:`MultiAttributeNamer.box_for_label`).
+
+Delay remains bounded by the FRT height, i.e. by the origin's PeerID length:
+less than ``2 log N`` worst case, less than ``log N`` on average, regardless
+of the query-space size.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Set, Tuple
+
+from repro.core.errors import QueryError
+from repro.core.frt import descendant_prefix, longest_suffix_prefix
+from repro.core.multiple_hash import Box, MultiAttributeNamer
+from repro.core.pira import RangeQueryResult
+from repro.fissione.network import FissioneNetwork
+from repro.fissione.peer import FissionePeer
+from repro.kautz import strings as ks
+from repro.sim.network import Message, OverlayNetwork
+
+
+@dataclass
+class _MiraQuery:
+    """State shared by all forwarding steps of one MIRA query."""
+
+    query_box: Box
+    ranges: Tuple[Tuple[float, float], ...]
+    dest_level: int
+    #: visited FRT occurrences, keyed by (peer_id, level) -- see the matching
+    #: comment in :mod:`repro.core.pira`.
+    visited: Set[Tuple[str, int]] = field(default_factory=set)
+
+
+class MiraExecutor:
+    """Executes MIRA multi-attribute range queries over a FISSIONE network."""
+
+    def __init__(
+        self,
+        network: FissioneNetwork,
+        namer: MultiAttributeNamer,
+        overlay: Optional[OverlayNetwork] = None,
+    ) -> None:
+        self.network = network
+        self.namer = namer
+        self.overlay = overlay if overlay is not None else OverlayNetwork()
+        self._query_ids = itertools.count(1)
+        self.refresh_membership()
+
+    def refresh_membership(self) -> None:
+        """(Re-)register every current peer with the overlay network."""
+        for peer in self.network.peers():
+            self.overlay.register(peer)
+
+    # ------------------------------------------------------------------ #
+    # public API                                                           #
+    # ------------------------------------------------------------------ #
+
+    def execute(
+        self,
+        origin_peer_id: str,
+        ranges: Sequence[Tuple[float, float]],
+    ) -> RangeQueryResult:
+        """Run the multi-attribute range query ``ranges`` from ``origin_peer_id``."""
+        if not self.network.has_peer(origin_peer_id):
+            raise QueryError(f"unknown origin peer {origin_peer_id!r}")
+        query_box = self.namer.query_box(ranges)
+        query_id = next(self._query_ids)
+        result = RangeQueryResult(origin=origin_peer_id, query_id=query_id)
+        origin = self.network.peer(origin_peer_id)
+
+        # Like PIRA's sub-region split, the query is processed once per
+        # first-level subtree of the partition tree whose subspace intersects
+        # the query box; within each subtree the destination level follows
+        # from the deepest label whose subspace still contains the (clipped)
+        # query box -- MIRA's analogue of ComT.
+        for symbol in ks.allowed_symbols(None, base=self.namer.base):
+            subtree_box = self.namer.box_for_label(symbol)
+            if not subtree_box.intersects(query_box):
+                continue
+            clipped = query_box.intersection(subtree_box)
+            com_t = self.namer.containing_label(clipped, start=symbol)
+            com_s = longest_suffix_prefix(origin_peer_id, com_t)
+            state = _MiraQuery(
+                query_box=clipped,
+                ranges=tuple((float(low), float(high)) for low, high in ranges),
+                dest_level=len(origin_peer_id) - len(com_s),
+            )
+            self._process(origin, level=0, hop=0, state=state, result=result)
+        self.overlay.run()
+        return result
+
+    def ground_truth_destinations(self, ranges: Sequence[Tuple[float, float]]) -> Set[str]:
+        """Peers whose zone box intersects the query box (oracle, for tests)."""
+        query_box = self.namer.query_box(ranges)
+        return {
+            peer_id
+            for peer_id in self.network.peer_ids()
+            if self.namer.box_for_label(peer_id[: self.namer.length]).intersects(query_box)
+        }
+
+    # ------------------------------------------------------------------ #
+    # forwarding                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _label_intersects(self, label: str, state: _MiraQuery) -> bool:
+        """True when the partition-tree box of ``label`` intersects the query box."""
+        if label == "":
+            return True
+        clipped = label[: self.namer.length]
+        return self.namer.box_for_label(clipped).intersects(state.query_box)
+
+    def _process(
+        self,
+        peer: FissionePeer,
+        level: int,
+        hop: int,
+        state: _MiraQuery,
+        result: RangeQueryResult,
+    ) -> None:
+        occurrence = (peer.peer_id, level)
+        if occurrence in state.visited:
+            return
+        state.visited.add(occurrence)
+
+        if level >= state.dest_level:
+            self._handle_destination(peer, hop, state, result)
+            return
+
+        for neighbor_id in self.network.out_neighbors(peer.peer_id):
+            prefix = descendant_prefix(neighbor_id, level + 1, state.dest_level)
+            if not self._label_intersects(prefix, state):
+                continue
+            self._forward(peer, neighbor_id, level + 1, hop + 1, state, result)
+
+    def _handle_destination(
+        self,
+        peer: FissionePeer,
+        hop: int,
+        state: _MiraQuery,
+        result: RangeQueryResult,
+    ) -> None:
+        if not self._label_intersects(peer.peer_id, state):
+            return
+        previous = result.destinations.get(peer.peer_id)
+        if previous is None or hop < previous:
+            result.destinations[peer.peer_id] = hop
+        if previous is None:
+            for stored in peer.objects():
+                values = stored.key
+                if not isinstance(values, (tuple, list)):
+                    continue
+                if len(values) != self.namer.dimensions:
+                    continue
+                if all(
+                    low <= value <= high
+                    for value, (low, high) in zip(values, state.ranges)
+                ):
+                    result.matches.append(stored)
+
+    def _forward(
+        self,
+        sender: FissionePeer,
+        receiver_id: str,
+        level: int,
+        hop: int,
+        state: _MiraQuery,
+        result: RangeQueryResult,
+    ) -> None:
+        result.messages += 1
+        result.forwarding_steps.append((sender.peer_id, receiver_id, hop))
+
+        def handler(peer: FissionePeer, _overlay: OverlayNetwork, message: Message) -> None:
+            self._process(
+                peer=peer,
+                level=message.metadata["level"],
+                hop=message.hop,
+                state=state,
+                result=result,
+            )
+
+        self.overlay.send(
+            Message(
+                sender=sender.peer_id,
+                receiver=receiver_id,
+                kind="mira",
+                hop=hop,
+                query_id=result.query_id,
+                metadata={"handler": handler, "level": level},
+            )
+        )

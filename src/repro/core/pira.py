@@ -1,0 +1,258 @@
+"""PIRA: the PrunIng Routing Algorithm for single-attribute range queries.
+
+Given a range query ``[LowV, HighV]`` issued by peer ``P = u1 .. ub``:
+
+1. The endpoints are named with ``Single_hash``, giving the Kautz region
+   ``<LowT, HighT>`` that contains exactly the ObjectIDs of matching objects
+   (interval preservation).
+2. The region is split into at most ``base + 1`` sub-regions whose endpoints
+   share a common prefix (``ComT``).
+3. For each sub-region the destination level of ``P``'s forward routing tree
+   is ``b - f``, where ``f`` is the length of ``ComS``, the longest string
+   that is both a prefix of ``ComT`` and a suffix of ``P``'s PeerID.
+4. The query descends the FRT level by level: a peer at level ``i`` forwards
+   to exactly those out-neighbours whose FRT descendants at the destination
+   level can still own region ObjectIDs -- the test is
+   ``region.contains_prefix(neighbour.id[(dest - i - 1):])``.
+5. Peers reached at the destination level whose zone intersects the region
+   are destination peers: they filter their local store and report matches.
+
+The execution is message-driven through the discrete-event overlay network,
+so per-query delay (hops), message cost and destination count come straight
+out of the simulation, mirroring the measurements of Figures 5-8.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.errors import QueryError
+from repro.core.frt import descendant_prefix, destination_level
+from repro.core.single_hash import SingleAttributeNamer
+from repro.fissione.network import FissioneNetwork
+from repro.fissione.peer import FissionePeer, StoredObject
+from repro.kautz.region import KautzRegion
+from repro.sim.network import Message, OverlayNetwork
+
+
+@dataclass
+class RangeQueryResult:
+    """Outcome of one range query (single- or multi-attribute)."""
+
+    origin: str
+    query_id: int
+    #: peer id -> hop count at which the peer was first reached as a destination
+    destinations: Dict[str, int] = field(default_factory=dict)
+    #: number of query (forwarding) messages sent
+    messages: int = 0
+    #: matching objects gathered from destination peers
+    matches: List[StoredObject] = field(default_factory=list)
+    #: every (sender, receiver, hop) forwarding step, for traces and tests
+    forwarding_steps: List[Tuple[str, str, int]] = field(default_factory=list)
+
+    @property
+    def delay_hops(self) -> int:
+        """Query delay: hops until the last destination peer is reached."""
+        if not self.destinations:
+            return 0
+        return max(self.destinations.values())
+
+    @property
+    def destination_count(self) -> int:
+        """``Destpeers``: number of peers whose zone intersects the query."""
+        return len(self.destinations)
+
+    def mesg_ratio(self) -> float:
+        """``MesgRatio`` = messages / destination peers (0 when no destination)."""
+        if not self.destinations:
+            return 0.0
+        return self.messages / len(self.destinations)
+
+    def matching_values(self) -> List[object]:
+        """Attribute values (keys) of the matching objects."""
+        return [stored.key for stored in self.matches]
+
+
+@dataclass
+class _SubQuery:
+    """Per-sub-region forwarding state.
+
+    ``visited`` is keyed by ``(peer_id, level)``: the forward routing tree is
+    a tree of peer *occurrences*, and the same peer can legitimately occur at
+    several levels (whenever one suffix of the origin's PeerID is a prefix of
+    a longer one).  Each occurrence forwards with its own level arithmetic, so
+    de-duplication must be per occurrence, not per peer -- otherwise peers
+    that first relay the query at a shallow level would never be recognised
+    as destinations when the query reaches them again at the destination
+    level.
+    """
+
+    region: KautzRegion
+    dest_level: int
+    visited: Set[Tuple[str, int]] = field(default_factory=set)
+
+
+class PiraExecutor:
+    """Executes PIRA range queries over a FISSIONE network."""
+
+    def __init__(
+        self,
+        network: FissioneNetwork,
+        namer: SingleAttributeNamer,
+        overlay: Optional[OverlayNetwork] = None,
+    ) -> None:
+        self.network = network
+        self.namer = namer
+        self.overlay = overlay if overlay is not None else OverlayNetwork()
+        self._query_ids = itertools.count(1)
+        self.refresh_membership()
+
+    def refresh_membership(self) -> None:
+        """(Re-)register every current peer with the overlay network.
+
+        Must be called after churn so that messages can reach new peers.
+        """
+        for peer in self.network.peers():
+            self.overlay.register(peer)
+
+    # ------------------------------------------------------------------ #
+    # public API                                                           #
+    # ------------------------------------------------------------------ #
+
+    def execute(
+        self,
+        origin_peer_id: str,
+        low_value: float,
+        high_value: float,
+    ) -> RangeQueryResult:
+        """Run the range query ``[low_value, high_value]`` from ``origin_peer_id``."""
+        if high_value < low_value:
+            raise QueryError(f"range low bound {low_value} exceeds high bound {high_value}")
+        if not self.network.has_peer(origin_peer_id):
+            raise QueryError(f"unknown origin peer {origin_peer_id!r}")
+
+        query_id = next(self._query_ids)
+        result = RangeQueryResult(origin=origin_peer_id, query_id=query_id)
+        region = self.namer.region_for_range(low_value, high_value)
+        origin = self.network.peer(origin_peer_id)
+
+        subqueries = []
+        for subregion in region.split_by_first_symbol():
+            subqueries.append(
+                _SubQuery(
+                    region=subregion,
+                    dest_level=destination_level(origin_peer_id, subregion),
+                )
+            )
+
+        for subquery in subqueries:
+            self._process(
+                peer=origin,
+                level=0,
+                hop=0,
+                subquery=subquery,
+                result=result,
+                low_value=low_value,
+                high_value=high_value,
+            )
+        # Drain the scheduled message deliveries for this query.
+        self.overlay.run()
+        return result
+
+    def ground_truth_destinations(self, low_value: float, high_value: float) -> Set[str]:
+        """Peers whose zone intersects the query region (oracle, for tests)."""
+        region = self.namer.region_for_range(low_value, high_value)
+        return {
+            peer_id
+            for peer_id in self.network.peer_ids()
+            if region.contains_prefix(peer_id)
+        }
+
+    # ------------------------------------------------------------------ #
+    # forwarding                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _process(
+        self,
+        peer: FissionePeer,
+        level: int,
+        hop: int,
+        subquery: _SubQuery,
+        result: RangeQueryResult,
+        low_value: float,
+        high_value: float,
+    ) -> None:
+        """Handle the query's arrival at ``peer`` (FRT level ``level``)."""
+        occurrence = (peer.peer_id, level)
+        if occurrence in subquery.visited:
+            return
+        subquery.visited.add(occurrence)
+
+        if level >= subquery.dest_level:
+            self._handle_destination(peer, hop, subquery, result, low_value, high_value)
+            return
+
+        for neighbor_id in self.network.out_neighbors(peer.peer_id):
+            prefix = descendant_prefix(neighbor_id, level + 1, subquery.dest_level)
+            if not subquery.region.contains_prefix(prefix):
+                continue
+            self._forward(peer, neighbor_id, level + 1, hop + 1, subquery, result, low_value, high_value)
+
+    def _handle_destination(
+        self,
+        peer: FissionePeer,
+        hop: int,
+        subquery: _SubQuery,
+        result: RangeQueryResult,
+        low_value: float,
+        high_value: float,
+    ) -> None:
+        """Destination-level processing: record the peer and filter its store."""
+        if not subquery.region.contains_prefix(peer.peer_id):
+            return
+        previous = result.destinations.get(peer.peer_id)
+        if previous is None or hop < previous:
+            result.destinations[peer.peer_id] = hop
+        if previous is None:
+            for stored in peer.objects():
+                if isinstance(stored.key, (int, float)) and low_value <= stored.key <= high_value:
+                    result.matches.append(stored)
+
+    def _forward(
+        self,
+        sender: FissionePeer,
+        receiver_id: str,
+        level: int,
+        hop: int,
+        subquery: _SubQuery,
+        result: RangeQueryResult,
+        low_value: float,
+        high_value: float,
+    ) -> None:
+        """Send one forwarding message through the discrete-event overlay."""
+        result.messages += 1
+        result.forwarding_steps.append((sender.peer_id, receiver_id, hop))
+
+        def handler(peer: FissionePeer, _overlay: OverlayNetwork, message: Message) -> None:
+            self._process(
+                peer=peer,
+                level=message.metadata["level"],
+                hop=message.hop,
+                subquery=subquery,
+                result=result,
+                low_value=low_value,
+                high_value=high_value,
+            )
+
+        self.overlay.send(
+            Message(
+                sender=sender.peer_id,
+                receiver=receiver_id,
+                kind="pira",
+                hop=hop,
+                query_id=result.query_id,
+                metadata={"handler": handler, "level": level},
+            )
+        )

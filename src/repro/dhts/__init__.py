@@ -1,0 +1,24 @@
+"""Baseline DHT substrates used by the comparison range-query schemes.
+
+The paper's Table 1 compares Armada against general range-query schemes that
+run over Chord (Squid), CAN (DCF-CAN), Skip Graphs (SCRAP) and arbitrary DHTs
+(PHT).  These substrates are re-implemented here from their published
+descriptions, with the level of detail the comparison needs: identifier
+spaces, routing tables and hop-count routing.
+"""
+
+from repro.dhts.base import DHTNetwork, LookupResult
+from repro.dhts.can import CanNetwork, CanZone
+from repro.dhts.chord import ChordNetwork, ChordNode
+from repro.dhts.skipgraph import SkipGraph, SkipGraphNode
+
+__all__ = [
+    "DHTNetwork",
+    "LookupResult",
+    "CanNetwork",
+    "CanZone",
+    "ChordNetwork",
+    "ChordNode",
+    "SkipGraph",
+    "SkipGraphNode",
+]

@@ -1,0 +1,56 @@
+"""Common interface for the baseline DHT substrates.
+
+Each substrate exposes hop-counted key routing, which is all the layered
+range-query schemes (PHT, Squid, SCRAP) need: they issue DHT lookups and sum
+the hop counts into their own delay / message figures.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Hashable, List
+
+
+@dataclass
+class LookupResult:
+    """Outcome of one DHT key lookup."""
+
+    key: Hashable
+    owner: Hashable
+    hops: int
+    path: List[Hashable]
+
+
+class DHTNetwork(abc.ABC):
+    """Minimal DHT interface: key ownership and hop-counted routing."""
+
+    @property
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Number of nodes in the overlay."""
+
+    @abc.abstractmethod
+    def owner(self, key: Hashable) -> Hashable:
+        """Identifier of the node responsible for ``key``."""
+
+    @abc.abstractmethod
+    def route(self, source: Hashable, key: Hashable) -> LookupResult:
+        """Route from ``source`` to the owner of ``key``, counting hops."""
+
+    @abc.abstractmethod
+    def random_node(self, rng) -> Hashable:
+        """A uniformly random node identifier."""
+
+    def average_route_hops(self, rng, samples: int = 100) -> float:
+        """Average routing hop count over random (source, key) pairs."""
+        total = 0
+        for _ in range(samples):
+            source = self.random_node(rng)
+            key = self.random_key(rng)
+            total += self.route(source, key).hops
+        return total / samples
+
+    @abc.abstractmethod
+    def random_key(self, rng) -> Hashable:
+        """A uniformly random key of this DHT's key space."""

@@ -1,0 +1,266 @@
+"""CAN: a d-dimensional content-addressable network.
+
+Substrate for the DCF-CAN baseline (Andrzejak & Xu).  The unit hypercube
+``[0, 1)^d`` is partitioned into axis-aligned zones, one per node.  A joining
+node picks a random point, routes to the zone containing it and splits that
+zone in half along the dimension chosen round-robin by the zone's depth, so
+every zone is a dyadic box identified by its split history (a bit prefix).
+Neighbours are zones sharing a ``(d-1)``-face and are maintained
+incrementally across splits.  Greedy routing moves to the neighbour whose
+centre is closest to the target point, giving the familiar
+``O(d * N^(1/d))`` hop count; with ``d = 2`` the per-node degree averages
+about 4, matching the degree-parity comparison in the paper's simulations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.dhts.base import DHTNetwork, LookupResult
+
+#: Safety bound on zone depth (dyadic splits beyond this exceed float resolution).
+_MAX_DEPTH = 96
+
+
+@dataclass
+class CanZone:
+    """One CAN zone: a dyadic box owned by one node."""
+
+    zone_id: int
+    lows: Tuple[float, ...]
+    highs: Tuple[float, ...]
+    #: split history: bit string, one bit per ancestor split ("" for the root)
+    prefix: str = ""
+    neighbors: Set[int] = field(default_factory=set)
+    #: objects stored at this zone (opaque to the substrate)
+    store: List[object] = field(default_factory=list)
+
+    @property
+    def dimensions(self) -> int:
+        """Dimensionality of the space."""
+        return len(self.lows)
+
+    @property
+    def depth(self) -> int:
+        """Number of splits separating this zone from the initial whole space."""
+        return len(self.prefix)
+
+    def contains(self, point: Sequence[float]) -> bool:
+        """True when ``point`` falls inside the half-open box (closed at 1.0)."""
+        return all(
+            low <= coordinate < high or (high == 1.0 and coordinate == 1.0)
+            for coordinate, low, high in zip(point, self.lows, self.highs)
+        )
+
+    def center(self) -> Tuple[float, ...]:
+        """Centre point of the zone."""
+        return tuple((low + high) / 2 for low, high in zip(self.lows, self.highs))
+
+    def touches(self, other: "CanZone") -> bool:
+        """True when the two zones share a ``(d-1)``-dimensional face.
+
+        They must abut in exactly one dimension and strictly overlap in every
+        other dimension (corner contact does not make CAN neighbours).
+        """
+        abutting = 0
+        for low_a, high_a, low_b, high_b in zip(self.lows, self.highs, other.lows, other.highs):
+            if high_a == low_b or high_b == low_a:
+                abutting += 1
+            elif low_a < high_b and low_b < high_a:
+                continue
+            else:
+                return False
+        return abutting == 1
+
+    def distance_to(self, point: Sequence[float]) -> float:
+        """Euclidean distance from the zone's centre to ``point``."""
+        return sum((c - p) ** 2 for c, p in zip(self.center(), point)) ** 0.5
+
+    def rect_distance_to(self, point: Sequence[float]) -> float:
+        """Euclidean distance from the zone (as a box) to ``point``.
+
+        Zero when the point lies inside the zone.  Greedy routing uses this
+        (with the centre distance as tie-break) so that the destination zone
+        is always a strict minimum.
+        """
+        total = 0.0
+        for coordinate, low, high in zip(point, self.lows, self.highs):
+            if coordinate < low:
+                total += (low - coordinate) ** 2
+            elif coordinate > high:
+                total += (coordinate - high) ** 2
+        return total ** 0.5
+
+
+class CanNetwork(DHTNetwork):
+    """A CAN overlay built by random joins."""
+
+    def __init__(self, num_nodes: int, rng, dimensions: int = 2) -> None:
+        if num_nodes < 1:
+            raise ValueError("CanNetwork needs at least 1 node")
+        if dimensions < 1:
+            raise ValueError("dimensions must be >= 1")
+        self.dimensions = dimensions
+        self._zone_ids = itertools.count(0)
+        root = CanZone(
+            zone_id=next(self._zone_ids),
+            lows=tuple(0.0 for _ in range(dimensions)),
+            highs=tuple(1.0 for _ in range(dimensions)),
+        )
+        self._zones: Dict[int, CanZone] = {root.zone_id: root}
+        self._prefix_index: Dict[str, int] = {"": root.zone_id}
+        self._id_list: List[int] = [root.zone_id]
+        for _ in range(num_nodes - 1):
+            point = tuple(rng.random() for _ in range(dimensions))
+            self.split_at(point)
+
+    # ------------------------------------------------------------------ #
+    # construction                                                         #
+    # ------------------------------------------------------------------ #
+
+    def split_at(self, point: Sequence[float]) -> CanZone:
+        """Split the zone containing ``point``; returns the newly created zone."""
+        victim = self.zone_at(point)
+        if victim.depth >= _MAX_DEPTH:
+            raise RuntimeError("zone depth exceeds the dyadic resolution limit")
+        dimension = victim.depth % self.dimensions
+        midpoint = (victim.lows[dimension] + victim.highs[dimension]) / 2
+
+        upper_lows = list(victim.lows)
+        upper_lows[dimension] = midpoint
+        new_zone = CanZone(
+            zone_id=next(self._zone_ids),
+            lows=tuple(upper_lows),
+            highs=victim.highs,
+            prefix=victim.prefix + "1",
+        )
+
+        old_prefix = victim.prefix
+        old_neighbors = set(victim.neighbors)
+        lower_highs = list(victim.highs)
+        lower_highs[dimension] = midpoint
+        victim.highs = tuple(lower_highs)
+        victim.prefix = old_prefix + "0"
+
+        self._zones[new_zone.zone_id] = new_zone
+        self._id_list.append(new_zone.zone_id)
+        del self._prefix_index[old_prefix]
+        self._prefix_index[victim.prefix] = victim.zone_id
+        self._prefix_index[new_zone.prefix] = new_zone.zone_id
+
+        # Recompute adjacency among the two halves and the old neighbour set.
+        for neighbor_id in old_neighbors:
+            neighbor = self._zones[neighbor_id]
+            neighbor.neighbors.discard(victim.zone_id)
+            victim.neighbors.discard(neighbor_id)
+            for half in (victim, new_zone):
+                if half.touches(neighbor):
+                    half.neighbors.add(neighbor.zone_id)
+                    neighbor.neighbors.add(half.zone_id)
+        victim.neighbors.add(new_zone.zone_id)
+        new_zone.neighbors.add(victim.zone_id)
+        return new_zone
+
+    # ------------------------------------------------------------------ #
+    # point location                                                       #
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _point_bit(point: Sequence[float], depth: int, dimensions: int) -> str:
+        """The split-history bit a point would take at the given depth."""
+        dimension = depth % dimensions
+        level = depth // dimensions + 1
+        coordinate = point[dimension]
+        # The bit is the ``level``-th binary-fraction digit of the coordinate.
+        scaled = coordinate * (1 << level)
+        return "1" if int(scaled) % 2 == 1 or coordinate >= 1.0 else "0"
+
+    def zone_at(self, point: Sequence[float]) -> CanZone:
+        """The zone containing ``point`` (walks the split history, O(depth))."""
+        prefix = ""
+        for depth in range(_MAX_DEPTH + 1):
+            zone_id = self._prefix_index.get(prefix)
+            if zone_id is not None:
+                zone = self._zones[zone_id]
+                if zone.contains(point):
+                    return zone
+                break
+            prefix += self._point_bit(point, depth, self.dimensions)
+        # Fallback (boundary rounding): linear scan is always correct.
+        for zone in self._zones.values():
+            if zone.contains(point):
+                return zone
+        raise LookupError(f"no zone contains point {tuple(point)}")
+
+    def zone(self, zone_id: int) -> CanZone:
+        """Zone object by identifier."""
+        return self._zones[zone_id]
+
+    def zones(self) -> List[CanZone]:
+        """All zones."""
+        return list(self._zones.values())
+
+    def average_degree(self) -> float:
+        """Average number of neighbours per zone (≈ 2d for balanced splits)."""
+        if not self._zones:
+            return 0.0
+        return sum(len(zone.neighbors) for zone in self._zones.values()) / len(self._zones)
+
+    # ------------------------------------------------------------------ #
+    # DHTNetwork interface                                                 #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def size(self) -> int:
+        return len(self._zones)
+
+    def owner(self, key: Sequence[float]) -> int:
+        return self.zone_at(key).zone_id
+
+    def random_node(self, rng) -> int:
+        return rng.choice(self._id_list)
+
+    def random_key(self, rng) -> Tuple[float, ...]:
+        return tuple(rng.random() for _ in range(self.dimensions))
+
+    def route(self, source: int, key: Sequence[float]) -> LookupResult:
+        """Greedy geographic routing from zone ``source`` to the zone owning ``key``.
+
+        Each hop moves to the neighbour whose zone is closest to the target
+        point (box distance, centre distance as tie-break).  In the rare case
+        where only a corner separates the query from progress, the best
+        not-yet-visited neighbour is taken instead so the walk cannot get
+        stuck in a local minimum.
+        """
+        target = self.zone_at(key)
+        current = self._zones[source]
+        path = [current.zone_id]
+        visited = {current.zone_id}
+        for _ in range(4 * len(self._zones)):
+            if current.zone_id == target.zone_id:
+                break
+            current_distance = (current.rect_distance_to(key), current.distance_to(key))
+            best = None
+            best_distance = None
+            best_unvisited = None
+            best_unvisited_distance = None
+            for neighbor_id in current.neighbors:
+                neighbor = self._zones[neighbor_id]
+                distance = (neighbor.rect_distance_to(key), neighbor.distance_to(key))
+                if best_distance is None or distance < best_distance:
+                    best, best_distance = neighbor, distance
+                if neighbor_id not in visited and (
+                    best_unvisited_distance is None or distance < best_unvisited_distance
+                ):
+                    best_unvisited, best_unvisited_distance = neighbor, distance
+            if best is not None and best_distance < current_distance:
+                current = best
+            elif best_unvisited is not None:
+                current = best_unvisited
+            else:
+                break
+            visited.add(current.zone_id)
+            path.append(current.zone_id)
+        return LookupResult(key=tuple(key), owner=target.zone_id, hops=len(path) - 1, path=path)

@@ -1,0 +1,185 @@
+"""Chord: a ring DHT with logarithmic-degree finger tables.
+
+Used as the substrate for the Squid and PHT baselines.  Node identifiers live
+on a ``2**bits`` ring; every node keeps a finger table with ``bits`` entries
+(``finger[i]`` = successor of ``node_id + 2**i``) and routes greedily through
+the closest preceding finger, giving the familiar ``O(log N)`` hop count.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.dhts.base import DHTNetwork, LookupResult
+
+
+def chord_hash(value: str, bits: int = 32) -> int:
+    """Hash an arbitrary string onto the Chord identifier ring."""
+    digest = hashlib.sha256(value.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % (1 << bits)
+
+
+@dataclass
+class ChordNode:
+    """One Chord node: its ring identifier and finger table."""
+
+    node_id: int
+    fingers: List[int] = field(default_factory=list)
+    successor: int = 0
+    predecessor: int = 0
+    #: local key/value store (key id -> list of values)
+    store: Dict[int, List[object]] = field(default_factory=dict)
+
+
+class ChordNetwork(DHTNetwork):
+    """A fully built Chord ring (global-knowledge construction).
+
+    The simulator builds the ring and all finger tables directly rather than
+    simulating the join protocol; the routing behaviour (which is what the
+    baselines' delay depends on) is identical.
+    """
+
+    def __init__(self, num_nodes: int, rng, bits: int = 32) -> None:
+        if num_nodes < 2:
+            raise ValueError("ChordNetwork needs at least 2 nodes")
+        self.bits = bits
+        self.space = 1 << bits
+        node_ids: set = set()
+        while len(node_ids) < num_nodes:
+            node_ids.add(rng.randint(0, self.space - 1))
+        self._ids: List[int] = sorted(node_ids)
+        self._nodes: Dict[int, ChordNode] = {
+            node_id: ChordNode(node_id=node_id) for node_id in self._ids
+        }
+        self._build_tables()
+
+    # ------------------------------------------------------------------ #
+    # construction                                                         #
+    # ------------------------------------------------------------------ #
+
+    def _build_tables(self) -> None:
+        count = len(self._ids)
+        for index, node_id in enumerate(self._ids):
+            node = self._nodes[node_id]
+            node.successor = self._ids[(index + 1) % count]
+            node.predecessor = self._ids[(index - 1) % count]
+            node.fingers = [
+                self.successor_of((node_id + (1 << i)) % self.space) for i in range(self.bits)
+            ]
+
+    # ------------------------------------------------------------------ #
+    # ring arithmetic                                                      #
+    # ------------------------------------------------------------------ #
+
+    def successor_of(self, key: int) -> int:
+        """The first node clockwise from ``key`` (inclusive)."""
+        index = bisect.bisect_left(self._ids, key % self.space)
+        if index == len(self._ids):
+            return self._ids[0]
+        return self._ids[index]
+
+    @staticmethod
+    def _in_open_interval(value: int, low: int, high: int, space: int) -> bool:
+        """True when ``value`` lies in the ring-interval ``(low, high)``."""
+        value, low, high = value % space, low % space, high % space
+        if low < high:
+            return low < value < high
+        return value > low or value < high
+
+    # ------------------------------------------------------------------ #
+    # DHTNetwork interface                                                 #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def size(self) -> int:
+        return len(self._ids)
+
+    def node(self, node_id: int) -> ChordNode:
+        """Look up a node object by ring identifier."""
+        return self._nodes[node_id]
+
+    def node_ids(self) -> List[int]:
+        """Sorted list of ring identifiers."""
+        return list(self._ids)
+
+    def owner(self, key: int) -> int:
+        return self.successor_of(int(key))
+
+    def random_node(self, rng) -> int:
+        return rng.choice(self._ids)
+
+    def random_key(self, rng) -> int:
+        return rng.randint(0, self.space - 1)
+
+    def route(self, source: int, key: int) -> LookupResult:
+        """Greedy finger routing from ``source`` to ``successor(key)``."""
+        key = int(key) % self.space
+        target = self.owner(key)
+        current = source
+        path = [current]
+        # Each node forwards to its closest preceding finger until the key
+        # falls between the current node and its successor.
+        for _ in range(4 * self.bits + len(self._ids)):
+            if current == target:
+                break
+            node = self._nodes[current]
+            if node.successor == target and (
+                self._in_open_interval(key, current, node.successor, self.space)
+                or key == node.successor
+            ):
+                path.append(node.successor)
+                current = node.successor
+                break
+            next_hop = self._closest_preceding(current, key)
+            if next_hop == current:
+                next_hop = node.successor
+            path.append(next_hop)
+            current = next_hop
+        return LookupResult(key=key, owner=target, hops=len(path) - 1, path=path)
+
+    def _closest_preceding(self, node_id: int, key: int) -> int:
+        node = self._nodes[node_id]
+        for finger in reversed(node.fingers):
+            if self._in_open_interval(finger, node_id, key, self.space):
+                return finger
+        return node_id
+
+    # ------------------------------------------------------------------ #
+    # storage and scans (used by Squid / PHT)                              #
+    # ------------------------------------------------------------------ #
+
+    def put(self, key: int, value: object) -> int:
+        """Store ``value`` under ``key`` at its owner; returns the owner id."""
+        owner = self.owner(key)
+        self._nodes[owner].store.setdefault(int(key) % self.space, []).append(value)
+        return owner
+
+    def get(self, key: int) -> List[object]:
+        """Values stored under ``key``."""
+        owner = self.owner(key)
+        return list(self._nodes[owner].store.get(int(key) % self.space, []))
+
+    def nodes_covering_range(self, low_key: int, high_key: int) -> List[int]:
+        """Node ids owning the contiguous key interval ``[low_key, high_key]``.
+
+        These are the owner of ``low_key`` followed by the successor chain up
+        to the owner of ``high_key`` -- the nodes a contiguous scan (Squid
+        cluster walk, Skip-Graph-style sweep) visits.
+        """
+        low_key = int(low_key) % self.space
+        high_key = int(high_key) % self.space
+        if high_key < low_key:
+            raise ValueError("nodes_covering_range expects low_key <= high_key")
+        low_owner = self.owner(low_key)
+        high_owner = self.owner(high_key)
+        owners = [low_owner]
+        current = low_owner
+        for _ in range(len(self._ids)):
+            if current == high_owner:
+                break
+            current = self._nodes[current].successor
+            owners.append(current)
+        return owners

@@ -1,0 +1,11 @@
+"""Experiment harness: one module per paper table / figure.
+
+Every module exposes a ``run(config)`` function returning plain data
+structures plus formatting helpers, so the same code backs the CLI
+(``armada-repro``), the benchmark suite under ``benchmarks/`` and the
+integration tests.
+"""
+
+from repro.experiments.common import ExperimentConfig, SchemePointResult, run_scheme_queries
+
+__all__ = ["ExperimentConfig", "SchemePointResult", "run_scheme_queries"]

@@ -1,0 +1,166 @@
+"""Ablation: how much does PIRA's pruning actually save?
+
+The design decision DESIGN.md calls out is the FRT pruning predicate
+("forward only to out-neighbours whose descendants can still own region
+ObjectIDs").  This experiment removes it: an *unpruned* descent forwards to
+every out-neighbour down to the destination level, still de-duplicating at
+receivers, and still answering only at destination peers.  Both variants
+return exactly the same results; the difference is the message cost (the
+unpruned variant touches essentially the whole network) and, slightly, the
+delay.  This quantifies the value of the paper's central mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.tables import format_table
+from repro.core.armada import ArmadaSystem
+from repro.core.frt import destination_level
+from repro.experiments.common import ExperimentConfig, make_values
+from repro.sim.rng import DeterministicRNG
+from repro.workloads.queries import RangeQueryWorkload
+
+
+@dataclass
+class UnprunedOutcome:
+    """Delay / message / destination counts of the unpruned FRT descent."""
+
+    delay_hops: int
+    messages: int
+    destinations: int
+
+
+def unpruned_descent(system: ArmadaSystem, origin: str, low: float, high: float) -> UnprunedOutcome:
+    """Forward to *all* out-neighbours down to the destination level."""
+    network = system.network
+    region = system.single_namer.region_for_range(low, high)
+    messages = 0
+    destinations: Dict[str, int] = {}
+    for subregion in region.split_by_first_symbol():
+        dest_level = destination_level(origin, subregion)
+        visited: Set[Tuple[str, int]] = set()
+        frontier: List[Tuple[str, int]] = [(origin, 0)]
+        level = 0
+        while frontier and level < dest_level:
+            next_frontier: List[Tuple[str, int]] = []
+            for peer_id, hop in frontier:
+                for neighbor in network.out_neighbors(peer_id):
+                    messages += 1
+                    occurrence = (neighbor, level + 1)
+                    if occurrence in visited:
+                        continue
+                    visited.add(occurrence)
+                    next_frontier.append((neighbor, hop + 1))
+            frontier = next_frontier
+            level += 1
+        for peer_id, hop in frontier:
+            if subregion.contains_prefix(peer_id):
+                previous = destinations.get(peer_id)
+                if previous is None or hop < previous:
+                    destinations[peer_id] = hop
+    delay = max(destinations.values()) if destinations else 0
+    return UnprunedOutcome(delay_hops=delay, messages=messages, destinations=len(destinations))
+
+
+@dataclass
+class AblationPoint:
+    """PIRA vs the unpruned descent for one range size."""
+
+    range_size: float
+    pira_messages: float
+    unpruned_messages: float
+    pira_delay: float
+    unpruned_delay: float
+    same_destinations: bool
+
+    @property
+    def message_savings(self) -> float:
+        """Factor by which pruning reduces the message cost."""
+        if self.pira_messages == 0:
+            return 0.0
+        return self.unpruned_messages / self.pira_messages
+
+
+@dataclass
+class AblationResult:
+    """All ablation points."""
+
+    network_size: int = 0
+    points: List[AblationPoint] = field(default_factory=list)
+
+    def format(self) -> str:
+        """Render the ablation table."""
+        headers = [
+            "range size",
+            "PIRA msgs",
+            "unpruned msgs",
+            "savings x",
+            "PIRA delay",
+            "unpruned delay",
+            "same dests",
+        ]
+        rows = [
+            [
+                point.range_size,
+                point.pira_messages,
+                point.unpruned_messages,
+                point.message_savings,
+                point.pira_delay,
+                point.unpruned_delay,
+                point.same_destinations,
+            ]
+            for point in self.points
+        ]
+        return format_table(
+            headers, rows, title=f"Ablation: PIRA pruning vs unpruned FRT descent (N={self.network_size})"
+        )
+
+
+def run(config: ExperimentConfig, queries_per_point: int = 20) -> AblationResult:
+    """Compare PIRA with the unpruned descent across the configured range sizes."""
+    system = ArmadaSystem(
+        num_peers=config.peers,
+        seed=config.seed,
+        attribute_interval=(config.attribute_low, config.attribute_high),
+        object_id_length=config.object_id_length,
+    )
+    system.insert_many(make_values(config))
+    result = AblationResult(network_size=system.size)
+
+    for range_size in config.range_sizes:
+        workload = RangeQueryWorkload(
+            range_size=range_size,
+            low=config.attribute_low,
+            high=config.attribute_high,
+            count=queries_per_point,
+        )
+        rng = DeterministicRNG(config.seed).substream("ablation", range_size)
+        pira_messages: List[int] = []
+        pira_delays: List[int] = []
+        unpruned_messages: List[int] = []
+        unpruned_delays: List[int] = []
+        same_destinations = True
+        for low, high in workload.queries(rng):
+            origin = system.random_peer_id()
+            pira_outcome = system.range_query(low, high, origin=origin)
+            unpruned_outcome = unpruned_descent(system, origin, low, high)
+            pira_messages.append(pira_outcome.messages)
+            pira_delays.append(pira_outcome.delay_hops)
+            unpruned_messages.append(unpruned_outcome.messages)
+            unpruned_delays.append(unpruned_outcome.delay_hops)
+            if unpruned_outcome.destinations != pira_outcome.destination_count:
+                same_destinations = False
+        count = len(pira_messages)
+        result.points.append(
+            AblationPoint(
+                range_size=float(range_size),
+                pira_messages=sum(pira_messages) / count,
+                unpruned_messages=sum(unpruned_messages) / count,
+                pira_delay=sum(pira_delays) / count,
+                unpruned_delay=sum(unpruned_delays) / count,
+                same_destinations=same_destinations,
+            )
+        )
+    return result

@@ -1,0 +1,135 @@
+"""Section 4.3.2 analytic claims, checked empirically.
+
+The paper derives three properties of PIRA:
+
+* maximum query delay below ``2 log N`` (delay-boundedness),
+* average query delay below ``log N``,
+* average message cost about ``log N + 2n - 2`` where ``n`` is the number of
+  destination peers, close to the ``O(log N) + n - 1`` lower bound.
+
+This experiment sweeps network sizes and range sizes and reports, for each
+point, the measured quantities next to the analytic expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.analysis.tables import format_table
+from repro.experiments.common import ExperimentConfig, build_and_load, make_values, run_scheme_queries
+from repro.rangequery.armada_scheme import ArmadaScheme
+
+
+@dataclass
+class AnalyticPoint:
+    """Measured vs predicted metrics for one (network size, range size) point."""
+
+    network_size: int
+    range_size: float
+    log_n: float
+    avg_delay: float
+    max_delay: float
+    avg_messages: float
+    avg_destinations: float
+    predicted_messages: float
+    lower_bound_messages: float
+
+    @property
+    def delay_bounded(self) -> bool:
+        """True when the measured maximum delay stays below ``2 log N``."""
+        return self.max_delay <= 2 * self.log_n
+
+    @property
+    def average_below_log_n(self) -> bool:
+        """True when the measured average delay stays below ``log N``."""
+        return self.avg_delay <= self.log_n
+
+    @property
+    def message_prediction_error(self) -> float:
+        """Relative error of the ``log N + 2n - 2`` message-cost prediction."""
+        if self.predicted_messages == 0:
+            return 0.0
+        return abs(self.avg_messages - self.predicted_messages) / self.predicted_messages
+
+
+@dataclass
+class AnalyticsResult:
+    """All measured points of the analytic-claims experiment."""
+
+    points: List[AnalyticPoint] = field(default_factory=list)
+
+    def all_delay_bounded(self) -> bool:
+        """True when every point respects the ``2 log N`` bound."""
+        return all(point.delay_bounded for point in self.points)
+
+    def all_average_below_log_n(self) -> bool:
+        """True when every point's average delay is below ``log N``."""
+        return all(point.average_below_log_n for point in self.points)
+
+    def worst_message_error(self) -> float:
+        """Largest relative error of the message-cost prediction."""
+        if not self.points:
+            return 0.0
+        return max(point.message_prediction_error for point in self.points)
+
+    def format(self) -> str:
+        """Render the comparison table."""
+        headers = [
+            "peers",
+            "range",
+            "logN",
+            "2logN",
+            "avg delay",
+            "max delay",
+            "avg msgs",
+            "logN+2n-2",
+            "lower bound",
+            "avg destpeers",
+        ]
+        rows = []
+        for point in self.points:
+            rows.append(
+                [
+                    point.network_size,
+                    point.range_size,
+                    point.log_n,
+                    2 * point.log_n,
+                    point.avg_delay,
+                    point.max_delay,
+                    point.avg_messages,
+                    point.predicted_messages,
+                    point.lower_bound_messages,
+                    point.avg_destinations,
+                ]
+            )
+        return format_table(headers, rows, title="Section 4.3.2: analytic claims vs measurements")
+
+
+def run(config: ExperimentConfig) -> AnalyticsResult:
+    """Measure PIRA against the analytic expressions across both sweeps."""
+    values = make_values(config)
+    result = AnalyticsResult()
+    for network_size in config.network_sizes:
+        scheme = build_and_load(
+            lambda: ArmadaScheme(space=config.space, object_id_length=config.object_id_length),
+            config,
+            network_size,
+            values,
+        )
+        for range_size in (config.fixed_range_size, max(config.range_sizes)):
+            row = run_scheme_queries(scheme, config, range_size, network_size).row
+            result.points.append(
+                AnalyticPoint(
+                    network_size=network_size,
+                    range_size=float(range_size),
+                    log_n=row.log_n,
+                    avg_delay=row.avg_delay,
+                    max_delay=row.max_delay,
+                    avg_messages=row.avg_messages,
+                    avg_destinations=row.avg_destinations,
+                    predicted_messages=row.log_n + 2 * row.avg_destinations - 2,
+                    lower_bound_messages=row.log_n + row.avg_destinations - 1,
+                )
+            )
+    return result

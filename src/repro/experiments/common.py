@@ -1,0 +1,108 @@
+"""Shared experiment configuration and driver helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Sequence, Tuple
+
+from repro.analysis.stats import AggregateRow, aggregate_measurements
+from repro.rangequery.base import AttributeSpace, QueryMeasurement, RangeQueryScheme
+from repro.sim.rng import DeterministicRNG
+from repro.workloads.queries import RangeQueryWorkload
+from repro.workloads.values import uniform_values
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters shared by the experiment sweeps.
+
+    The defaults reproduce the paper's setup (attribute interval
+    ``[0, 1000]``, 2000 peers for the range-size sweep, network sizes 1000
+    to 8000, range size 20 for the network-size sweep) but with fewer
+    queries per point than the paper's 1000 so the default run finishes in
+    seconds; :meth:`paper` restores the full query count.
+    """
+
+    peers: int = 2000
+    queries_per_point: int = 200
+    objects: int = 4000
+    seed: int = 42
+    attribute_low: float = 0.0
+    attribute_high: float = 1000.0
+    range_sizes: Tuple[float, ...] = (2, 10, 50, 100, 150, 200, 250, 300)
+    network_sizes: Tuple[int, ...] = (1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000)
+    fixed_range_size: float = 20.0
+    object_id_length: int = 32
+
+    @property
+    def space(self) -> AttributeSpace:
+        """The attribute space shared by every scheme."""
+        return AttributeSpace(self.attribute_low, self.attribute_high)
+
+    @classmethod
+    def quick(cls) -> "ExperimentConfig":
+        """A configuration small enough for unit tests and CI smoke runs."""
+        return cls(
+            peers=400,
+            queries_per_point=30,
+            objects=800,
+            range_sizes=(2, 50, 150, 300),
+            network_sizes=(200, 400, 800),
+            fixed_range_size=20.0,
+        )
+
+    @classmethod
+    def paper(cls) -> "ExperimentConfig":
+        """The paper's full setup (1000 queries per point)."""
+        return cls(queries_per_point=1000)
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        """A copy with some fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass
+class SchemePointResult:
+    """One experiment point: the aggregate row plus the raw measurements."""
+
+    row: AggregateRow
+    measurements: List[QueryMeasurement] = field(default_factory=list)
+
+
+def make_values(config: ExperimentConfig) -> List[float]:
+    """The published attribute values (uniform over the attribute interval)."""
+    rng = DeterministicRNG(config.seed).substream("values")
+    return uniform_values(rng, config.objects, config.attribute_low, config.attribute_high)
+
+
+def run_scheme_queries(
+    scheme: RangeQueryScheme,
+    config: ExperimentConfig,
+    range_size: float,
+    x_value: float,
+    query_seed_label: str = "queries",
+) -> SchemePointResult:
+    """Run ``queries_per_point`` random queries of one range size on a built scheme."""
+    workload = RangeQueryWorkload(
+        range_size=range_size,
+        low=config.attribute_low,
+        high=config.attribute_high,
+        count=config.queries_per_point,
+    )
+    rng = DeterministicRNG(config.seed).substream(query_seed_label, scheme.name, x_value)
+    measurements = [scheme.query(low, high) for low, high in workload.queries(rng)]
+    row = aggregate_measurements(scheme.name, x_value, measurements, scheme.size)
+    return SchemePointResult(row=row, measurements=measurements)
+
+
+def build_and_load(
+    scheme_factory: Callable[[], RangeQueryScheme],
+    config: ExperimentConfig,
+    num_peers: int,
+    values: Sequence[float],
+) -> RangeQueryScheme:
+    """Construct a scheme, build its overlay and publish the values."""
+    scheme = scheme_factory()
+    scheme.build(num_peers, seed=config.seed)
+    scheme.load(list(values))
+    return scheme

@@ -1,0 +1,108 @@
+"""Section 3 FISSIONE properties, checked on the reproduced topology.
+
+The paper (quoting the FISSIONE paper) relies on three structural facts:
+
+* the average (out-)degree is constant -- about 2 outgoing links per peer,
+  i.e. an average total degree of about 4;
+* the maximum PeerID length -- and therefore the diameter and the worst-case
+  routing delay -- is below ``2 log N``;
+* the average PeerID length -- and therefore the average routing delay -- is
+  below ``log N``.
+
+This experiment builds networks across the configured sizes and measures all
+of them, plus the empirical exact-match routing delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.analysis.tables import format_table
+from repro.experiments.common import ExperimentConfig
+from repro.fissione.network import FissioneNetwork
+from repro.fissione.routing import average_route_hops
+from repro.fissione.stabilize import check_topology
+from repro.sim.rng import DeterministicRNG
+
+
+@dataclass
+class FissionePropertiesPoint:
+    """Measured structural properties for one network size."""
+
+    network_size: int
+    log_n: float
+    average_out_degree: float
+    average_id_length: float
+    max_id_length: int
+    average_route_hops: float
+    healthy: bool
+
+    @property
+    def within_paper_bounds(self) -> bool:
+        """True when the Section 3 bounds hold."""
+        return (
+            self.max_id_length < 2 * self.log_n + 1
+            and self.average_id_length < self.log_n + 1
+            and self.average_route_hops < self.log_n + 1
+        )
+
+
+@dataclass
+class FissionePropertiesResult:
+    """Measurements for every configured network size."""
+
+    points: List[FissionePropertiesPoint] = field(default_factory=list)
+
+    def all_within_bounds(self) -> bool:
+        """True when every size respects the paper's bounds."""
+        return all(point.within_paper_bounds for point in self.points)
+
+    def format(self) -> str:
+        """Render the property table."""
+        headers = [
+            "peers",
+            "logN",
+            "avg out-degree",
+            "avg |PeerID|",
+            "max |PeerID|",
+            "avg route hops",
+            "healthy",
+        ]
+        rows = [
+            [
+                point.network_size,
+                point.log_n,
+                point.average_out_degree,
+                point.average_id_length,
+                point.max_id_length,
+                point.average_route_hops,
+                point.healthy,
+            ]
+            for point in self.points
+        ]
+        return format_table(headers, rows, title="Section 3: FISSIONE topology properties")
+
+
+def run(config: ExperimentConfig, routing_samples: int = 200) -> FissionePropertiesResult:
+    """Measure the FISSIONE properties across the configured network sizes."""
+    result = FissionePropertiesResult()
+    for network_size in config.network_sizes:
+        rng = DeterministicRNG(config.seed).substream("fissione-props", network_size)
+        network = FissioneNetwork.build(
+            network_size, rng.substream("topology"), object_id_length=config.object_id_length
+        )
+        report = check_topology(network)
+        hops = average_route_hops(network, rng.substream("routing"), samples=routing_samples)
+        result.points.append(
+            FissionePropertiesPoint(
+                network_size=network_size,
+                log_n=network.log_size(),
+                average_out_degree=report.average_out_degree,
+                average_id_length=report.average_id_length,
+                max_id_length=report.max_id_length,
+                average_route_hops=hops,
+                healthy=report.healthy,
+            )
+        )
+    return result

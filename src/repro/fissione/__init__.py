@@ -1,0 +1,34 @@
+"""FISSIONE: a constant-degree DHT based on Kautz graphs (Li et al., INFOCOM 2005).
+
+Armada is layered on FISSIONE without modifying it, so this package
+re-implements the parts of FISSIONE the paper relies on:
+
+* peers identified by variable-length base-2 Kautz strings (PeerIDs), each
+  owning the set of length-``k`` ObjectIDs that extend its PeerID
+  (:mod:`repro.fissione.peer`, :mod:`repro.fissione.network`);
+* the *neighborhood invariant* -- PeerID lengths of neighbouring peers differ
+  by at most one -- maintained across joins and departures
+  (:mod:`repro.fissione.network`, :mod:`repro.fissione.stabilize`);
+* the ``Kautz_hash`` naming algorithm mapping arbitrary keys to ObjectIDs
+  (:mod:`repro.fissione.naming`);
+* shift-left (long-path) routing with delay at most the source PeerID length,
+  hence ``< 2 log N`` worst case and ``< log N`` on average
+  (:mod:`repro.fissione.routing`).
+"""
+
+from repro.fissione.naming import kautz_hash
+from repro.fissione.network import FissioneNetwork, FissioneError
+from repro.fissione.peer import FissionePeer
+from repro.fissione.routing import RoutePath, route
+from repro.fissione.stabilize import TopologyReport, check_topology
+
+__all__ = [
+    "FissioneNetwork",
+    "FissioneError",
+    "FissionePeer",
+    "kautz_hash",
+    "RoutePath",
+    "route",
+    "TopologyReport",
+    "check_topology",
+]

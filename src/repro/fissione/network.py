@@ -1,0 +1,418 @@
+"""The FISSIONE overlay: peer membership, zones, and neighbour relations.
+
+The peers of a FISSIONE network partition the ObjectID namespace
+``KautzSpace(2, k)`` into disjoint zones: each peer owns exactly the ObjectIDs
+that extend its PeerID, and the set of PeerIDs is a *complete prefix-free
+cover* of the namespace (no PeerID is a prefix of another, and together their
+zones cover everything).  This is the "approximate Kautz graph" of the
+FISSIONE paper: when all PeerIDs have the same length ``m`` the topology is
+exactly ``K(2, m)``.
+
+Joins split a zone in two (the splitting peer's PeerID grows by one symbol);
+departures merge the deepest sibling pair and relocate the freed peer onto the
+leaver's zone.  Both operations preserve
+
+* the prefix-free cover, and
+* the *neighborhood invariant*: PeerID lengths of neighbouring peers differ
+  by at most one (joins are redirected to a strictly shorter neighbour when
+  one exists, exactly the balancing rule FISSIONE prescribes).
+
+Neighbour relations follow the Kautz edge rule lifted to zones: peer ``V`` is
+an out-neighbour of ``U = u1 u2 .. ub`` when ``V``'s PeerID is *compatible*
+with ``u2 .. ub`` (one is a prefix of the other), which with the invariant in
+force means ``V = u2 .. ub q1 .. qm`` with ``0 <= m <= 2`` -- the form quoted
+in Section 3 of the Armada paper.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.fissione.naming import kautz_hash
+from repro.fissione.peer import FissionePeer, StoredObject
+from repro.kautz import strings as ks
+
+
+class FissioneError(RuntimeError):
+    """Raised on invalid membership operations or broken topology assumptions."""
+
+
+class FissioneNetwork:
+    """Membership, zone ownership and neighbour computation for FISSIONE."""
+
+    def __init__(self, object_id_length: int = 100, base: int = 2) -> None:
+        if object_id_length < 4:
+            raise FissioneError("object_id_length must be at least 4")
+        ks.alphabet(base)
+        self.object_id_length = object_id_length
+        self.base = base
+        self._peers: Dict[str, FissionePeer] = {}
+        self._sorted_ids: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    # construction                                                         #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls,
+        num_peers: int,
+        rng,
+        object_id_length: int = 100,
+        base: int = 2,
+    ) -> "FissioneNetwork":
+        """Build a network of ``num_peers`` peers via random joins.
+
+        Each join targets a uniformly random point of the ObjectID namespace,
+        mimicking peers hashing their own addresses, so zones stay balanced
+        and the average PeerID length stays below ``log2 N``.
+        """
+        minimum = base + 1
+        if num_peers < minimum:
+            raise FissioneError(f"need at least {minimum} peers, got {num_peers}")
+        network = cls(object_id_length=object_id_length, base=base)
+        network.seed_initial()
+        while network.size < num_peers:
+            network.join(rng=rng)
+        return network
+
+    def seed_initial(self) -> None:
+        """Create the initial ``base + 1`` peers with length-1 PeerIDs."""
+        if self._peers:
+            raise FissioneError("network already seeded")
+        for symbol in ks.alphabet(self.base):
+            self._add_peer(FissionePeer(peer_id=symbol))
+
+    # ------------------------------------------------------------------ #
+    # basic accessors                                                      #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def size(self) -> int:
+        """Number of peers currently in the network."""
+        return len(self._peers)
+
+    def peer(self, peer_id: str) -> FissionePeer:
+        """Look up a peer by PeerID."""
+        try:
+            return self._peers[peer_id]
+        except KeyError as exc:
+            raise FissioneError(f"no peer with id {peer_id!r}") from exc
+
+    def has_peer(self, peer_id: str) -> bool:
+        """True when a peer with that PeerID exists."""
+        return peer_id in self._peers
+
+    def peers(self) -> Iterable[FissionePeer]:
+        """Iterate over peers in lexicographic PeerID order."""
+        return (self._peers[peer_id] for peer_id in self._sorted_ids)
+
+    def peer_ids(self) -> List[str]:
+        """Sorted list of PeerIDs (copy)."""
+        return list(self._sorted_ids)
+
+    def random_peer(self, rng) -> FissionePeer:
+        """A uniformly random peer."""
+        return self._peers[rng.choice(self._sorted_ids)]
+
+    def average_id_length(self) -> float:
+        """Average PeerID length (paper: ``< log2 N``)."""
+        if not self._peers:
+            return 0.0
+        return sum(len(peer_id) for peer_id in self._sorted_ids) / len(self._sorted_ids)
+
+    def max_id_length(self) -> int:
+        """Maximum PeerID length (paper: ``< 2 log2 N``)."""
+        if not self._peers:
+            return 0
+        return max(len(peer_id) for peer_id in self._sorted_ids)
+
+    def log_size(self) -> float:
+        """``log2`` of the network size, the paper's reference line."""
+        return math.log2(self.size) if self.size > 0 else 0.0
+
+    # ------------------------------------------------------------------ #
+    # zone ownership                                                       #
+    # ------------------------------------------------------------------ #
+
+    def owner_id(self, key: str) -> str:
+        """PeerID of the peer whose zone contains ``key``.
+
+        ``key`` may be a full ObjectID or any Kautz string at least as long
+        as the deepest PeerID; ownership is determined by prefix.
+        """
+        if not self._sorted_ids:
+            raise FissioneError("network is empty")
+        index = bisect.bisect_right(self._sorted_ids, key) - 1
+        if index < 0:
+            # ``key`` sorts before every PeerID; with a complete cover this
+            # only happens when key is a strict prefix of the first PeerID.
+            candidate = self._sorted_ids[0]
+            if candidate.startswith(key):
+                return candidate
+            raise FissioneError(f"no owner found for key {key!r}")
+        candidate = self._sorted_ids[index]
+        if key.startswith(candidate):
+            return candidate
+        # ``key`` shorter than the owning PeerID (e.g. a short prefix): the
+        # cover guarantees some PeerID extends it; return the first one.
+        position = bisect.bisect_left(self._sorted_ids, key)
+        if position < len(self._sorted_ids) and self._sorted_ids[position].startswith(key):
+            return self._sorted_ids[position]
+        raise FissioneError(f"no owner found for key {key!r}")
+
+    def owner(self, key: str) -> FissionePeer:
+        """The peer whose zone contains ``key``."""
+        return self._peers[self.owner_id(key)]
+
+    def peers_with_prefix(self, prefix: str) -> List[str]:
+        """All PeerIDs extending ``prefix`` (possibly empty), sorted."""
+        if prefix == "":
+            return list(self._sorted_ids)
+        start = bisect.bisect_left(self._sorted_ids, prefix)
+        result: List[str] = []
+        for peer_id in self._sorted_ids[start:]:
+            if peer_id.startswith(prefix):
+                result.append(peer_id)
+            else:
+                break
+        return result
+
+    def compatible_peers(self, prefix: str) -> List[str]:
+        """PeerIDs compatible with ``prefix``: extend it or are a prefix of it."""
+        if prefix == "":
+            return list(self._sorted_ids)
+        result = self.peers_with_prefix(prefix)
+        if result:
+            return result
+        # No peer extends the prefix, so exactly one peer's id is a strict
+        # prefix of it (complete cover).
+        for cut in range(min(len(prefix), self.max_id_length()), 0, -1):
+            candidate = prefix[:cut]
+            if candidate in self._peers:
+                return [candidate]
+        return []
+
+    # ------------------------------------------------------------------ #
+    # neighbour relations                                                  #
+    # ------------------------------------------------------------------ #
+
+    def out_neighbors(self, peer_id: str) -> List[str]:
+        """Out-neighbours of ``peer_id`` in the approximate Kautz topology."""
+        if peer_id not in self._peers:
+            raise FissioneError(f"no peer with id {peer_id!r}")
+        tail = peer_id[1:]
+        if tail:
+            neighbors = self.compatible_peers(tail)
+        else:
+            # Length-1 PeerID: its zone's out-edges reach every string whose
+            # first symbol differs from the peer's symbol.
+            neighbors = [
+                other
+                for other in self._sorted_ids
+                if other and other[0] != peer_id[0]
+            ]
+        return [other for other in neighbors if other != peer_id]
+
+    def in_neighbors(self, peer_id: str) -> List[str]:
+        """In-neighbours of ``peer_id``: peers with an edge towards it."""
+        if peer_id not in self._peers:
+            raise FissioneError(f"no peer with id {peer_id!r}")
+        result: List[str] = []
+        for symbol in ks.allowed_symbols(peer_id[0], base=self.base):
+            for candidate in self.compatible_peers(symbol + peer_id):
+                if candidate != peer_id and candidate not in result:
+                    result.append(candidate)
+        return result
+
+    def neighbors(self, peer_id: str) -> List[str]:
+        """Union of in- and out-neighbours."""
+        seen: List[str] = []
+        for neighbor in self.out_neighbors(peer_id) + self.in_neighbors(peer_id):
+            if neighbor not in seen:
+                seen.append(neighbor)
+        return seen
+
+    def average_degree(self) -> float:
+        """Average out-degree (paper: FISSIONE's average degree is 4 counting both directions)."""
+        if not self._peers:
+            return 0.0
+        total = sum(len(self.out_neighbors(peer_id)) for peer_id in self._sorted_ids)
+        return total / len(self._sorted_ids)
+
+    # ------------------------------------------------------------------ #
+    # membership changes                                                   #
+    # ------------------------------------------------------------------ #
+
+    def join(self, rng=None, target_key: Optional[str] = None) -> FissionePeer:
+        """Add one peer by splitting a zone.
+
+        The zone to split is the owner of ``target_key`` (or of a uniformly
+        random ObjectID when only ``rng`` is given).  The split is redirected
+        to a strictly shorter neighbour while one exists, which maintains the
+        neighborhood invariant.
+        """
+        if target_key is None:
+            if rng is None:
+                raise FissioneError("join() needs either a target_key or an rng")
+            target_key = self._random_object_id(rng)
+        victim_id = self.owner_id(target_key)
+        victim_id = self._redirect_to_shorter(victim_id)
+        return self._split(victim_id)
+
+    def leave(self, peer_id: str) -> None:
+        """Remove the peer ``peer_id``, preserving the cover and the invariant.
+
+        The deepest sibling leaf pair in the system is merged into its parent
+        zone; the peer freed by that merge adopts the leaver's PeerID and
+        objects.  When the leaver itself is part of the deepest sibling pair
+        the merge handles it directly.
+        """
+        if peer_id not in self._peers:
+            raise FissioneError(f"no peer with id {peer_id!r}")
+        if self.size <= self.base + 1:
+            raise FissioneError("cannot shrink below the initial peer set")
+
+        pair = self._deepest_sibling_pair()
+        if pair is None:
+            raise FissioneError("topology has no mergeable sibling pair")
+        left_id, right_id = pair
+        parent = left_id[:-1]
+
+        if peer_id in (left_id, right_id):
+            # The leaver is one of the siblings: the survivor absorbs the zone.
+            survivor_id = right_id if peer_id == left_id else left_id
+            leaver = self._remove_peer(peer_id)
+            survivor = self._remove_peer(survivor_id)
+            merged = FissionePeer(peer_id=parent)
+            merged.absorb(survivor.objects())
+            merged.absorb(leaver.objects())
+            self._add_peer(merged)
+            return
+
+        leaver = self._remove_peer(peer_id)
+        left = self._remove_peer(left_id)
+        right = self._remove_peer(right_id)
+        merged = FissionePeer(peer_id=parent)
+        merged.absorb(left.objects())
+        relocated = FissionePeer(peer_id=peer_id)
+        relocated.absorb(right.objects())  # the relocated peer republishes at its new zone
+        # Objects from the freed sibling belong to the parent zone, not the
+        # leaver's zone, so they stay with the merged peer.
+        merged.absorb(relocated.take_objects_with_prefix(parent))
+        relocated.absorb(leaver.objects())
+        self._add_peer(merged)
+        self._add_peer(relocated)
+
+    # ------------------------------------------------------------------ #
+    # object publication / lookup                                          #
+    # ------------------------------------------------------------------ #
+
+    def publish(self, object_id: str, key: Any, value: Any) -> FissionePeer:
+        """Store an object on the peer owning ``object_id`` and return that peer."""
+        self._validate_object_id(object_id)
+        peer = self.owner(object_id)
+        peer.put(object_id, key, value)
+        return peer
+
+    def publish_named(self, name: str, value: Any) -> Tuple[str, FissionePeer]:
+        """Publish under ``Kautz_hash(name)`` (plain exact-match naming)."""
+        object_id = kautz_hash(name, length=self.object_id_length, base=self.base)
+        return object_id, self.publish(object_id, name, value)
+
+    def lookup(self, object_id: str) -> List[StoredObject]:
+        """Objects stored under ``object_id`` (no routing cost accounted)."""
+        self._validate_object_id(object_id)
+        return self.owner(object_id).get(object_id)
+
+    def total_objects(self) -> int:
+        """Total number of stored objects across all peers."""
+        return sum(peer.object_count() for peer in self._peers.values())
+
+    # ------------------------------------------------------------------ #
+    # internals                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _validate_object_id(self, object_id: str) -> None:
+        ks.validate_kautz_string(object_id, base=self.base)
+        if len(object_id) != self.object_id_length:
+            raise FissioneError(
+                f"object id {object_id!r} must have length {self.object_id_length}"
+            )
+
+    def _random_object_id(self, rng) -> str:
+        index = rng.randint(0, ks.space_size(self.base, self.object_id_length) - 1)
+        return ks.unrank(index, self.object_id_length, base=self.base)
+
+    def _redirect_to_shorter(self, peer_id: str) -> str:
+        """Follow strictly shorter neighbours until none exists."""
+        current = peer_id
+        for _ in range(4 * self.object_id_length + 8):
+            shorter = [
+                neighbor
+                for neighbor in self.neighbors(current)
+                if len(neighbor) < len(current)
+            ]
+            if not shorter:
+                return current
+            current = min(shorter, key=len)
+        raise FissioneError("redirect loop while searching for a shorter neighbour")
+
+    def _split(self, peer_id: str) -> FissionePeer:
+        """Split ``peer_id``'s zone; the incumbent keeps the left child."""
+        incumbent = self._remove_peer(peer_id)
+        last = peer_id[-1]
+        children = [peer_id + symbol for symbol in ks.allowed_symbols(last, base=self.base)]
+        left_id, right_id = children[0], children[-1]
+        if len(left_id) > self.object_id_length:
+            # Re-add and refuse: the namespace cannot be subdivided further.
+            self._add_peer(incumbent)
+            raise FissioneError(
+                f"cannot split peer {peer_id!r}: PeerID length would exceed the ObjectID length"
+            )
+        left = FissionePeer(peer_id=left_id)
+        right = FissionePeer(peer_id=right_id)
+        for stored in incumbent.objects():
+            target = left if stored.object_id.startswith(left_id) else right
+            target.absorb([stored])
+        self._add_peer(left)
+        self._add_peer(right)
+        return right
+
+    def _deepest_sibling_pair(self) -> Optional[Tuple[str, str]]:
+        """Find a sibling leaf pair of maximal depth (both zones are peers)."""
+        best: Optional[Tuple[str, str]] = None
+        best_length = 0
+        for index in range(len(self._sorted_ids) - 1):
+            first = self._sorted_ids[index]
+            second = self._sorted_ids[index + 1]
+            if len(first) != len(second) or len(first) < 2:
+                continue
+            if first[:-1] == second[:-1] and len(first) > best_length:
+                best = (first, second)
+                best_length = len(first)
+        return best
+
+    def _add_peer(self, peer: FissionePeer) -> None:
+        if peer.peer_id in self._peers:
+            raise FissioneError(f"peer {peer.peer_id!r} already exists")
+        ks.validate_kautz_string(peer.peer_id, base=self.base)
+        self._peers[peer.peer_id] = peer
+        bisect.insort(self._sorted_ids, peer.peer_id)
+
+    def _remove_peer(self, peer_id: str) -> FissionePeer:
+        peer = self._peers.pop(peer_id, None)
+        if peer is None:
+            raise FissioneError(f"no peer with id {peer_id!r}")
+        index = bisect.bisect_left(self._sorted_ids, peer_id)
+        if index < len(self._sorted_ids) and self._sorted_ids[index] == peer_id:
+            self._sorted_ids.pop(index)
+        return peer
+
+    def __repr__(self) -> str:
+        return (
+            f"FissioneNetwork(size={self.size}, object_id_length={self.object_id_length}, "
+            f"base={self.base})"
+        )

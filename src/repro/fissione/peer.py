@@ -1,0 +1,99 @@
+"""FISSIONE peers.
+
+A peer owns the contiguous zone of length-``k`` ObjectIDs that have its
+PeerID as a prefix, and stores the objects published into that zone locally.
+Neighbour relationships are derived from the global topology (held by
+:class:`repro.fissione.network.FissioneNetwork`); peers cache nothing about
+the topology so that joins and departures never leave stale peer state
+behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass
+class StoredObject:
+    """An object published into the DHT."""
+
+    object_id: str
+    key: Any
+    value: Any
+
+
+@dataclass
+class FissionePeer:
+    """A FISSIONE peer: a PeerID plus the local object store."""
+
+    peer_id: str
+    store: Dict[str, List[StoredObject]] = field(default_factory=dict)
+
+    @property
+    def node_id(self) -> str:
+        """Alias used by the overlay-network layer."""
+        return self.peer_id
+
+    @property
+    def id_length(self) -> int:
+        """Length of the PeerID (bounded by ``2 log N`` in FISSIONE)."""
+        return len(self.peer_id)
+
+    def owns(self, object_id: str) -> bool:
+        """True when ``object_id`` falls in this peer's zone."""
+        return object_id.startswith(self.peer_id)
+
+    def put(self, object_id: str, key: Any, value: Any) -> StoredObject:
+        """Store an object locally (the caller must have routed it here)."""
+        if not self.owns(object_id):
+            raise ValueError(
+                f"peer {self.peer_id!r} does not own object id {object_id!r}"
+            )
+        stored = StoredObject(object_id=object_id, key=key, value=value)
+        self.store.setdefault(object_id, []).append(stored)
+        return stored
+
+    def get(self, object_id: str) -> List[StoredObject]:
+        """All objects stored under ``object_id`` (empty list when none)."""
+        return list(self.store.get(object_id, []))
+
+    def objects(self) -> List[StoredObject]:
+        """All objects stored at this peer."""
+        result: List[StoredObject] = []
+        for bucket in self.store.values():
+            result.extend(bucket)
+        return result
+
+    def object_count(self) -> int:
+        """Number of objects stored at this peer."""
+        return sum(len(bucket) for bucket in self.store.values())
+
+    def take_objects_with_prefix(self, prefix: str) -> List[StoredObject]:
+        """Remove and return objects whose ObjectID extends ``prefix``.
+
+        Used when a zone splits and half of the objects move to the new peer.
+        """
+        moved: List[StoredObject] = []
+        remaining: Dict[str, List[StoredObject]] = {}
+        for object_id, bucket in self.store.items():
+            if object_id.startswith(prefix):
+                moved.extend(bucket)
+            else:
+                remaining[object_id] = bucket
+        self.store = remaining
+        return moved
+
+    def absorb(self, objects: List[StoredObject]) -> None:
+        """Add objects handed over from another peer."""
+        for stored in objects:
+            self.store.setdefault(stored.object_id, []).append(stored)
+
+    def handle_message(self, network, message) -> None:  # pragma: no cover - thin shim
+        """Messages are dispatched by the query-processing layer, not the peer."""
+        handler = message.metadata.get("handler")
+        if handler is not None:
+            handler(self, network, message)
+
+    def __repr__(self) -> str:
+        return f"FissionePeer(peer_id={self.peer_id!r}, objects={self.object_count()})"

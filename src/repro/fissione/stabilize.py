@@ -1,0 +1,126 @@
+"""Topology self-checks for FISSIONE.
+
+FISSIONE's correctness rests on three structural invariants:
+
+1. **Complete cover** -- the PeerIDs' zones partition ``KautzSpace(2, k)``:
+   they are pairwise prefix-free and their zone sizes sum to the namespace
+   size.
+2. **Neighborhood invariant** -- PeerID lengths of neighbouring peers differ
+   by at most one.
+3. **Constant degree** -- the average out-degree stays near 2 (so the average
+   total degree is near 4, the figure quoted in the paper).
+
+:func:`check_topology` evaluates all three and returns a
+:class:`TopologyReport`; the integration tests and the FISSIONE-properties
+benchmark assert on it after long churn sequences.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.fissione.network import FissioneNetwork
+from repro.kautz import strings as ks
+
+
+@dataclass(frozen=True)
+class TopologyReport:
+    """Summary of a topology validation pass."""
+
+    peer_count: int
+    covers_namespace: bool
+    prefix_free: bool
+    neighborhood_violations: int
+    max_id_length: int
+    average_id_length: float
+    average_out_degree: float
+    max_out_degree: int
+
+    @property
+    def healthy(self) -> bool:
+        """True when every structural invariant holds."""
+        return self.covers_namespace and self.prefix_free and self.neighborhood_violations == 0
+
+    def within_paper_bounds(self) -> bool:
+        """True when the ID-length bounds quoted in the paper hold.
+
+        Maximum PeerID length below ``2 log2 N`` and average below ``log2 N``
+        (with a +1 slack for the very small networks used in unit tests).
+        """
+        if self.peer_count < 4:
+            return True
+        log_n = math.log2(self.peer_count)
+        return self.max_id_length <= 2 * log_n + 1 and self.average_id_length <= log_n + 1
+
+
+def check_topology(network: FissioneNetwork) -> TopologyReport:
+    """Validate the structural invariants of ``network``."""
+    peer_ids = network.peer_ids()
+    prefix_free = _is_prefix_free(peer_ids)
+    covers = _covers_namespace(network, peer_ids)
+    violations = _neighborhood_violations(network, peer_ids)
+    degrees = [len(network.out_neighbors(peer_id)) for peer_id in peer_ids]
+    return TopologyReport(
+        peer_count=len(peer_ids),
+        covers_namespace=covers,
+        prefix_free=prefix_free,
+        neighborhood_violations=violations,
+        max_id_length=network.max_id_length(),
+        average_id_length=network.average_id_length(),
+        average_out_degree=(sum(degrees) / len(degrees)) if degrees else 0.0,
+        max_out_degree=max(degrees) if degrees else 0,
+    )
+
+
+def _is_prefix_free(peer_ids: List[str]) -> bool:
+    """No PeerID is a prefix of another (sorted adjacency check suffices)."""
+    ordered = sorted(peer_ids)
+    for first, second in zip(ordered, ordered[1:]):
+        if second.startswith(first):
+            return False
+    return True
+
+
+def _covers_namespace(network: FissioneNetwork, peer_ids: List[str]) -> bool:
+    """Zone sizes sum to the full namespace size."""
+    total = 0
+    for peer_id in peer_ids:
+        total += ks.strings_with_prefix_count(
+            peer_id, network.object_id_length, base=network.base
+        )
+    return total == ks.space_size(network.base, network.object_id_length)
+
+
+def _neighborhood_violations(network: FissioneNetwork, peer_ids: List[str]) -> int:
+    """Count neighbour pairs whose PeerID lengths differ by more than one."""
+    violations = 0
+    for peer_id in peer_ids:
+        for neighbor in network.out_neighbors(peer_id):
+            if abs(len(neighbor) - len(peer_id)) > 1:
+                violations += 1
+    return violations
+
+
+def churn(network: FissioneNetwork, rng, joins: int, leaves: int) -> Tuple[int, int]:
+    """Apply a random churn sequence (joins and leaves interleaved).
+
+    Returns the number of joins and leaves actually performed; leaves are
+    skipped when the network is at its minimum size.
+    """
+    operations = ["join"] * joins + ["leave"] * leaves
+    rng.shuffle(operations)
+    performed_joins = 0
+    performed_leaves = 0
+    for operation in operations:
+        if operation == "join":
+            network.join(rng=rng)
+            performed_joins += 1
+        else:
+            if network.size <= network.base + 1:
+                continue
+            victim = network.random_peer(rng).peer_id
+            network.leave(victim)
+            performed_leaves += 1
+    return performed_joins, performed_leaves

@@ -1,0 +1,119 @@
+"""The static Kautz graph ``K(d, k)``.
+
+FISSIONE's topology approximates a Kautz graph, which has optimal diameter
+(``k`` for ``K(d, k)``) and constant out-degree ``d``.  The class here builds
+the exact graph for small ``k`` so tests and the FISSIONE-property benchmark
+can validate the approximate peer topology against the ideal one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional
+
+from repro.kautz import strings as ks
+from repro.kautz.space import KautzSpace
+
+
+class KautzGraph:
+    """Directed Kautz graph ``K(d, k)`` on ``(d + 1) d^(k-1)`` nodes."""
+
+    def __init__(self, base: int, length: int) -> None:
+        self._space = KautzSpace(base, length)
+        self._base = base
+        self._length = length
+
+    @property
+    def base(self) -> int:
+        """Out-degree ``d`` of every node."""
+        return self._base
+
+    @property
+    def length(self) -> int:
+        """String length ``k`` (also the graph diameter)."""
+        return self._length
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes in the graph."""
+        return self._space.size
+
+    def nodes(self) -> Iterable[str]:
+        """Iterate over all node labels in lexicographic order."""
+        return iter(self._space)
+
+    def out_neighbors(self, node: str) -> List[str]:
+        """Out-neighbours of ``node``: ``u1 u2 .. uk -> u2 .. uk a`` for ``a != uk``."""
+        ks.validate_kautz_string(node, base=self._base)
+        if len(node) != self._length:
+            raise ks.KautzStringError(f"node {node!r} does not belong to K({self._base},{self._length})")
+        return [node[1:] + symbol for symbol in ks.allowed_symbols(node[-1], base=self._base)]
+
+    def in_neighbors(self, node: str) -> List[str]:
+        """In-neighbours of ``node``: ``a u1 .. u(k-1)`` for ``a != u1``."""
+        ks.validate_kautz_string(node, base=self._base)
+        if len(node) != self._length:
+            raise ks.KautzStringError(f"node {node!r} does not belong to K({self._base},{self._length})")
+        return [symbol + node[:-1] for symbol in ks.allowed_symbols(node[0], base=self._base)]
+
+    def has_edge(self, source: str, target: str) -> bool:
+        """True when the directed edge ``source -> target`` exists."""
+        return target in self.out_neighbors(source)
+
+    def shortest_path(self, source: str, target: str) -> List[str]:
+        """Shortest directed path between two nodes (BFS; includes endpoints)."""
+        if source == target:
+            return [source]
+        visited: Dict[str, Optional[str]] = {source: None}
+        queue = deque([source])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self.out_neighbors(current):
+                if neighbor in visited:
+                    continue
+                visited[neighbor] = current
+                if neighbor == target:
+                    path = [neighbor]
+                    back: Optional[str] = current
+                    while back is not None:
+                        path.append(back)
+                        back = visited[back]
+                    path.reverse()
+                    return path
+                queue.append(neighbor)
+        raise ks.KautzStringError(f"no path from {source!r} to {target!r}")
+
+    def kautz_path(self, source: str, target: str) -> List[str]:
+        """The canonical (splice-based) Kautz path from ``source`` to ``target``.
+
+        The path follows the spliced string ``source ⊕ target``: each hop
+        shifts the window one symbol to the right.  Its length is at most
+        ``k`` and it is the route FISSIONE's long-path routing follows.
+        """
+        spliced = ks.splice(source, target, base=self._base)
+        path = []
+        for start in range(len(spliced) - self._length + 1):
+            path.append(spliced[start : start + self._length])
+        return path
+
+    def diameter(self) -> int:
+        """Exact diameter (max over all-pairs BFS); only sensible for small graphs."""
+        best = 0
+        for source in self.nodes():
+            distances = self._bfs_distances(source)
+            best = max(best, max(distances.values()))
+        return best
+
+    def _bfs_distances(self, source: str) -> Dict[str, int]:
+        distances = {source: 0}
+        queue = deque([source])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self.out_neighbors(current):
+                if neighbor not in distances:
+                    distances[neighbor] = distances[current] + 1
+                    queue.append(neighbor)
+        return distances
+
+    def __repr__(self) -> str:
+        return f"KautzGraph(base={self._base}, length={self._length}, nodes={self.node_count})"

@@ -1,0 +1,217 @@
+"""DCF-CAN: directed controlled flooding over CAN (Andrzejak & Xu, P2P 2002).
+
+The single-attribute interval is mapped onto CAN's 2-dimensional space with
+the inverse of a Hilbert space-filling curve: a value's normalised position
+along the curve determines the point (and hence the CAN zone) that owns it.
+Because the Hilbert curve is continuous, the cells of any contiguous value
+range form a connected region of the space, so the zones owning a range form
+a connected subgraph of the CAN neighbour graph -- the property the flooding
+phase relies on.
+
+A range query is processed in two phases, as in the original scheme:
+
+1. **Route** the query with CAN's greedy routing to the zone owning the
+   *median* value of the queried range (``O(d N^{1/d})`` hops).
+2. **Flood** the query from that zone to neighbouring zones whose owned value
+   intervals intersect the range, with duplicate suppression at receivers
+   (the "controlled" part of DCF); every forwarded copy counts as a message
+   and the flood depth adds to the delay.
+
+The scheme is therefore *not* delay bounded: the flood eccentricity grows
+with the size of the queried range, and the initial routing leg grows as
+``N^{1/d}`` -- the behaviour Figures 5 and 7 of the paper show.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dhts.can import CanNetwork, CanZone
+from repro.rangequery.base import AttributeSpace, QueryMeasurement, RangeQueryScheme, record_query
+from repro.rangequery.sfc import hilbert_d2xy, hilbert_xy2d, merge_ranges
+from repro.sim.rng import DeterministicRNG
+
+#: Hilbert curve resolution: the unit square is divided into 2**ORDER cells per side.
+_CURVE_ORDER = 16
+
+
+class DcfCanScheme(RangeQueryScheme):
+    """Directed controlled flooding range queries over a 2-dimensional CAN."""
+
+    name = "DCF-CAN"
+    supports_multi_attribute = False
+    underlying_degree = "2d (4 for d=2)"
+    delay_bounded = False
+
+    def __init__(self, space: Optional[AttributeSpace] = None, curve_order: int = _CURVE_ORDER) -> None:
+        self.dimensions = 2
+        self.space = space if space is not None else AttributeSpace()
+        self.curve_order = curve_order
+        self.can: Optional[CanNetwork] = None
+        self._rng: Optional[DeterministicRNG] = None
+        #: objects stored per zone id: list of attribute values
+        self._stored: Dict[int, List[float]] = {}
+        #: cached per-zone curve ranges (zone_id -> list of (start, end) indices)
+        self._zone_ranges: Dict[int, List[Tuple[int, int]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction / data                                                  #
+    # ------------------------------------------------------------------ #
+
+    def build(self, num_peers: int, seed: int) -> None:
+        self._rng = DeterministicRNG(seed)
+        self.can = CanNetwork(num_peers, self._rng.substream("can-topology"), dimensions=self.dimensions)
+        self._stored = {zone.zone_id: [] for zone in self.can.zones()}
+        self._zone_ranges = {}
+
+    def load(self, values: Sequence[float]) -> None:
+        self._require_built()
+        for value in values:
+            zone = self._zone_for_value(float(value))
+            self._stored.setdefault(zone.zone_id, []).append(float(value))
+
+    @property
+    def size(self) -> int:
+        return self.can.size if self.can is not None else 0
+
+    # ------------------------------------------------------------------ #
+    # value <-> space mapping (inverse Hilbert)                            #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def _curve_length(self) -> int:
+        return 1 << (2 * self.curve_order)
+
+    def _value_to_index(self, value: float) -> int:
+        """Curve index of a value (normalised position along the Hilbert curve)."""
+        fraction = self.space.normalise(value)
+        return min(int(fraction * self._curve_length), self._curve_length - 1)
+
+    def _value_to_point(self, value: float) -> Tuple[float, float]:
+        """CAN point (cell centre) owning the given attribute value."""
+        x, y = hilbert_d2xy(self.curve_order, self._value_to_index(value))
+        side = 1 << self.curve_order
+        return ((x + 0.5) / side, (y + 0.5) / side)
+
+    def _zone_curve_ranges(self, zone: CanZone) -> List[Tuple[int, int]]:
+        """Curve-index ranges owned by a zone.
+
+        A square dyadic zone (even prefix length) is one contiguous Hilbert
+        range; a 2:1 rectangular zone (odd prefix length) is the union of its
+        two square halves' ranges.
+        """
+        cached = self._zone_ranges.get(zone.zone_id)
+        if cached is not None:
+            return cached
+        prefixes = [zone.prefix]
+        if len(zone.prefix) % 2 == 1:
+            prefixes = [zone.prefix + "0", zone.prefix + "1"]
+        ranges: List[Tuple[int, int]] = []
+        for prefix in prefixes:
+            ranges.append(self._square_prefix_range(prefix))
+        ranges = merge_ranges(ranges)
+        self._zone_ranges[zone.zone_id] = ranges
+        return ranges
+
+    def _square_prefix_range(self, prefix: str) -> Tuple[int, int]:
+        """Hilbert range of the dyadic square described by an even-length prefix."""
+        if len(prefix) % 2 != 0:
+            raise ValueError("square prefixes must have even length")
+        order = len(prefix) // 2
+        x = y = 0
+        for position, bit in enumerate(prefix):
+            if position % 2 == 0:
+                x = (x << 1) | int(bit)
+            else:
+                y = (y << 1) | int(bit)
+        if order == 0:
+            return (0, self._curve_length - 1)
+        block = hilbert_xy2d(order, x, y)
+        block_span = 1 << (2 * (self.curve_order - order))
+        return (block * block_span, (block + 1) * block_span - 1)
+
+    def _zone_for_value(self, value: float) -> CanZone:
+        self._require_built()
+        assert self.can is not None
+        return self.can.zone_at(self._value_to_point(value))
+
+    def _ranges_intersect(self, ranges: List[Tuple[int, int]], low_index: int, high_index: int) -> bool:
+        return any(start <= high_index and low_index <= end for start, end in ranges)
+
+    # ------------------------------------------------------------------ #
+    # query processing                                                     #
+    # ------------------------------------------------------------------ #
+
+    def query(self, low: float, high: float) -> QueryMeasurement:
+        self._require_built()
+        assert self.can is not None and self._rng is not None
+        if high < low:
+            raise ValueError(f"range low bound {low} exceeds high bound {high}")
+        low = self.space.clamp(low)
+        high = self.space.clamp(high)
+        low_index = self._value_to_index(low)
+        high_index = self._value_to_index(high)
+
+        origin = self.can.random_node(self._rng.substream("origins", low, high))
+        median_value = (low + high) / 2
+        median_zone = self._zone_for_value(median_value)
+
+        # Phase 1: greedy CAN routing to the median zone.
+        routing = self.can.route(origin, self._value_to_point(median_value))
+        messages = routing.hops
+        route_delay = routing.hops
+
+        # Phase 2: directed controlled flooding among intersecting zones.  A
+        # zone forwards the query to every intersecting neighbour except the
+        # one it received the query from; duplicates are suppressed at the
+        # *receiver* (it processes and re-forwards only the first copy), so
+        # every forwarded copy still counts as a message -- this is what makes
+        # DCF-CAN's message cost slightly higher than PIRA's in the paper.
+        destinations: Dict[int, int] = {}
+        matches: List[float] = []
+        processed = {median_zone.zone_id}
+        queue = deque([(median_zone.zone_id, None, 0)])
+        while queue:
+            zone_id, parent_id, depth = queue.popleft()
+            zone = self.can.zone(zone_id)
+            if self._ranges_intersect(self._zone_curve_ranges(zone), low_index, high_index):
+                destinations[zone_id] = depth
+                matches.extend(
+                    value for value in self._stored.get(zone_id, []) if low <= value <= high
+                )
+            for neighbor_id in zone.neighbors:
+                if neighbor_id == parent_id:
+                    continue
+                neighbor = self.can.zone(neighbor_id)
+                if self._ranges_intersect(
+                    self._zone_curve_ranges(neighbor), low_index, high_index
+                ):
+                    messages += 1
+                    if neighbor_id not in processed:
+                        processed.add(neighbor_id)
+                        queue.append((neighbor_id, zone_id, depth + 1))
+
+        flood_delay = max(destinations.values()) if destinations else 0
+        return record_query(
+            delay_hops=route_delay + flood_delay,
+            messages=messages,
+            destinations=len(destinations),
+            matches=matches,
+        )
+
+    def ground_truth_destinations(self, low: float, high: float) -> List[int]:
+        """Zones whose owned value intervals intersect the range (oracle)."""
+        self._require_built()
+        assert self.can is not None
+        low_index = self._value_to_index(self.space.clamp(low))
+        high_index = self._value_to_index(self.space.clamp(high))
+        return [
+            zone.zone_id
+            for zone in self.can.zones()
+            if self._ranges_intersect(self._zone_curve_ranges(zone), low_index, high_index)
+        ]
+
+    def _require_built(self) -> None:
+        if self.can is None:
+            raise RuntimeError("call build() before using the scheme")

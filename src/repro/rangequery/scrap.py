@@ -1,0 +1,154 @@
+"""SCRAP: space-filling curves over a Skip Graph (Ganesan et al., WebDB 2004).
+
+SCRAP maps multi-attribute values onto a one-dimensional key with a Z-order
+curve and stores them in a Skip Graph keyed by that value.  A range query is
+decomposed into contiguous curve ranges; each range is resolved with a Skip
+Graph search for its start (``O(log N)`` hops) followed by a level-0
+successor walk (one hop per peer in the range), giving the ``O(log N + n)``
+delay Table 1 quotes -- efficient, but dependent on the query size and hence
+not delay bounded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dhts.skipgraph import SkipGraph
+from repro.rangequery.base import AttributeSpace, QueryMeasurement, RangeQueryScheme, record_query
+from repro.rangequery.sfc import morton_encode, query_box_to_curve_ranges
+from repro.sim.rng import DeterministicRNG
+
+
+class ScrapScheme(RangeQueryScheme):
+    """SCRAP: SFC + Skip Graph range queries."""
+
+    name = "SCRAP"
+    supports_multi_attribute = True
+    underlying_degree = "O(logN) (Skip Graph)"
+    delay_bounded = False
+
+    def __init__(
+        self,
+        space: Optional[AttributeSpace] = None,
+        dimensions: int = 1,
+        key_bits_per_dim: int = 16,
+        max_curve_ranges: int = 16,
+    ) -> None:
+        self.space = space if space is not None else AttributeSpace()
+        self.dimensions = dimensions
+        self.key_bits_per_dim = key_bits_per_dim
+        self.max_curve_ranges = max_curve_ranges
+        self.skipgraph: Optional[SkipGraph] = None
+        self._rng: Optional[DeterministicRNG] = None
+        self._stored: Dict[int, List[Tuple[float, ...]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction / data                                                  #
+    # ------------------------------------------------------------------ #
+
+    def build(self, num_peers: int, seed: int) -> None:
+        self._rng = DeterministicRNG(seed)
+        key_rng = self._rng.substream("peer-keys")
+        keyspace = float(1 << (self.key_bits_per_dim * self.dimensions))
+        peer_keys = [key_rng.uniform(0.0, keyspace) for _ in range(num_peers)]
+        self.skipgraph = SkipGraph(peer_keys, self._rng.substream("membership"))
+        self._stored = {}
+
+    def load(self, values: Sequence[float]) -> None:
+        self.load_multi([(float(value),) + (self.space.low,) * (self.dimensions - 1) for value in values])
+
+    def load_multi(self, tuples: Sequence[Tuple[float, ...]]) -> None:
+        self._require_built()
+        assert self.skipgraph is not None
+        for values in tuples:
+            index = float(self._curve_index(values))
+            owner = self.skipgraph.owner(index)
+            self._stored.setdefault(owner, []).append(tuple(values))
+
+    @property
+    def size(self) -> int:
+        return self.skipgraph.size if self.skipgraph is not None else 0
+
+    # ------------------------------------------------------------------ #
+    # curve mapping                                                        #
+    # ------------------------------------------------------------------ #
+
+    def _cell(self, value: float) -> int:
+        fraction = self.space.normalise(value)
+        cell = int(fraction * (1 << self.key_bits_per_dim))
+        return min(cell, (1 << self.key_bits_per_dim) - 1)
+
+    def _curve_index(self, values: Sequence[float]) -> int:
+        if len(values) != self.dimensions:
+            raise ValueError(f"expected {self.dimensions} attribute values, got {len(values)}")
+        if self.dimensions == 1:
+            return self._cell(values[0])
+        return morton_encode([self._cell(value) for value in values], self.key_bits_per_dim)
+
+    # ------------------------------------------------------------------ #
+    # query processing                                                     #
+    # ------------------------------------------------------------------ #
+
+    def query(self, low: float, high: float) -> QueryMeasurement:
+        ranges = [(low, high)] + [(self.space.low, self.space.high)] * (self.dimensions - 1)
+        return self.query_multi(ranges)
+
+    def query_multi(self, ranges: Sequence[Tuple[float, float]]) -> QueryMeasurement:
+        self._require_built()
+        assert self.skipgraph is not None and self._rng is not None
+        if len(ranges) != self.dimensions:
+            raise ValueError(f"expected {self.dimensions} ranges, got {len(ranges)}")
+        clamped = [(self.space.clamp(low), self.space.clamp(high)) for low, high in ranges]
+
+        if self.dimensions == 1:
+            low_index = self._cell(clamped[0][0])
+            high_index = self._cell(clamped[0][1])
+            curve_ranges = [(low_index, high_index)]
+        else:
+            curve_ranges = query_box_to_curve_ranges(
+                [self.space.normalise(low) for low, _high in clamped],
+                [self.space.normalise(high) for _low, high in clamped],
+                order=self.key_bits_per_dim,
+                curve="morton",
+                max_ranges=self.max_curve_ranges,
+            )
+
+        origin = self.skipgraph.random_node(self._rng.substream("origins", *curve_ranges))
+        destinations: Dict[int, int] = {}
+        matches: List[float] = []
+        messages = 0
+        max_delay = 0
+
+        for start, end in curve_ranges:
+            search = self.skipgraph.route(origin, float(start))
+            messages += search.hops
+            walk = self.skipgraph.scan_right(search.owner, float(end))
+            messages += max(0, len(walk) - 1)
+            max_delay = max(max_delay, search.hops + max(0, len(walk) - 1))
+            for position, node_id in enumerate(walk):
+                arrival = search.hops + position
+                previous = destinations.get(node_id)
+                if previous is None or arrival < previous:
+                    destinations[node_id] = arrival
+                if previous is None:
+                    matches.extend(self._matches_at(node_id, clamped))
+
+        return record_query(
+            delay_hops=max_delay,
+            messages=messages,
+            destinations=len(destinations),
+            matches=matches,
+        )
+
+    def _matches_at(
+        self, node_id: int, clamped: Sequence[Tuple[float, float]]
+    ) -> List[float]:
+        result = []
+        for values in self._stored.get(node_id, []):
+            if all(low <= value <= high for value, (low, high) in zip(values, clamped)):
+                result.append(values[0])
+        return result
+
+    def _require_built(self) -> None:
+        if self.skipgraph is None:
+            raise RuntimeError("call build() before using the scheme")

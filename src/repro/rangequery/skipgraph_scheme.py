@@ -1,0 +1,83 @@
+"""Native Skip Graph range queries (Aspnes & Shah / SkipNet row of Table 1).
+
+Skip Graphs keep peers ordered by key, so a single-attribute range query is
+simply: search for the low endpoint (``O(log N)`` expected hops), then walk
+level-0 successors until the high endpoint is passed (one hop per peer that
+intersects the range).  Delay is ``O(log N + n)`` -- efficient but growing
+with the query size, hence not delay bounded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.dhts.skipgraph import SkipGraph
+from repro.rangequery.base import AttributeSpace, QueryMeasurement, RangeQueryScheme, record_query
+from repro.sim.rng import DeterministicRNG
+
+
+class SkipGraphScheme(RangeQueryScheme):
+    """Skip Graph used directly as a range-queriable overlay."""
+
+    name = "Skip Graph"
+    supports_multi_attribute = False
+    underlying_degree = "O(logN)"
+    delay_bounded = False
+
+    def __init__(self, space: Optional[AttributeSpace] = None) -> None:
+        self.space = space if space is not None else AttributeSpace()
+        self.skipgraph: Optional[SkipGraph] = None
+        self._rng: Optional[DeterministicRNG] = None
+        self._stored: Dict[int, List[float]] = {}
+
+    def build(self, num_peers: int, seed: int) -> None:
+        self._rng = DeterministicRNG(seed)
+        key_rng = self._rng.substream("peer-keys")
+        # Peers partition the attribute space by their own (random) keys.
+        peer_keys = [key_rng.uniform(self.space.low, self.space.high) for _ in range(num_peers)]
+        self.skipgraph = SkipGraph(peer_keys, self._rng.substream("membership"))
+        self._stored = {}
+
+    def load(self, values: Sequence[float]) -> None:
+        self._require_built()
+        assert self.skipgraph is not None
+        for value in values:
+            owner = self.skipgraph.owner(float(value))
+            self._stored.setdefault(owner, []).append(float(value))
+
+    @property
+    def size(self) -> int:
+        return self.skipgraph.size if self.skipgraph is not None else 0
+
+    def query(self, low: float, high: float) -> QueryMeasurement:
+        self._require_built()
+        assert self.skipgraph is not None and self._rng is not None
+        low = self.space.clamp(low)
+        high = self.space.clamp(high)
+        origin = self.skipgraph.random_node(self._rng.substream("origins", low, high))
+
+        search = self.skipgraph.route(origin, low)
+        walk = self.skipgraph.scan_right(search.owner, high)
+        messages = search.hops + max(0, len(walk) - 1)
+        delay = search.hops + max(0, len(walk) - 1)
+
+        destinations: Dict[int, int] = {}
+        matches: List[float] = []
+        for position, node_id in enumerate(walk):
+            arrival = search.hops + position
+            if node_id not in destinations:
+                destinations[node_id] = arrival
+                matches.extend(
+                    value for value in self._stored.get(node_id, []) if low <= value <= high
+                )
+
+        return record_query(
+            delay_hops=delay,
+            messages=messages,
+            destinations=len(destinations),
+            matches=matches,
+        )
+
+    def _require_built(self) -> None:
+        if self.skipgraph is None:
+            raise RuntimeError("call build() before using the scheme")

@@ -1,0 +1,151 @@
+"""A minimal deterministic discrete-event scheduler.
+
+The scheduler keeps a binary heap of pending events ordered by
+``(time, priority, sequence)``.  It is intentionally tiny: overlay
+experiments in this repository schedule at most a few hundred thousand
+events, so a plain ``heapq`` is more than fast enough and trivially
+deterministic, which matters far more for reproducing the paper's figures
+than raw speed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.sim.events import CancellableHandle, Event
+
+
+class SimulationError(RuntimeError):
+    """Raised when the scheduler is used incorrectly."""
+
+
+class Simulator:
+    """Discrete-event scheduler with deterministic tie-breaking.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule_at(2.0, lambda: fired.append("b"))
+    >>> _ = sim.schedule_at(1.0, lambda: fired.append("a"))
+    >>> sim.run()
+    >>> fired
+    ['a', 'b']
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._sequence: int = 0
+        self._heap: List[Tuple[float, int, int, CancellableHandle]] = []
+        self._processed: int = 0
+        self._running: bool = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> CancellableHandle:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        event = Event(time=time, callback=callback, priority=priority, label=label)
+        handle = CancellableHandle(event=event)
+        self._sequence += 1
+        heapq.heappush(self._heap, (time, priority, self._sequence, handle))
+        return handle
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> CancellableHandle:
+        """Schedule ``callback`` after a relative ``delay`` from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self._now + delay, callback, priority=priority, label=label)
+
+    def step(self) -> bool:
+        """Execute the next non-cancelled event.  Returns ``False`` if none remain."""
+        while self._heap:
+            time, _priority, _seq, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = time
+            handle.event.fire()
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire strictly after this time.
+        max_events:
+            Stop after executing this many events (safety valve).
+
+        Returns
+        -------
+        int
+            The number of events executed by this call.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                if max_events is not None and executed >= max_events:
+                    break
+                if until is not None:
+                    next_time = self._peek_time()
+                    if next_time is None or next_time > until:
+                        self._now = max(self._now, until)
+                        break
+                if not self.step():
+                    break
+                executed += 1
+        finally:
+            self._running = False
+        return executed
+
+    def _peek_time(self) -> Optional[float]:
+        """Time of the next non-cancelled event, or ``None``."""
+        while self._heap:
+            time, _priority, _seq, handle = self._heap[0]
+            if handle.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return time
+        return None
+
+    def reset(self) -> None:
+        """Clear all pending events and rewind the clock to zero."""
+        self._heap.clear()
+        self._now = 0.0
+        self._sequence = 0
+        self._processed = 0

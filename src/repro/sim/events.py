@@ -1,0 +1,67 @@
+"""Event records used by the discrete-event scheduler.
+
+Events are small immutable records.  The scheduler orders them by
+``(time, priority, sequence)`` so that simultaneous events are processed in a
+deterministic order: first by explicit priority, then by insertion order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """A generic scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Simulation time at which the event fires.
+    callback:
+        Zero-argument callable executed when the event fires.
+    priority:
+        Tie-break for events scheduled at the same time (lower fires first).
+    label:
+        Optional human-readable label, used in traces and error messages.
+    """
+
+    time: float
+    callback: Callable[[], None]
+    priority: int = 0
+    label: str = ""
+
+    def fire(self) -> None:
+        """Execute the event's callback."""
+        self.callback()
+
+
+@dataclass(frozen=True)
+class MessageDelivery(Event):
+    """Delivery of an overlay message to its destination node."""
+
+    message: Any = None
+
+
+@dataclass(frozen=True)
+class TimerFired(Event):
+    """A timer set by a node (e.g. for stabilization rounds)."""
+
+    owner: Optional[Any] = None
+
+
+@dataclass
+class CancellableHandle:
+    """Handle returned by :meth:`Simulator.schedule` that allows cancellation.
+
+    Cancellation is lazy: the event stays in the heap but is skipped when it
+    reaches the front.  This keeps the scheduler O(log n) per operation.
+    """
+
+    event: Event
+    cancelled: bool = field(default=False)
+
+    def cancel(self) -> None:
+        """Mark the underlying event so the scheduler skips it."""
+        self.cancelled = True

@@ -1,0 +1,200 @@
+"""Overlay network model.
+
+The overlay network connects protocol nodes (DHT peers) to the discrete-event
+scheduler.  Every message sent through the network is
+
+* counted (total messages, per-kind messages),
+* stamped with the hop count accumulated so far, and
+* delivered to the destination node after a latency chosen by the pluggable
+  latency model (one simulated time unit per hop by default, matching the
+  paper's hop-count delay metric).
+
+Nodes are any objects that expose a hashable ``node_id`` attribute and a
+``handle_message(network, message)`` method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Optional, Protocol
+
+from repro.sim.engine import Simulator
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass
+class Message:
+    """A message travelling through the overlay.
+
+    Attributes
+    ----------
+    sender / receiver:
+        Node identifiers (opaque, hashable).
+    kind:
+        Short string describing the message type, e.g. ``"range-query"``.
+    payload:
+        Arbitrary protocol payload.
+    hop:
+        Number of overlay hops this message (and its ancestors along the same
+        query path) has travelled.  The sender sets it to its own hop + 1.
+    query_id:
+        Identifier tying together all messages of one query, used by the
+        metrics collection in the experiments.
+    """
+
+    sender: Hashable
+    receiver: Hashable
+    kind: str
+    payload: Any = None
+    hop: int = 0
+    query_id: Optional[int] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+class LatencyModel(Protocol):
+    """Maps a message to a delivery latency in simulation time units."""
+
+    def latency(self, message: Message) -> float:
+        """Latency for delivering ``message``."""
+
+
+class HopLatencyModel:
+    """One simulated time unit per overlay hop (the paper's delay metric)."""
+
+    def latency(self, message: Message) -> float:
+        return 1.0
+
+
+class UniformLatencyModel:
+    """Uniformly random latency per hop, for wall-clock style examples."""
+
+    def __init__(self, low_ms: float, high_ms: float, rng: Any) -> None:
+        if low_ms < 0 or high_ms < low_ms:
+            raise ValueError("require 0 <= low_ms <= high_ms")
+        self._low = low_ms
+        self._high = high_ms
+        self._rng = rng
+
+    def latency(self, message: Message) -> float:
+        return self._rng.uniform(self._low, self._high)
+
+
+class NodeProtocol(Protocol):
+    """Minimal interface protocol nodes must implement."""
+
+    node_id: Hashable
+
+    def handle_message(self, network: "OverlayNetwork", message: Message) -> None:
+        """Process a delivered message."""
+
+
+class NetworkError(RuntimeError):
+    """Raised when a message is sent to an unknown node."""
+
+
+class OverlayNetwork:
+    """Registry of nodes plus message delivery through the scheduler."""
+
+    def __init__(
+        self,
+        simulator: Optional[Simulator] = None,
+        latency_model: Optional[LatencyModel] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.simulator = simulator if simulator is not None else Simulator()
+        self.latency_model = latency_model if latency_model is not None else HopLatencyModel()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.trace = trace
+        self._nodes: Dict[Hashable, NodeProtocol] = {}
+        self._drop_filter: Optional[Callable[[Message], bool]] = None
+
+    # -- node management ---------------------------------------------------
+
+    def register(self, node: NodeProtocol) -> None:
+        """Add a node to the overlay (replacing any node with the same id)."""
+        self._nodes[node.node_id] = node
+
+    def unregister(self, node_id: Hashable) -> None:
+        """Remove a node; messages to it afterwards raise :class:`NetworkError`."""
+        self._nodes.pop(node_id, None)
+
+    def node(self, node_id: Hashable) -> NodeProtocol:
+        """Look up a node by id."""
+        try:
+            return self._nodes[node_id]
+        except KeyError as exc:
+            raise NetworkError(f"unknown node {node_id!r}") from exc
+
+    def has_node(self, node_id: Hashable) -> bool:
+        """True when a node with that id is registered."""
+        return node_id in self._nodes
+
+    @property
+    def node_count(self) -> int:
+        """Number of registered nodes."""
+        return len(self._nodes)
+
+    def node_ids(self):
+        """Iterate over registered node identifiers."""
+        return list(self._nodes.keys())
+
+    # -- fault injection ----------------------------------------------------
+
+    def set_drop_filter(self, drop_filter: Optional[Callable[[Message], bool]]) -> None:
+        """Install a predicate; messages for which it returns True are dropped.
+
+        Used by the failure-injection tests.
+        """
+        self._drop_filter = drop_filter
+
+    # -- message delivery ---------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Send a message: count it and schedule its delivery."""
+        if not self.has_node(message.receiver):
+            raise NetworkError(f"message to unknown node {message.receiver!r}")
+        self.metrics.counter("messages.total").increment()
+        self.metrics.counter(f"messages.{message.kind}").increment()
+        if self.trace is not None:
+            self.trace.record(
+                self.simulator.now,
+                "send",
+                sender=message.sender,
+                receiver=message.receiver,
+                message_kind=message.kind,
+                hop=message.hop,
+                query_id=message.query_id,
+            )
+        if self._drop_filter is not None and self._drop_filter(message):
+            self.metrics.counter("messages.dropped").increment()
+            return
+        latency = self.latency_model.latency(message)
+        self.simulator.schedule_after(
+            latency,
+            lambda msg=message: self._deliver(msg),
+            label=f"deliver:{message.kind}",
+        )
+
+    def _deliver(self, message: Message) -> None:
+        """Deliver a message to its destination node (if still present)."""
+        node = self._nodes.get(message.receiver)
+        if node is None:
+            self.metrics.counter("messages.undeliverable").increment()
+            return
+        if self.trace is not None:
+            self.trace.record(
+                self.simulator.now,
+                "deliver",
+                sender=message.sender,
+                receiver=message.receiver,
+                message_kind=message.kind,
+                hop=message.hop,
+                query_id=message.query_id,
+            )
+        node.handle_message(self, message)
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Run the underlying scheduler until quiescence (or ``until``)."""
+        return self.simulator.run(until=until)

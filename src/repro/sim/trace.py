@@ -1,0 +1,74 @@
+"""Structured trace recording.
+
+A :class:`TraceRecorder` captures a chronological list of events (message
+sends, deliveries, protocol decisions).  Traces are optional -- experiments
+turn them off for speed -- but the examples and some integration tests use
+them to show and assert on the actual path a query took.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    time: float
+    kind: str
+    attributes: Dict[str, Any]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Convenience accessor for an attribute."""
+        return self.attributes.get(key, default)
+
+
+@dataclass
+class TraceRecorder:
+    """Appends :class:`TraceEvent` records and supports simple filtering."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+    enabled: bool = True
+    max_events: Optional[int] = None
+
+    def record(self, time: float, kind: str, **attributes: Any) -> None:
+        """Record one event (no-op when disabled or full)."""
+        if not self.enabled:
+            return
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            return
+        self.events.append(TraceEvent(time=time, kind=kind, attributes=dict(attributes)))
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()
+
+    def filter(self, kind: Optional[str] = None, **attributes: Any) -> List[TraceEvent]:
+        """Events matching the given kind and attribute values."""
+        matches: List[TraceEvent] = []
+        for event in self.events:
+            if kind is not None and event.kind != kind:
+                continue
+            if any(event.get(key) != value for key, value in attributes.items()):
+                continue
+            matches.append(event)
+        return matches
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def format(self, limit: Optional[int] = None) -> str:
+        """Human-readable multi-line rendering of the trace."""
+        lines = []
+        events = self.events if limit is None else self.events[:limit]
+        for event in events:
+            attrs = " ".join(f"{key}={value}" for key, value in sorted(event.attributes.items()))
+            lines.append(f"[{event.time:8.2f}] {event.kind:<10} {attrs}")
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... ({len(self.events) - limit} more events)")
+        return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Workload generators: attribute values, range queries, and domain datasets."""
+
+from repro.workloads.datasets import (
+    GridResource,
+    StudentScore,
+    generate_grid_resources,
+    generate_student_scores,
+)
+from repro.workloads.queries import (
+    MultiAttributeQueryWorkload,
+    RangeQueryWorkload,
+)
+from repro.workloads.values import (
+    clustered_values,
+    normal_values,
+    uniform_values,
+    zipf_values,
+)
+
+__all__ = [
+    "GridResource",
+    "StudentScore",
+    "generate_grid_resources",
+    "generate_student_scores",
+    "MultiAttributeQueryWorkload",
+    "RangeQueryWorkload",
+    "clustered_values",
+    "normal_values",
+    "uniform_values",
+    "zipf_values",
+]

@@ -1,0 +1,94 @@
+"""Domain datasets matching the applications the paper's introduction cites.
+
+Two of the motivating examples are implemented as reusable dataset
+generators:
+
+* P2P data management systems with queries like "70 <= score <= 80"
+  (:func:`generate_student_scores`),
+* grid information services with queries like
+  "1GB <= Memory <= 4GB and 50GB <= disk <= 200GB"
+  (:func:`generate_grid_resources`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.sim.rng import DeterministicRNG
+from repro.workloads.values import normal_values
+
+
+@dataclass(frozen=True)
+class StudentScore:
+    """One record of the score dataset."""
+
+    student_id: str
+    score: float
+
+
+@dataclass(frozen=True)
+class GridResource:
+    """One machine advertised in a grid information service."""
+
+    host: str
+    memory_gb: float
+    disk_gb: float
+    cpu_ghz: float
+
+    def as_tuple(self) -> Tuple[float, float, float]:
+        """Attribute tuple in (memory, disk, cpu) order."""
+        return (self.memory_gb, self.disk_gb, self.cpu_ghz)
+
+
+def generate_student_scores(
+    rng: DeterministicRNG,
+    count: int,
+    mean: float = 72.0,
+    stddev: float = 12.0,
+) -> List[StudentScore]:
+    """Scores between 0 and 100 with a realistic bell shape around ``mean``."""
+    scores = normal_values(rng, count, mean=mean, stddev=stddev, low=0.0, high=100.0)
+    return [
+        StudentScore(student_id=f"student-{index:05d}", score=round(score, 1))
+        for index, score in enumerate(scores)
+    ]
+
+
+#: common machine configurations (memory GB, disk GB, cpu GHz) and their weights
+_GRID_PROFILES: List[Tuple[Tuple[float, float, float], float]] = [
+    ((1.0, 80.0, 1.8), 0.15),
+    ((2.0, 160.0, 2.2), 0.25),
+    ((4.0, 250.0, 2.6), 0.25),
+    ((8.0, 500.0, 3.0), 0.20),
+    ((16.0, 1000.0, 3.4), 0.10),
+    ((32.0, 2000.0, 3.8), 0.05),
+]
+
+
+def generate_grid_resources(rng: DeterministicRNG, count: int) -> List[GridResource]:
+    """Machines drawn from common configuration profiles with ±20% jitter."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    resources: List[GridResource] = []
+    total_weight = sum(weight for _profile, weight in _GRID_PROFILES)
+    for index in range(count):
+        pick = rng.uniform(0.0, total_weight)
+        cumulative = 0.0
+        chosen = _GRID_PROFILES[-1][0]
+        for profile, weight in _GRID_PROFILES:
+            cumulative += weight
+            if pick <= cumulative:
+                chosen = profile
+                break
+        memory, disk, cpu = chosen
+        jitter = lambda value: value * rng.uniform(0.8, 1.2)  # noqa: E731 - tiny local helper
+        resources.append(
+            GridResource(
+                host=f"node-{index:05d}.grid.example",
+                memory_gb=round(min(jitter(memory), 64.0), 2),
+                disk_gb=round(min(jitter(disk), 4000.0), 1),
+                cpu_ghz=round(min(jitter(cpu), 5.0), 2),
+            )
+        )
+    return resources

@@ -1,0 +1,85 @@
+"""Integration tests for the armada-repro command-line interface."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main, make_config, run_command
+from repro.experiments.common import ExperimentConfig
+
+
+class TestArgumentHandling:
+    def test_parser_accepts_all_commands(self):
+        parser = build_parser()
+        for command in ("table1", "figures-rangesize", "figures-netsize", "analytics",
+                        "fissione", "mira", "ablation", "all"):
+            assert parser.parse_args([command]).command == command
+
+    def test_profile_selection(self):
+        parser = build_parser()
+        quick = make_config(parser.parse_args(["table1", "--profile", "quick"]))
+        paper = make_config(parser.parse_args(["table1", "--profile", "paper"]))
+        default = make_config(parser.parse_args(["table1"]))
+        assert quick.peers < default.peers
+        assert paper.queries_per_point == 1000
+
+    def test_overrides(self):
+        parser = build_parser()
+        config = make_config(
+            parser.parse_args(
+                ["table1", "--peers", "123", "--queries", "7", "--objects", "50", "--seed", "9"]
+            )
+        )
+        assert config.peers == 123
+        assert config.queries_per_point == 7
+        assert config.objects == 50
+        assert config.seed == 9
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestExecution:
+    TINY = ExperimentConfig(
+        peers=120,
+        queries_per_point=8,
+        objects=200,
+        range_sizes=(10, 100),
+        network_sizes=(60, 120),
+        fixed_range_size=20.0,
+    )
+
+    def test_run_command_fissione(self):
+        output = run_command("fissione", self.TINY)
+        assert "FISSIONE" in output
+
+    def test_run_command_figures_with_csv(self, tmp_path):
+        output = run_command("figures-rangesize", self.TINY, csv_dir=str(tmp_path))
+        assert "Figure 5" in output
+        assert os.path.exists(tmp_path / "figure5.csv")
+        assert os.path.exists(tmp_path / "figure6a.csv")
+
+    def test_main_prints_output(self, capsys):
+        exit_code = main(
+            [
+                "fissione",
+                "--profile",
+                "quick",
+                "--peers",
+                "80",
+                "--queries",
+                "5",
+                "--objects",
+                "100",
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "FISSIONE" in captured.out
+
+    def test_run_command_unknown_raises(self):
+        with pytest.raises(ValueError):
+            run_command("nonsense", self.TINY)

@@ -1,0 +1,154 @@
+"""Integration tests for the experiment harness (quick configurations).
+
+Each test runs the real experiment code on a small configuration and checks
+the *shape* of the paper's result: who wins, what stays flat, what grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablation, analytics, figures_netsize, figures_rangesize
+from repro.experiments import fissione_props, mira, table1
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def config() -> ExperimentConfig:
+    return ExperimentConfig.quick()
+
+
+@pytest.fixture(scope="module")
+def rangesize_result(config):
+    return figures_rangesize.run(config)
+
+
+@pytest.fixture(scope="module")
+def netsize_result(config):
+    return figures_netsize.run(config.with_overrides(queries_per_point=20))
+
+
+class TestFigure5and6(object):
+    def test_pira_delay_flat_and_below_log_n(self, rangesize_result):
+        delays = [row.avg_delay for row in rangesize_result.pira_rows]
+        assert max(delays) - min(delays) < 2.5
+        assert all(delay <= rangesize_result.log_n for delay in delays)
+
+    def test_dcf_delay_grows_with_range_size(self, rangesize_result):
+        dcf = [row.avg_delay for row in rangesize_result.dcf_rows]
+        assert dcf[-1] > dcf[0]
+        assert dcf[-1] > rangesize_result.log_n
+
+    def test_pira_messages_track_destinations(self, rangesize_result):
+        for row in rangesize_result.pira_rows:
+            predicted = row.log_n + 2 * row.avg_destinations - 2
+            assert row.avg_messages == pytest.approx(predicted, rel=0.35)
+
+    def test_mesg_and_incre_ratio_near_two(self, rangesize_result):
+        ratios = rangesize_result.ratio_series()
+        # Skip the smallest range (Destpeers ~ 1 makes the ratios degenerate).
+        assert all(1.2 <= value <= 3.0 for value in ratios["MesgRatio"][1:])
+        assert all(value <= 2.6 for value in ratios["IncreRatio"][1:])
+
+    def test_formatting_and_csv(self, rangesize_result):
+        text = rangesize_result.format()
+        assert "Figure 5" in text and "Figure 6" in text
+        csvs = rangesize_result.to_csv()
+        assert set(csvs) == {"figure5", "figure6a", "figure6b"}
+        assert csvs["figure5"].splitlines()[0] == "range_size,PIRA,DCF-CAN,logN"
+
+
+class TestFigure7and8(object):
+    def test_pira_delay_below_log_n_at_every_size(self, netsize_result):
+        for row in netsize_result.pira_rows:
+            assert row.avg_delay <= row.log_n
+
+    def test_dcf_delay_grows_faster_than_pira(self, netsize_result):
+        pira = [row.avg_delay for row in netsize_result.pira_rows]
+        dcf = [row.avg_delay for row in netsize_result.dcf_rows]
+        assert dcf[-1] > pira[-1]
+        # DCF grows with N^(1/2); PIRA only logarithmically.
+        assert (dcf[-1] - dcf[0]) > (pira[-1] - pira[0])
+
+    def test_csv_emission(self, netsize_result):
+        csvs = netsize_result.to_csv()
+        assert set(csvs) == {"figure7", "figure8a", "figure8b"}
+        assert "network_size" in csvs["figure7"].splitlines()[0]
+
+
+class TestTable1(object):
+    @pytest.fixture(scope="class")
+    def table(self, config):
+        return table1.run(config.with_overrides(queries_per_point=25))
+
+    def test_contains_all_schemes(self, table):
+        names = {row.scheme for row in table.rows}
+        assert names == {"Squid", "Skip Graph", "SCRAP", "DCF-CAN", "PHT", "Armada (PIRA)"}
+
+    def test_only_armada_is_delay_bounded(self, table):
+        for row in table.rows:
+            assert row.delay_bounded == (row.scheme == "Armada (PIRA)")
+
+    def test_armada_has_smallest_measured_delay(self, table):
+        armada = table.row_for("Armada (PIRA)")
+        for row in table.rows:
+            if row.scheme != armada.scheme:
+                assert armada.measured.avg_delay <= row.measured.avg_delay
+
+    def test_armada_below_log_n_and_pht_above(self, table):
+        armada = table.row_for("Armada (PIRA)")
+        pht = table.row_for("PHT")
+        assert armada.measured.avg_delay <= armada.measured.log_n
+        assert pht.measured.avg_delay > pht.measured.log_n
+
+    def test_format_renders_table(self, table):
+        assert "Table 1" in table.format()
+
+
+class TestAnalyticsExperiment(object):
+    def test_all_claims_hold_on_quick_config(self, config):
+        result = analytics.run(config.with_overrides(queries_per_point=25))
+        assert result.points
+        assert result.all_delay_bounded()
+        # The "< logN" average-delay claim is asymptotic; at the very small
+        # quick-config sizes it can be off by a fraction of a hop, so assert
+        # it only for the larger networks of the sweep.
+        assert all(
+            point.average_below_log_n for point in result.points if point.network_size >= 400
+        )
+        assert result.worst_message_error() < 0.5
+        assert "4.3.2" in result.format()
+
+
+class TestFissionePropertiesExperiment(object):
+    def test_bounds_hold_across_sizes(self, config):
+        result = fissione_props.run(config, routing_samples=60)
+        assert result.all_within_bounds()
+        assert all(point.healthy for point in result.points)
+        assert "FISSIONE" in result.format()
+
+
+class TestMiraExperiment(object):
+    def test_mira_points_bounded_and_complete(self, config):
+        result = mira.run(
+            config.with_overrides(peers=150, objects=400, queries_per_point=20),
+            attribute_counts=(2,),
+            box_sizes=(50.0, 300.0),
+        )
+        assert result.points
+        assert result.all_delay_bounded()
+        assert result.all_complete()
+        assert "MIRA" in result.format()
+
+
+class TestAblationExperiment(object):
+    def test_pruning_saves_messages_without_losing_destinations(self, config):
+        result = ablation.run(config.with_overrides(peers=300), queries_per_point=6)
+        assert result.points
+        for point in result.points:
+            assert point.same_destinations
+            assert point.unpruned_messages > point.pira_messages
+        # For small ranges pruning must save a lot (the unpruned descent
+        # floods essentially the whole network).
+        assert result.points[0].message_savings > 3.0
+        assert "Ablation" in result.format()

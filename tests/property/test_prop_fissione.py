@@ -1,0 +1,58 @@
+"""Property-based tests for FISSIONE topology maintenance and routing."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.fissione.network import FissioneNetwork
+from repro.fissione.routing import route
+from repro.fissione.stabilize import check_topology
+from repro.kautz import strings as ks
+from repro.sim.rng import DeterministicRNG
+
+
+class TestTopologyProperties:
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=3, max_value=120), st.integers(min_value=0, max_value=1000))
+    def test_random_build_always_healthy(self, num_peers, seed):
+        network = FissioneNetwork.build(
+            num_peers, DeterministicRNG(seed).substream("topology"), object_id_length=20
+        )
+        report = check_topology(network)
+        assert report.healthy
+        assert report.within_paper_bounds()
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.lists(st.sampled_from(["join", "leave"]), min_size=1, max_size=40),
+    )
+    def test_arbitrary_churn_sequences_preserve_invariants(self, seed, operations):
+        rng = DeterministicRNG(seed)
+        network = FissioneNetwork.build(20, rng.substream("topology"), object_id_length=20)
+        for index, operation in enumerate(operations):
+            if operation == "join":
+                network.join(rng=rng.substream("join", index))
+            elif network.size > network.base + 1:
+                victim = network.random_peer(rng.substream("leave", index)).peer_id
+                network.leave(victim)
+        report = check_topology(network)
+        assert report.covers_namespace
+        assert report.prefix_free
+        assert report.neighborhood_violations == 0
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=300), st.integers(min_value=0, max_value=10 ** 6))
+    def test_routing_reaches_owner_with_bounded_hops(self, seed, key_seed):
+        network = FissioneNetwork.build(
+            60, DeterministicRNG(seed).substream("topology"), object_id_length=20
+        )
+        rng = DeterministicRNG(key_seed)
+        object_id = ks.unrank(
+            key_seed % ks.space_size(2, 20), 20, base=2
+        )
+        source = network.random_peer(rng).peer_id
+        path = route(network, source, object_id)
+        assert path.destination == network.owner_id(object_id)
+        assert path.hops <= len(source)

@@ -1,0 +1,125 @@
+"""Property-based tests for the Kautz string substrate."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kautz import strings as ks
+from repro.kautz.region import KautzRegion
+
+
+def kautz_strings(min_length=1, max_length=10, base=2):
+    """Strategy producing valid Kautz strings via their rank."""
+
+    @st.composite
+    def build(draw):
+        length = draw(st.integers(min_value=min_length, max_value=max_length))
+        index = draw(st.integers(min_value=0, max_value=ks.space_size(base, length) - 1))
+        return ks.unrank(index, length, base=base)
+
+    return build()
+
+
+def kautz_prefixes(max_length=8, base=2):
+    """Strategy producing valid Kautz prefixes (possibly empty)."""
+
+    @st.composite
+    def build(draw):
+        length = draw(st.integers(min_value=0, max_value=max_length))
+        if length == 0:
+            return ""
+        index = draw(st.integers(min_value=0, max_value=ks.space_size(base, length) - 1))
+        return ks.unrank(index, length, base=base)
+
+    return build()
+
+
+class TestStringProperties:
+    @given(kautz_strings())
+    def test_generated_strings_are_valid(self, value):
+        assert ks.is_kautz_string(value, base=2)
+
+    @given(kautz_strings(min_length=3, max_length=8))
+    def test_rank_unrank_roundtrip(self, value):
+        assert ks.unrank(ks.rank(value), len(value)) == value
+
+    @given(kautz_prefixes(max_length=6), st.integers(min_value=6, max_value=10))
+    def test_extensions_are_valid_and_ordered(self, prefix, length):
+        low = ks.min_extension(prefix, length)
+        high = ks.max_extension(prefix, length)
+        assert ks.is_kautz_string(low, base=2)
+        assert ks.is_kautz_string(high, base=2)
+        assert low.startswith(prefix) and high.startswith(prefix)
+        assert low <= high
+
+    @given(kautz_prefixes(max_length=5), st.integers(min_value=5, max_value=8))
+    def test_extension_bounds_are_tight(self, prefix, length):
+        """Every extension of the prefix lies between min and max extensions."""
+        low = ks.min_extension(prefix, length)
+        high = ks.max_extension(prefix, length)
+        for value in ks.kautz_strings_with_prefix(prefix, length)[:32]:
+            assert low <= value <= high
+
+    @given(kautz_strings(max_length=6), kautz_strings(max_length=6))
+    def test_splice_is_valid_and_has_both_parts(self, first, second):
+        spliced = ks.splice(first, second)
+        assert ks.is_kautz_string(spliced, base=2)
+        assert spliced.startswith(first) or first.startswith(spliced)
+        assert spliced.endswith(second)
+        assert len(spliced) <= len(first) + len(second)
+
+    @given(kautz_strings(min_length=4, max_length=8))
+    def test_successor_is_next_in_order(self, value):
+        nxt = ks.successor(value)
+        if nxt is not None:
+            assert nxt > value
+            assert ks.rank(nxt) == ks.rank(value) + 1
+
+
+class TestRegionProperties:
+    @given(
+        st.integers(min_value=5, max_value=7),
+        st.integers(min_value=0, max_value=10 ** 6),
+        st.integers(min_value=0, max_value=10 ** 6),
+    )
+    def test_region_size_matches_rank_difference(self, length, seed_a, seed_b):
+        size = ks.space_size(2, length)
+        first = ks.unrank(seed_a % size, length)
+        second = ks.unrank(seed_b % size, length)
+        low, high = min(first, second), max(first, second)
+        region = KautzRegion(low, high)
+        assert region.size == ks.rank(high) - ks.rank(low) + 1
+
+    @settings(max_examples=40)
+    @given(
+        st.integers(min_value=0, max_value=10 ** 6),
+        st.integers(min_value=0, max_value=10 ** 6),
+        kautz_prefixes(max_length=5),
+    )
+    def test_contains_prefix_agrees_with_enumeration(self, seed_a, seed_b, prefix):
+        length = 6
+        size = ks.space_size(2, length)
+        first = ks.unrank(seed_a % size, length)
+        second = ks.unrank(seed_b % size, length)
+        region = KautzRegion(min(first, second), max(first, second))
+        expected = any(member.startswith(prefix) for member in region)
+        assert region.contains_prefix(prefix) == expected
+
+    @given(
+        st.integers(min_value=0, max_value=10 ** 6),
+        st.integers(min_value=0, max_value=10 ** 6),
+    )
+    def test_split_by_first_symbol_partitions_region(self, seed_a, seed_b):
+        length = 6
+        size = ks.space_size(2, length)
+        first = ks.unrank(seed_a % size, length)
+        second = ks.unrank(seed_b % size, length)
+        region = KautzRegion(min(first, second), max(first, second))
+        parts = region.split_by_first_symbol()
+        union = []
+        for part in parts:
+            assert part.common_prefix() != "" or region.common_prefix() != ""
+            union.extend(part)
+        assert sorted(union) == sorted(region)
+        assert len(union) == len(set(union))

@@ -1,0 +1,88 @@
+"""Property-based tests for the Single_hash / Multiple_hash naming algorithms."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multiple_hash import MultiAttributeNamer
+from repro.core.single_hash import SingleAttributeNamer
+from repro.kautz import strings as ks
+
+NAMER = SingleAttributeNamer(low=0.0, high=1000.0, length=12)
+MULTI = MultiAttributeNamer(intervals=((0.0, 100.0), (0.0, 50.0)), length=12)
+
+values = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False, allow_infinity=False)
+coords = st.tuples(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False),
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestSingleHashProperties:
+    @given(values)
+    def test_names_are_valid_fixed_length_kautz_strings(self, value):
+        object_id = NAMER.name(value)
+        assert len(object_id) == 12
+        assert ks.is_kautz_string(object_id, base=2)
+
+    @given(values, values)
+    def test_order_preservation(self, first, second):
+        if first <= second:
+            assert NAMER.name(first) <= NAMER.name(second)
+        else:
+            assert NAMER.name(first) >= NAMER.name(second)
+
+    @given(values)
+    def test_inverse_interval_contains_value(self, value):
+        object_id = NAMER.name(value)
+        assert NAMER.value_interval(object_id).contains(value)
+
+    @given(values, values, values)
+    def test_values_inside_range_map_into_region(self, value, bound_a, bound_b):
+        low, high = min(bound_a, bound_b), max(bound_a, bound_b)
+        region = NAMER.region_for_range(low, high)
+        if low <= value <= high:
+            assert NAMER.name(value) in region
+
+    @settings(max_examples=60)
+    @given(values, values, values)
+    def test_values_outside_range_never_lost_by_region(self, value, bound_a, bound_b):
+        """Contrapositive of interval preservation: names outside the region
+        belong to values outside the range."""
+        low, high = min(bound_a, bound_b), max(bound_a, bound_b)
+        region = NAMER.region_for_range(low, high)
+        if NAMER.name(value) not in region:
+            assert not (low <= value <= high)
+
+
+class TestMultipleHashProperties:
+    @given(coords)
+    def test_names_are_valid_kautz_strings(self, point):
+        object_id = MULTI.name(point)
+        assert len(object_id) == 12
+        assert ks.is_kautz_string(object_id, base=2)
+
+    @given(coords, coords)
+    def test_partial_order_preservation(self, first, second):
+        if all(a <= b for a, b in zip(first, second)):
+            assert MULTI.name(first) <= MULTI.name(second)
+
+    @given(coords)
+    def test_box_of_every_prefix_contains_the_point(self, point):
+        object_id = MULTI.name(point)
+        for cut in range(0, len(object_id) + 1, 3):
+            assert MULTI.box_for_label(object_id[:cut]).contains(point)
+
+    @given(coords, coords, coords)
+    def test_matching_points_intersect_query_labels(self, point, corner_a, corner_b):
+        ranges = [
+            (min(corner_a[0], corner_b[0]), max(corner_a[0], corner_b[0])),
+            (min(corner_a[1], corner_b[1]), max(corner_a[1], corner_b[1])),
+        ]
+        if all(low <= value <= high for value, (low, high) in zip(point, ranges)):
+            object_id = MULTI.name(point)
+            # MIRA's pruning predicate must keep every prefix of a matching
+            # object's id alive.
+            for cut in (2, 5, 9, 12):
+                assert MULTI.label_intersects_query(object_id[:cut], ranges)

@@ -1,0 +1,88 @@
+"""Unit tests for aggregation, tables and figure emitters."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.figures import ascii_chart, series_to_csv
+from repro.analysis.stats import aggregate_measurements
+from repro.analysis.tables import format_table
+from repro.rangequery.base import QueryMeasurement
+
+
+class TestAggregation:
+    def test_averages_and_ratios(self):
+        measurements = [
+            QueryMeasurement(delay_hops=8, messages=30, destination_peers=10, matches=[1.0]),
+            QueryMeasurement(delay_hops=10, messages=50, destination_peers=20, matches=[]),
+        ]
+        row = aggregate_measurements("PIRA", 20.0, measurements, network_size=1024)
+        assert row.queries == 2
+        assert row.avg_delay == pytest.approx(9.0)
+        assert row.max_delay == 10
+        assert row.avg_messages == pytest.approx(40.0)
+        assert row.avg_destinations == pytest.approx(15.0)
+        assert row.log_n == pytest.approx(10.0)
+        assert row.mesg_ratio == pytest.approx(40.0 / 15.0)
+        assert row.incre_ratio == pytest.approx((40.0 - 10.0) / 14.0)
+        assert row.avg_matches == pytest.approx(0.5)
+
+    def test_empty_measurements(self):
+        row = aggregate_measurements("PIRA", 20.0, [], network_size=1024)
+        assert row.queries == 0
+        assert row.avg_delay == 0.0
+        assert row.mesg_ratio == 0.0
+
+    def test_single_destination_has_zero_incre_ratio(self):
+        measurements = [QueryMeasurement(delay_hops=5, messages=12, destination_peers=1)]
+        row = aggregate_measurements("PIRA", 2.0, measurements, network_size=256)
+        assert row.incre_ratio == 0.0
+
+    def test_as_dict_round_trip(self):
+        row = aggregate_measurements(
+            "DCF-CAN", 50.0, [QueryMeasurement(3, 9, 4)], network_size=100
+        )
+        payload = row.as_dict()
+        assert payload["scheme"] == "DCF-CAN"
+        assert payload["x"] == 50.0
+        assert payload["log_n"] == pytest.approx(math.log2(100))
+
+
+class TestTables:
+    def test_format_table_alignment_and_floats(self):
+        text = format_table(
+            ["name", "value"],
+            [["short", 1.234], ["a-much-longer-name", 20]],
+            title="Demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.23" in text
+        assert "a-much-longer-name" in text
+        # all data rows have the same width
+        assert len(lines[3]) == len(lines[4])
+
+    def test_format_table_booleans(self):
+        text = format_table(["flag"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+
+class TestFigures:
+    def test_series_to_csv_shape(self):
+        csv_text = series_to_csv("x", [1.0, 2.0], {"a": [10.0, 20.0], "b": [1.0, 2.0]})
+        lines = csv_text.splitlines()
+        assert lines[0] == "x,a,b"
+        assert lines[1].startswith("1,10.0000,1.0000")
+        assert len(lines) == 3
+
+    def test_ascii_chart_contains_series_markers_and_legend(self):
+        chart = ascii_chart([1.0, 2.0, 3.0], {"PIRA": [1, 2, 3], "DCF": [3, 2, 1]}, title="demo")
+        assert "demo" in chart
+        assert "*" in chart and "o" in chart
+        assert "PIRA" in chart and "DCF" in chart
+
+    def test_ascii_chart_empty_series(self):
+        assert ascii_chart([], {}, title="empty") == "empty"

@@ -1,0 +1,117 @@
+"""Unit tests for the high-level ArmadaSystem API."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.armada import ArmadaSystem
+from repro.core.errors import QueryError
+
+
+class TestConstruction:
+    def test_builds_requested_number_of_peers(self):
+        system = ArmadaSystem(num_peers=48, seed=1)
+        assert system.size == 48
+        assert system.log_size() == pytest.approx(math.log2(48))
+
+    def test_same_seed_same_topology(self):
+        first = ArmadaSystem(num_peers=40, seed=9)
+        second = ArmadaSystem(num_peers=40, seed=9)
+        assert first.network.peer_ids() == second.network.peer_ids()
+
+    def test_different_seed_different_topology(self):
+        first = ArmadaSystem(num_peers=40, seed=9)
+        second = ArmadaSystem(num_peers=40, seed=10)
+        assert first.network.peer_ids() != second.network.peer_ids()
+
+    def test_topology_report_is_healthy(self):
+        assert ArmadaSystem(num_peers=60, seed=2).topology_report().healthy
+
+    def test_stats_keys(self):
+        stats = ArmadaSystem(num_peers=32, seed=3).stats()
+        assert set(stats) >= {
+            "peers",
+            "objects",
+            "log2_peers",
+            "average_out_degree",
+            "average_id_length",
+            "max_id_length",
+            "healthy",
+        }
+
+    def test_repr_mentions_sizes(self):
+        system = ArmadaSystem(num_peers=16, seed=1)
+        assert "peers=16" in repr(system)
+
+
+class TestInsertAndQuery:
+    def test_insert_returns_object_id_owned_by_some_peer(self):
+        system = ArmadaSystem(num_peers=32, seed=5)
+        object_id = system.insert(123.0, payload="x")
+        owner = system.network.owner_id(object_id)
+        assert object_id.startswith(owner)
+        assert system.network.total_objects() == 1
+
+    def test_insert_many_counts(self):
+        system = ArmadaSystem(num_peers=32, seed=5)
+        ids = system.insert_many([1.0, 2.0, 3.0])
+        assert len(ids) == 3
+        assert system.network.total_objects() == 3
+
+    def test_range_query_default_origin(self):
+        system = ArmadaSystem(num_peers=32, seed=5)
+        system.insert_many([10.0, 20.0, 30.0])
+        result = system.range_query(15.0, 30.0)
+        assert sorted(result.matching_values()) == [20.0, 30.0]
+
+    def test_range_query_invalid_bounds(self):
+        system = ArmadaSystem(num_peers=32, seed=5)
+        with pytest.raises(QueryError):
+            system.range_query(5.0, 1.0)
+
+    def test_exact_query_finds_only_exact_value(self):
+        system = ArmadaSystem(num_peers=32, seed=6)
+        system.insert(77.0, payload="target")
+        system.insert(77.5, payload="near-miss")
+        outcome = system.exact_query(77.0)
+        assert [stored.value for stored in outcome.objects] == ["target"]
+        assert outcome.delay_hops <= 2 * system.log_size() + 1
+
+    def test_exact_query_route_starts_at_origin(self):
+        system = ArmadaSystem(num_peers=32, seed=6)
+        origin = system.network.peer_ids()[0]
+        outcome = system.exact_query(10.0, origin=origin)
+        assert outcome.route_path.peers[0] == origin
+
+    def test_random_peer_id_is_member(self):
+        system = ArmadaSystem(num_peers=32, seed=6)
+        for _ in range(5):
+            assert system.network.has_peer(system.random_peer_id())
+
+
+class TestChurnApi:
+    def test_add_peers_grows_network_and_queries_stay_exact(self):
+        system = ArmadaSystem(num_peers=40, seed=8)
+        values = [float(v) for v in range(0, 100, 5)]
+        system.insert_many(values)
+        system.add_peers(15)
+        assert system.size == 55
+        result = system.range_query(20.0, 60.0)
+        assert sorted(result.matching_values()) == [v for v in values if 20.0 <= v <= 60.0]
+
+    def test_remove_peers_shrinks_network_and_queries_stay_exact(self):
+        system = ArmadaSystem(num_peers=40, seed=8)
+        values = [float(v) for v in range(0, 100, 5)]
+        system.insert_many(values)
+        system.remove_peers(10)
+        assert system.size == 30
+        result = system.range_query(20.0, 60.0)
+        assert sorted(result.matching_values()) == [v for v in values if 20.0 <= v <= 60.0]
+        assert system.topology_report().healthy
+
+    def test_remove_peers_stops_at_minimum(self):
+        system = ArmadaSystem(num_peers=5, seed=8)
+        system.remove_peers(10)
+        assert system.size == 3

@@ -1,0 +1,124 @@
+"""Unit tests for the CAN substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dhts.can import CanNetwork, CanZone
+from repro.sim.rng import DeterministicRNG
+
+
+@pytest.fixture(scope="module")
+def can() -> CanNetwork:
+    return CanNetwork(150, DeterministicRNG(19).substream("can"), dimensions=2)
+
+
+class TestZoneGeometry:
+    def test_contains_half_open(self):
+        zone = CanZone(zone_id=0, lows=(0.0, 0.0), highs=(0.5, 0.5))
+        assert zone.contains((0.0, 0.0))
+        assert zone.contains((0.49, 0.49))
+        assert not zone.contains((0.5, 0.2))
+
+    def test_contains_closed_at_global_boundary(self):
+        zone = CanZone(zone_id=0, lows=(0.5, 0.5), highs=(1.0, 1.0))
+        assert zone.contains((1.0, 1.0))
+
+    def test_center(self):
+        zone = CanZone(zone_id=0, lows=(0.0, 0.5), highs=(0.5, 1.0))
+        assert zone.center() == (0.25, 0.75)
+
+    def test_touches_requires_shared_face(self):
+        left = CanZone(zone_id=0, lows=(0.0, 0.0), highs=(0.5, 1.0))
+        right = CanZone(zone_id=1, lows=(0.5, 0.0), highs=(1.0, 1.0))
+        assert left.touches(right)
+
+    def test_corner_contact_is_not_touching(self):
+        first = CanZone(zone_id=0, lows=(0.0, 0.0), highs=(0.5, 0.5))
+        second = CanZone(zone_id=1, lows=(0.5, 0.5), highs=(1.0, 1.0))
+        assert not first.touches(second)
+
+    def test_disjoint_zones_do_not_touch(self):
+        first = CanZone(zone_id=0, lows=(0.0, 0.0), highs=(0.25, 0.25))
+        second = CanZone(zone_id=1, lows=(0.5, 0.5), highs=(1.0, 1.0))
+        assert not first.touches(second)
+
+
+class TestConstruction:
+    def test_zone_count_matches_nodes(self, can):
+        assert can.size == 150
+        assert len(can.zones()) == 150
+
+    def test_zones_partition_unit_square(self, can):
+        total_area = sum(
+            (zone.highs[0] - zone.lows[0]) * (zone.highs[1] - zone.lows[1]) for zone in can.zones()
+        )
+        assert total_area == pytest.approx(1.0)
+
+    def test_every_point_has_exactly_one_zone(self, can):
+        rng = DeterministicRNG(20)
+        for _ in range(100):
+            point = (rng.random(), rng.random())
+            owners = [zone for zone in can.zones() if zone.contains(point)]
+            assert len(owners) == 1
+            assert can.zone_at(point).zone_id == owners[0].zone_id
+
+    def test_neighbors_are_symmetric_and_touch(self, can):
+        for zone in can.zones():
+            for neighbor_id in zone.neighbors:
+                neighbor = can.zone(neighbor_id)
+                assert zone.zone_id in neighbor.neighbors
+                assert zone.touches(neighbor)
+
+    def test_neighbor_lists_are_complete(self, can):
+        zones = can.zones()
+        for zone in zones[:40]:
+            for other in zones:
+                if other.zone_id == zone.zone_id:
+                    continue
+                if zone.touches(other):
+                    assert other.zone_id in zone.neighbors
+
+    def test_average_degree_near_2d(self, can):
+        assert 3.0 <= can.average_degree() <= 7.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CanNetwork(0, DeterministicRNG(1))
+        with pytest.raises(ValueError):
+            CanNetwork(4, DeterministicRNG(1), dimensions=0)
+
+
+class TestRouting:
+    def test_route_reaches_zone_owning_point(self, can):
+        rng = DeterministicRNG(21)
+        for _ in range(50):
+            source = can.random_node(rng)
+            point = can.random_key(rng)
+            result = can.route(source, point)
+            assert result.owner == can.zone_at(point).zone_id
+            assert result.path[-1] == result.owner
+
+    def test_route_from_owner_is_zero_hops(self, can):
+        rng = DeterministicRNG(22)
+        point = can.random_key(rng)
+        owner = can.zone_at(point).zone_id
+        assert can.route(owner, point).hops == 0
+
+    def test_route_path_follows_neighbor_links(self, can):
+        rng = DeterministicRNG(23)
+        point = can.random_key(rng)
+        result = can.route(can.random_node(rng), point)
+        for current, nxt in zip(result.path, result.path[1:]):
+            assert nxt in can.zone(current).neighbors
+
+    def test_route_hops_scale_like_sqrt_n(self, can):
+        rng = DeterministicRNG(24)
+        hops = [can.route(can.random_node(rng), can.random_key(rng)).hops for _ in range(80)]
+        average = sum(hops) / len(hops)
+        assert average <= 3.0 * (can.size ** 0.5)
+
+    def test_one_dimensional_can(self):
+        can1d = CanNetwork(20, DeterministicRNG(25), dimensions=1)
+        result = can1d.route(can1d.random_node(DeterministicRNG(26)), (0.73,))
+        assert result.owner == can1d.zone_at((0.73,)).zone_id

@@ -1,0 +1,120 @@
+"""Unit tests for the Chord substrate."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dhts.chord import ChordNetwork, chord_hash
+from repro.sim.rng import DeterministicRNG
+
+
+@pytest.fixture(scope="module")
+def chord() -> ChordNetwork:
+    return ChordNetwork(200, DeterministicRNG(13).substream("chord"))
+
+
+class TestConstruction:
+    def test_requested_size(self, chord):
+        assert chord.size == 200
+        assert len(chord.node_ids()) == 200
+
+    def test_node_ids_unique_and_sorted(self, chord):
+        ids = chord.node_ids()
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_too_small_network_rejected(self):
+        with pytest.raises(ValueError):
+            ChordNetwork(1, DeterministicRNG(1))
+
+    def test_successor_predecessor_ring(self, chord):
+        ids = chord.node_ids()
+        for index, node_id in enumerate(ids):
+            node = chord.node(node_id)
+            assert node.successor == ids[(index + 1) % len(ids)]
+            assert node.predecessor == ids[(index - 1) % len(ids)]
+
+    def test_finger_table_size_and_targets(self, chord):
+        node_id = chord.node_ids()[0]
+        node = chord.node(node_id)
+        assert len(node.fingers) == chord.bits
+        for i, finger in enumerate(node.fingers):
+            assert finger == chord.successor_of((node_id + (1 << i)) % chord.space)
+
+
+class TestHashing:
+    def test_chord_hash_deterministic_and_in_range(self):
+        assert chord_hash("alice") == chord_hash("alice")
+        assert chord_hash("alice") != chord_hash("bob")
+        assert 0 <= chord_hash("alice", bits=16) < (1 << 16)
+
+
+class TestOwnership:
+    def test_owner_is_successor(self, chord):
+        ids = chord.node_ids()
+        key = (ids[10] + ids[11]) // 2
+        if key != ids[10]:
+            assert chord.owner(key) == ids[11]
+
+    def test_owner_of_node_id_is_node(self, chord):
+        for node_id in chord.node_ids()[:10]:
+            assert chord.owner(node_id) == node_id
+
+    def test_owner_wraps_around(self, chord):
+        beyond_last = chord.node_ids()[-1] + 1
+        if beyond_last < chord.space:
+            assert chord.owner(beyond_last) == chord.node_ids()[0]
+
+
+class TestRouting:
+    def test_route_reaches_owner(self, chord):
+        rng = DeterministicRNG(14)
+        for _ in range(50):
+            source = chord.random_node(rng)
+            key = chord.random_key(rng)
+            result = chord.route(source, key)
+            assert result.owner == chord.owner(key)
+            assert result.path[0] == source
+            assert result.path[-1] == result.owner
+
+    def test_route_to_own_key_is_zero_hops(self, chord):
+        node_id = chord.node_ids()[5]
+        assert chord.route(node_id, node_id).hops == 0
+
+    def test_route_hops_are_logarithmic(self, chord):
+        rng = DeterministicRNG(15)
+        hops = [chord.route(chord.random_node(rng), chord.random_key(rng)).hops for _ in range(100)]
+        average = sum(hops) / len(hops)
+        assert average <= 2 * math.log2(chord.size)
+        assert max(hops) <= 4 * math.log2(chord.size)
+
+    def test_average_route_hops_helper(self, chord):
+        average = chord.average_route_hops(DeterministicRNG(16), samples=50)
+        assert 0 < average <= 2 * math.log2(chord.size)
+
+
+class TestStorageAndScans:
+    def test_put_get_roundtrip(self):
+        chord = ChordNetwork(50, DeterministicRNG(17))
+        key = chord_hash("object-1")
+        owner = chord.put(key, "payload")
+        assert owner == chord.owner(key)
+        assert chord.get(key) == ["payload"]
+
+    def test_nodes_covering_range_walks_successors(self, chord):
+        ids = chord.node_ids()
+        low_key, high_key = ids[20] + 1, ids[25]
+        covering = chord.nodes_covering_range(low_key, high_key)
+        assert covering[0] == chord.owner(low_key)
+        assert covering[-1] == chord.owner(high_key)
+        assert covering == ids[21:26]
+
+    def test_nodes_covering_range_validates_order(self, chord):
+        with pytest.raises(ValueError):
+            chord.nodes_covering_range(10, 5)
+
+    def test_nodes_covering_single_key(self, chord):
+        key = chord.node_ids()[7]
+        assert chord.nodes_covering_range(key, key) == [key]

@@ -1,0 +1,53 @@
+"""Unit tests for the Kautz_hash naming algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fissione.naming import kautz_hash
+from repro.kautz import strings as ks
+
+
+class TestKautzHash:
+    def test_produces_valid_kautz_string(self):
+        for name in ("alice", "bob", "file.txt", ""):
+            object_id = kautz_hash(name, length=32)
+            assert len(object_id) == 32
+            assert ks.is_kautz_string(object_id, base=2)
+
+    def test_deterministic(self):
+        assert kautz_hash("alice", length=40) == kautz_hash("alice", length=40)
+
+    def test_different_names_differ(self):
+        assert kautz_hash("alice", length=40) != kautz_hash("bob", length=40)
+
+    def test_long_ids_supported(self):
+        object_id = kautz_hash("alice", length=100)
+        assert len(object_id) == 100
+        assert ks.is_kautz_string(object_id, base=2)
+
+    def test_prefix_not_shared_by_construction(self):
+        # Hashing is not order-preserving: consecutive names should not
+        # systematically share long prefixes.
+        ids = [kautz_hash(f"object-{index}", length=32) for index in range(20)]
+        long_shared = sum(
+            1
+            for first, second in zip(ids, ids[1:])
+            if ks.common_prefix(first, second) and len(ks.common_prefix(first, second)) > 10
+        )
+        assert long_shared == 0
+
+    def test_distribution_over_first_symbol(self):
+        counts = {"0": 0, "1": 0, "2": 0}
+        for index in range(600):
+            counts[kautz_hash(f"name-{index}", length=16)[0]] += 1
+        for symbol, count in counts.items():
+            assert count > 120, f"symbol {symbol} badly under-represented: {count}"
+
+    def test_invalid_length_raises(self):
+        with pytest.raises(ks.KautzStringError):
+            kautz_hash("alice", length=0)
+
+    def test_base3_supported(self):
+        object_id = kautz_hash("alice", length=20, base=3)
+        assert ks.is_kautz_string(object_id, base=3)

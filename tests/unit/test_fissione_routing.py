@@ -1,0 +1,108 @@
+"""Unit tests for FISSIONE exact-match routing."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.fissione.network import FissioneError, FissioneNetwork
+from repro.fissione.routing import RoutePath, average_route_hops, route
+from repro.kautz import strings as ks
+from repro.sim.rng import DeterministicRNG
+
+
+def build(num_peers: int, seed: int = 1, object_id_length: int = 24) -> FissioneNetwork:
+    return FissioneNetwork.build(
+        num_peers, DeterministicRNG(seed).substream("topology"), object_id_length=object_id_length
+    )
+
+
+def random_object_id(network: FissioneNetwork, rng: DeterministicRNG) -> str:
+    index = rng.randint(0, ks.space_size(network.base, network.object_id_length) - 1)
+    return ks.unrank(index, network.object_id_length, base=network.base)
+
+
+class TestRouteCorrectness:
+    def test_route_ends_at_owner(self):
+        network = build(60)
+        rng = DeterministicRNG(2)
+        for _ in range(50):
+            source = network.random_peer(rng).peer_id
+            object_id = random_object_id(network, rng)
+            path = route(network, source, object_id)
+            assert path.destination == network.owner_id(object_id)
+
+    def test_route_from_owner_is_zero_hops(self):
+        network = build(40)
+        rng = DeterministicRNG(3)
+        object_id = random_object_id(network, rng)
+        owner = network.owner_id(object_id)
+        path = route(network, owner, object_id)
+        assert path.hops == 0
+        assert path.peers == [owner]
+
+    def test_route_path_follows_out_neighbor_edges(self):
+        network = build(80)
+        rng = DeterministicRNG(4)
+        for _ in range(20):
+            source = network.random_peer(rng).peer_id
+            object_id = random_object_id(network, rng)
+            path = route(network, source, object_id)
+            for current, nxt in zip(path.peers, path.peers[1:]):
+                assert nxt in network.out_neighbors(current), (
+                    f"{nxt} is not an out-neighbour of {current}"
+                )
+
+    def test_unknown_source_raises(self):
+        network = build(10)
+        with pytest.raises(FissioneError):
+            route(network, "00000", ks.min_extension("0", network.object_id_length))
+
+    def test_short_object_id_raises(self):
+        network = build(10)
+        with pytest.raises(FissioneError):
+            route(network, network.peer_ids()[0], "010")
+
+
+class TestRouteBounds:
+    def test_hops_bounded_by_source_id_length(self):
+        network = build(150)
+        rng = DeterministicRNG(5)
+        for _ in range(100):
+            source = network.random_peer(rng).peer_id
+            object_id = random_object_id(network, rng)
+            path = route(network, source, object_id)
+            assert path.hops <= len(source)
+
+    def test_max_hops_below_twice_log_n(self):
+        network = build(200)
+        rng = DeterministicRNG(6)
+        bound = 2 * math.log2(network.size) + 1
+        for _ in range(100):
+            source = network.random_peer(rng).peer_id
+            object_id = random_object_id(network, rng)
+            assert route(network, source, object_id).hops <= bound
+
+    def test_average_hops_below_log_n(self):
+        network = build(300)
+        average = average_route_hops(network, DeterministicRNG(7), samples=150)
+        assert average < math.log2(network.size) + 0.5
+
+    def test_average_route_hops_requires_positive_samples(self):
+        network = build(10)
+        with pytest.raises(ValueError):
+            average_route_hops(network, DeterministicRNG(1), samples=0)
+
+
+class TestRoutePathObject:
+    def test_repr_and_properties(self):
+        path = RoutePath(source="01", object_id="0" + "10" * 12, peers=["01", "10", "012"])
+        assert path.hops == 2
+        assert path.destination == "012"
+        assert "hops=2" in repr(path)
+
+    def test_empty_path_defaults_to_source(self):
+        path = RoutePath(source="01", object_id="0101", peers=[])
+        assert path.destination == "01"
+        assert path.hops == 0

@@ -1,0 +1,117 @@
+"""Unit tests for MIRA multi-attribute range-query processing."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.armada import ArmadaSystem
+from repro.core.errors import ArmadaError, QueryError
+from repro.sim.rng import DeterministicRNG
+
+
+def expected_matches(records, ranges):
+    return sorted(
+        record
+        for record in records
+        if all(low <= value <= high for value, (low, high) in zip(record, ranges))
+    )
+
+
+class TestMiraExactness:
+    def test_returns_exactly_matching_records(self, multi_system):
+        records = multi_system.multi_records
+        for ranges in (
+            [(10.0, 30.0), (40.0, 70.0)],
+            [(0.0, 100.0), (0.0, 100.0)],
+            [(95.0, 100.0), (0.0, 5.0)],
+            [(50.0, 50.5), (50.0, 50.5)],
+        ):
+            result = multi_system.multi_range_query(ranges)
+            got = sorted(tuple(stored.key) for stored in result.matches)
+            assert got == expected_matches(records, ranges)
+
+    def test_destinations_superset_of_match_owners(self, multi_system):
+        ranges = [(20.0, 40.0), (20.0, 40.0)]
+        result = multi_system.multi_range_query(ranges)
+        owners = {
+            multi_system.network.owner_id(multi_system.multi_namer.name(stored.key))
+            for stored in result.matches
+        }
+        assert owners <= set(result.destinations)
+
+    def test_destinations_match_oracle(self, multi_system):
+        ranges = [(10.0, 35.0), (60.0, 90.0)]
+        result = multi_system.multi_range_query(ranges)
+        oracle = multi_system.mira.ground_truth_destinations(ranges)
+        assert set(result.destinations) == oracle
+
+
+class TestMiraBounds:
+    def test_delay_bounded_by_origin_id_length(self, multi_system):
+        rng = DeterministicRNG(55)
+        for _ in range(25):
+            origin = multi_system.network.random_peer(rng).peer_id
+            low0 = rng.uniform(0.0, 60.0)
+            low1 = rng.uniform(0.0, 60.0)
+            result = multi_system.multi_range_query(
+                [(low0, low0 + 40.0), (low1, low1 + 40.0)], origin=origin
+            )
+            assert result.delay_hops <= len(origin)
+
+    def test_delay_bounded_by_two_log_n_even_for_huge_boxes(self, multi_system):
+        bound = 2 * math.log2(multi_system.size) + 1
+        result = multi_system.multi_range_query([(0.0, 100.0), (0.0, 100.0)])
+        assert result.delay_hops <= bound
+
+    def test_average_delay_below_log_n(self, multi_system):
+        rng = DeterministicRNG(56)
+        delays = []
+        for _ in range(30):
+            low0 = rng.uniform(0.0, 80.0)
+            low1 = rng.uniform(0.0, 80.0)
+            delays.append(
+                multi_system.multi_range_query(
+                    [(low0, low0 + 20.0), (low1, low1 + 20.0)]
+                ).delay_hops
+            )
+        assert sum(delays) / len(delays) < math.log2(multi_system.size)
+
+
+class TestMiraValidation:
+    def test_unknown_origin_raises(self, multi_system):
+        with pytest.raises(QueryError):
+            multi_system.mira.execute("0000", [(0.0, 1.0), (0.0, 1.0)])
+
+    def test_wrong_dimension_count_raises(self, multi_system):
+        with pytest.raises(QueryError):
+            multi_system.multi_range_query([(0.0, 1.0)])
+
+    def test_inverted_range_raises(self, multi_system):
+        with pytest.raises(QueryError):
+            multi_system.multi_range_query([(10.0, 5.0), (0.0, 1.0)])
+
+    def test_system_without_multi_config_raises(self):
+        system = ArmadaSystem(num_peers=16, seed=1)
+        with pytest.raises(ArmadaError):
+            system.multi_range_query([(0.0, 1.0)])
+        with pytest.raises(ArmadaError):
+            system.insert_multi((1.0, 2.0))
+
+    def test_forwarding_steps_follow_edges(self, multi_system):
+        result = multi_system.multi_range_query([(30.0, 50.0), (30.0, 50.0)])
+        for sender, receiver, _hop in result.forwarding_steps:
+            assert receiver in multi_system.network.out_neighbors(sender)
+
+    def test_single_attribute_objects_ignored_by_multi_query(self):
+        system = ArmadaSystem(
+            num_peers=32,
+            seed=7,
+            attribute_interval=(0.0, 100.0),
+            attribute_intervals=((0.0, 100.0), (0.0, 100.0)),
+        )
+        system.insert(50.0, payload="single")
+        system.insert_multi((50.0, 50.0), payload="multi")
+        result = system.multi_range_query([(0.0, 100.0), (0.0, 100.0)])
+        assert [stored.value for stored in result.matches] == ["multi"]

@@ -1,0 +1,82 @@
+"""Unit tests for the DCF-CAN baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rangequery.base import AttributeSpace
+from repro.rangequery.dcf_can import DcfCanScheme
+from repro.sim.rng import DeterministicRNG
+from repro.workloads.values import uniform_values
+
+
+@pytest.fixture(scope="module")
+def dcf() -> DcfCanScheme:
+    scheme = DcfCanScheme(space=AttributeSpace(0.0, 1000.0))
+    scheme.build(300, seed=41)
+    values = uniform_values(DeterministicRNG(41).substream("values"), 1200, 0.0, 1000.0)
+    scheme.load(values)
+    scheme.loaded_values = values  # type: ignore[attr-defined]
+    return scheme
+
+
+class TestMapping:
+    def test_value_to_point_is_deterministic_and_in_unit_square(self, dcf):
+        for value in (0.0, 123.0, 999.9):
+            point = dcf._value_to_point(value)
+            assert dcf._value_to_point(value) == point
+            assert all(0.0 <= coordinate <= 1.0 for coordinate in point)
+
+    def test_zone_ranges_partition_the_curve(self, dcf):
+        total = 0
+        for zone in dcf.can.zones():
+            for start, end in dcf._zone_curve_ranges(zone):
+                assert 0 <= start <= end < dcf._curve_length
+                total += end - start + 1
+        assert total == dcf._curve_length
+
+    def test_value_owner_consistency(self, dcf):
+        # The zone found geometrically must own the value's curve index.
+        rng = DeterministicRNG(42)
+        for _ in range(40):
+            value = rng.uniform(0.0, 1000.0)
+            zone = dcf._zone_for_value(value)
+            index = dcf._value_to_index(value)
+            assert dcf._ranges_intersect(dcf._zone_curve_ranges(zone), index, index)
+
+
+class TestQueries:
+    def test_results_are_exact(self, dcf):
+        rng = DeterministicRNG(43)
+        for _ in range(10):
+            low = rng.uniform(0.0, 900.0)
+            high = low + rng.uniform(1.0, 80.0)
+            measurement = dcf.query(low, high)
+            expected = sorted(v for v in dcf.loaded_values if low <= v <= high)
+            assert sorted(measurement.matches) == expected
+
+    def test_destinations_match_oracle(self, dcf):
+        measurement = dcf.query(100.0, 180.0)
+        assert measurement.destination_peers == len(dcf.ground_truth_destinations(100.0, 180.0))
+
+    def test_delay_grows_with_range_size(self, dcf):
+        rng = DeterministicRNG(44)
+        small = [dcf.query(low, low + 5.0).delay_hops for low in (rng.uniform(0, 900) for _ in range(12))]
+        large = [dcf.query(low, low + 400.0).delay_hops for low in (rng.uniform(0, 500) for _ in range(12))]
+        assert sum(large) / len(large) > sum(small) / len(small)
+
+    def test_messages_at_least_destinations(self, dcf):
+        measurement = dcf.query(200.0, 300.0)
+        assert measurement.messages >= measurement.destination_peers - 1
+
+    def test_invalid_range_raises(self, dcf):
+        with pytest.raises(ValueError):
+            dcf.query(10.0, 5.0)
+
+    def test_query_before_build_raises(self):
+        with pytest.raises(RuntimeError):
+            DcfCanScheme().query(0.0, 1.0)
+
+    def test_not_delay_bounded_flag(self, dcf):
+        assert dcf.delay_bounded is False
+        assert dcf.describe()["multi_attribute"] is False

@@ -1,0 +1,83 @@
+"""Unit tests for the PHT baseline (over Chord and over FISSIONE)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.rangequery.base import AttributeSpace
+from repro.rangequery.pht import PhtScheme, _common_prefix, _lineage_probe_labels, _prefix_intersects_keys
+from repro.sim.rng import DeterministicRNG
+from repro.workloads.values import uniform_values
+
+
+@pytest.fixture(scope="module", params=["chord", "fissione"])
+def pht(request) -> PhtScheme:
+    scheme = PhtScheme(space=AttributeSpace(0.0, 1000.0), substrate=request.param)
+    scheme.build(200, seed=51)
+    values = uniform_values(DeterministicRNG(51).substream("values"), 800, 0.0, 1000.0)
+    scheme.load(values)
+    scheme.loaded_values = values  # type: ignore[attr-defined]
+    return scheme
+
+
+class TestHelpers:
+    def test_common_prefix(self):
+        assert _common_prefix("00110", "00101") == "001"
+        assert _common_prefix("1", "0") == ""
+
+    def test_prefix_intersects_keys(self):
+        assert _prefix_intersects_keys("01", "0100", "0111")
+        assert _prefix_intersects_keys("01", "0000", "1111")
+        assert not _prefix_intersects_keys("11", "0000", "0111")
+
+    def test_lineage_probe_labels_are_prefixes(self):
+        labels = _lineage_probe_labels("010101", "0101")
+        assert all("010101".startswith(label) for label in labels)
+
+
+class TestTrieMaintenance:
+    def test_leaves_split_at_capacity(self):
+        scheme = PhtScheme(space=AttributeSpace(0.0, 10.0), substrate="chord", leaf_capacity=2)
+        scheme.build(20, seed=52)
+        scheme.load([1.0, 2.0, 3.0, 4.0, 5.0])
+        leaves = [node for node in scheme._trie.values() if node.is_leaf]
+        assert all(len(leaf.values) <= 2 for leaf in leaves)
+        assert len(scheme._trie) > 1
+
+    def test_all_values_stored_exactly_once(self):
+        scheme = PhtScheme(space=AttributeSpace(0.0, 10.0), substrate="chord", leaf_capacity=4)
+        scheme.build(20, seed=53)
+        values = [float(v) / 10 for v in range(95)]
+        scheme.load(values)
+        stored = [value for node in scheme._trie.values() if node.is_leaf for value in node.values]
+        assert sorted(stored) == sorted(values)
+
+
+class TestQueries:
+    def test_results_are_exact(self, pht):
+        rng = DeterministicRNG(54)
+        for _ in range(8):
+            low = rng.uniform(0.0, 900.0)
+            high = low + rng.uniform(1.0, 100.0)
+            measurement = pht.query(low, high)
+            expected = sorted(v for v in pht.loaded_values if low <= v <= high)
+            assert sorted(measurement.matches) == expected
+
+    def test_delay_is_multiple_of_log_n(self, pht):
+        # PHT pays one DHT routing per trie step: delay clearly above logN.
+        rng = DeterministicRNG(55)
+        delays = []
+        for _ in range(10):
+            low = rng.uniform(0.0, 900.0)
+            delays.append(pht.query(low, low + 50.0).delay_hops)
+        assert sum(delays) / len(delays) > math.log2(pht.size)
+
+    def test_query_before_build_raises(self):
+        with pytest.raises(RuntimeError):
+            PhtScheme().query(0.0, 1.0)
+
+    def test_invalid_substrate_rejected(self):
+        with pytest.raises(ValueError):
+            PhtScheme(substrate="pastry")

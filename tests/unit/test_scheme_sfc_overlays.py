@@ -1,0 +1,126 @@
+"""Unit tests for the Squid, SCRAP and native Skip Graph baselines."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.rangequery.base import AttributeSpace
+from repro.rangequery.scrap import ScrapScheme
+from repro.rangequery.skipgraph_scheme import SkipGraphScheme
+from repro.rangequery.squid import SquidScheme
+from repro.sim.rng import DeterministicRNG
+from repro.workloads.values import uniform_values
+
+SPACE = AttributeSpace(0.0, 1000.0)
+VALUES = uniform_values(DeterministicRNG(61).substream("values"), 900, 0.0, 1000.0)
+
+
+def build(scheme):
+    scheme.build(250, seed=61)
+    scheme.load(VALUES)
+    return scheme
+
+
+@pytest.fixture(scope="module")
+def squid():
+    return build(SquidScheme(space=SPACE))
+
+
+@pytest.fixture(scope="module")
+def scrap():
+    return build(ScrapScheme(space=SPACE))
+
+
+@pytest.fixture(scope="module")
+def skip_scheme():
+    return build(SkipGraphScheme(space=SPACE))
+
+
+class TestExactness:
+    @pytest.mark.parametrize("fixture_name", ["squid", "scrap", "skip_scheme"])
+    def test_single_attribute_queries_are_exact(self, fixture_name, request):
+        scheme = request.getfixturevalue(fixture_name)
+        rng = DeterministicRNG(62)
+        for _ in range(8):
+            low = rng.uniform(0.0, 900.0)
+            high = low + rng.uniform(1.0, 90.0)
+            measurement = scheme.query(low, high)
+            expected = sorted(v for v in VALUES if low <= v <= high)
+            assert sorted(measurement.matches) == expected
+
+
+class TestDelayShapes:
+    def test_skipgraph_delay_grows_with_range(self, skip_scheme):
+        rng = DeterministicRNG(63)
+        small = [skip_scheme.query(low, low + 5.0).delay_hops for low in (rng.uniform(0, 900) for _ in range(10))]
+        large = [skip_scheme.query(low, low + 400.0).delay_hops for low in (rng.uniform(0, 500) for _ in range(10))]
+        assert sum(large) > sum(small)
+
+    def test_scrap_delay_is_log_n_plus_walk(self, scrap):
+        measurement = scrap.query(100.0, 300.0)
+        assert measurement.delay_hops >= measurement.destination_peers - 1
+        assert measurement.delay_hops <= 6 * math.log2(scrap.size) + measurement.destination_peers
+
+    def test_squid_delay_exceeds_log_n(self, squid):
+        rng = DeterministicRNG(64)
+        delays = [squid.query(low, low + 50.0).delay_hops for low in (rng.uniform(0, 900) for _ in range(8))]
+        assert sum(delays) / len(delays) > math.log2(squid.size)
+
+    def test_none_of_the_baselines_claim_delay_bounded(self, squid, scrap, skip_scheme):
+        assert not squid.delay_bounded
+        assert not scrap.delay_bounded
+        assert not skip_scheme.delay_bounded
+
+
+class TestMultiAttribute:
+    def test_squid_multi_attribute_queries(self):
+        scheme = SquidScheme(space=AttributeSpace(0.0, 100.0), dimensions=2, key_bits_per_dim=10)
+        scheme.build(150, seed=65)
+        rng = DeterministicRNG(65)
+        records = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(500)]
+        scheme.load_multi(records)
+        ranges = [(20.0, 50.0), (10.0, 60.0)]
+        measurement = scheme.query_multi(ranges)
+        expected = sorted(
+            record[0]
+            for record in records
+            if all(low <= value <= high for value, (low, high) in zip(record, ranges))
+        )
+        assert sorted(measurement.matches) == expected
+
+    def test_scrap_multi_attribute_queries(self):
+        scheme = ScrapScheme(space=AttributeSpace(0.0, 100.0), dimensions=2, key_bits_per_dim=10)
+        scheme.build(150, seed=66)
+        rng = DeterministicRNG(66)
+        records = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(500)]
+        scheme.load_multi(records)
+        ranges = [(20.0, 50.0), (10.0, 60.0)]
+        measurement = scheme.query_multi(ranges)
+        expected = sorted(
+            record[0]
+            for record in records
+            if all(low <= value <= high for value, (low, high) in zip(record, ranges))
+        )
+        assert sorted(measurement.matches) == expected
+
+    def test_dimension_mismatch_raises(self):
+        scheme = SquidScheme(space=SPACE, dimensions=2)
+        scheme.build(50, seed=67)
+        with pytest.raises(ValueError):
+            scheme.query_multi([(0.0, 1.0)])
+
+    def test_skipgraph_scheme_has_no_multi_support(self, skip_scheme):
+        with pytest.raises(NotImplementedError):
+            skip_scheme.query_multi([(0.0, 1.0)])
+
+
+class TestValidation:
+    def test_query_before_build_raises(self):
+        with pytest.raises(RuntimeError):
+            SquidScheme().query(0.0, 1.0)
+        with pytest.raises(RuntimeError):
+            ScrapScheme().query(0.0, 1.0)
+        with pytest.raises(RuntimeError):
+            SkipGraphScheme().query(0.0, 1.0)

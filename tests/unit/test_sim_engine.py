@@ -1,0 +1,153 @@
+"""Unit tests for the discrete-event scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(3.0, lambda: fired.append("c"))
+        sim.schedule_at(1.0, lambda: fired.append("a"))
+        sim.schedule_at(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for label in ("first", "second", "third"):
+            sim.schedule_at(1.0, lambda label=label: fired.append(label))
+        sim.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_priority_breaks_ties_before_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append("low"), priority=5)
+        sim.schedule_at(1.0, lambda: fired.append("high"), priority=0)
+        sim.run()
+        assert fired == ["high", "low"]
+
+    def test_schedule_after_is_relative_to_now(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_at(5.0, lambda: sim.schedule_after(2.0, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [7.0]
+
+    def test_schedule_in_past_raises(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_after(-1.0, lambda: None)
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        sim.schedule_at(4.5, lambda: None)
+        sim.run()
+        assert sim.now == 4.5
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_at(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_one_of_many(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append("keep"))
+        handle = sim.schedule_at(2.0, lambda: fired.append("drop"))
+        sim.schedule_at(3.0, lambda: fired.append("keep2"))
+        handle.cancel()
+        sim.run()
+        assert fired == ["keep", "keep2"]
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.pending_events == 1
+
+    def test_run_until_advances_clock_to_until(self):
+        sim = Simulator()
+        sim.schedule_at(10.0, lambda: None)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_max_events_limits_execution(self):
+        sim = Simulator()
+        fired = []
+        for index in range(5):
+            sim.schedule_at(float(index + 1), lambda index=index: fired.append(index))
+        executed = sim.run(max_events=3)
+        assert executed == 3
+        assert fired == [0, 1, 2]
+
+    def test_run_returns_executed_count(self):
+        sim = Simulator()
+        for index in range(4):
+            sim.schedule_at(float(index), lambda: None)
+        assert sim.run() == 4
+        assert sim.processed_events == 4
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_events_scheduled_during_run_are_processed(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(depth: int) -> None:
+            fired.append(depth)
+            if depth < 3:
+                sim.schedule_after(1.0, lambda: chain(depth + 1))
+
+        sim.schedule_at(0.0, lambda: chain(0))
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+
+    def test_reset_clears_state(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.pending_events == 0
+        assert sim.processed_events == 0
+
+    def test_reentrant_run_raises(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule_at(1.0, reenter)
+        sim.run()
+        assert len(errors) == 1

@@ -1,0 +1,141 @@
+"""Unit tests for counters and summary statistics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim.metrics import (
+    Counter,
+    MetricsRegistry,
+    SummaryStats,
+    log2_or_zero,
+    mean,
+    safe_ratio,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("x").value == 0
+
+    def test_increment_default_is_one(self):
+        counter = Counter("x")
+        counter.increment()
+        assert counter.value == 1
+
+    def test_increment_by_amount(self):
+        counter = Counter("x")
+        counter.increment(5)
+        counter.increment(2)
+        assert counter.value == 7
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").increment(-1)
+
+    def test_reset(self):
+        counter = Counter("x")
+        counter.increment(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestSummaryStats:
+    def test_empty_summary_is_all_zero(self):
+        stats = SummaryStats("empty")
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.minimum == 0.0
+        assert stats.maximum == 0.0
+        assert stats.stddev == 0.0
+
+    def test_mean_min_max(self):
+        stats = SummaryStats()
+        stats.extend([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.total == pytest.approx(10.0)
+
+    def test_stddev_population(self):
+        stats = SummaryStats()
+        stats.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert stats.stddev == pytest.approx(2.0)
+
+    def test_percentile_nearest_rank(self):
+        stats = SummaryStats()
+        stats.extend(range(1, 101))
+        assert stats.percentile(0.5) == 50
+        assert stats.percentile(0.99) == 99
+        assert stats.percentile(1.0) == 100
+        assert stats.percentile(0.0) == 1
+
+    def test_percentile_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            SummaryStats().percentile(1.5)
+
+    def test_merge_combines_samples(self):
+        first = SummaryStats()
+        first.extend([1.0, 2.0])
+        second = SummaryStats()
+        second.extend([3.0, 4.0])
+        first.merge(second)
+        assert first.count == 4
+        assert first.mean == pytest.approx(2.5)
+
+    def test_as_dict_keys(self):
+        stats = SummaryStats("delays")
+        stats.add(3.0)
+        payload = stats.as_dict()
+        assert set(payload) == {"count", "mean", "min", "max", "stddev"}
+
+
+class TestMetricsRegistry:
+    def test_counter_is_created_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.counter("messages").increment()
+        assert registry.counter_value("messages") == 1
+
+    def test_counter_value_default_for_missing(self):
+        assert MetricsRegistry().counter_value("missing", default=7) == 7
+
+    def test_summary_created_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.summary("delay").add(4.0)
+        assert registry.summary("delay").mean == 4.0
+
+    def test_snapshot_contains_counters_and_summaries(self):
+        registry = MetricsRegistry()
+        registry.counter("sends").increment(2)
+        registry.summary("delay").add(5.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counter.sends"] == 2.0
+        assert snapshot["summary.delay.mean"] == 5.0
+
+    def test_reset_clears_counters_and_summaries(self):
+        registry = MetricsRegistry()
+        registry.counter("sends").increment(2)
+        registry.summary("delay").add(5.0)
+        registry.reset()
+        assert registry.counter_value("sends") == 0
+        assert registry.summaries == {}
+
+
+class TestHelpers:
+    def test_mean_of_empty_is_zero(self):
+        assert mean([]) == 0.0
+
+    def test_mean_of_values(self):
+        assert mean([1, 2, 3]) == pytest.approx(2.0)
+
+    def test_safe_ratio_guards_zero(self):
+        assert safe_ratio(4, 0, default=-1.0) == -1.0
+        assert safe_ratio(4, 2) == 2.0
+
+    def test_log2_or_zero(self):
+        assert log2_or_zero(8) == pytest.approx(3.0)
+        assert log2_or_zero(0) == 0.0
+        assert log2_or_zero(-5) == 0.0
+        assert log2_or_zero(1024) == pytest.approx(math.log2(1024))

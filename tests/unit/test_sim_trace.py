@@ -1,0 +1,60 @@
+"""Unit tests for the trace recorder."""
+
+from __future__ import annotations
+
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_record_and_iterate(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "send", sender="a", receiver="b")
+        trace.record(2.0, "deliver", sender="a", receiver="b")
+        assert len(trace) == 2
+        kinds = [event.kind for event in trace]
+        assert kinds == ["send", "deliver"]
+
+    def test_disabled_recorder_records_nothing(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(1.0, "send")
+        assert len(trace) == 0
+
+    def test_max_events_caps_recording(self):
+        trace = TraceRecorder(max_events=2)
+        for index in range(5):
+            trace.record(float(index), "send", index=index)
+        assert len(trace) == 2
+
+    def test_filter_by_kind(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "send", hop=1)
+        trace.record(2.0, "deliver", hop=1)
+        trace.record(3.0, "send", hop=2)
+        assert len(trace.filter(kind="send")) == 2
+
+    def test_filter_by_attribute(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "send", receiver="a")
+        trace.record(2.0, "send", receiver="b")
+        matches = trace.filter(kind="send", receiver="b")
+        assert len(matches) == 1
+        assert matches[0].get("receiver") == "b"
+
+    def test_clear_empties_trace(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "send")
+        trace.clear()
+        assert len(trace) == 0
+
+    def test_format_includes_attributes_and_truncation_note(self):
+        trace = TraceRecorder()
+        for index in range(5):
+            trace.record(float(index), "send", seq=index)
+        text = trace.format(limit=2)
+        assert "seq=0" in text
+        assert "3 more events" in text
+
+    def test_event_get_default(self):
+        event = TraceEvent(time=1.0, kind="send", attributes={"a": 1})
+        assert event.get("a") == 1
+        assert event.get("missing", "default") == "default"

@@ -1,0 +1,66 @@
+"""Unit tests for the top-k extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.armada import ArmadaSystem
+from repro.core.errors import QueryError
+from repro.core.topk import TopKExecutor
+
+
+@pytest.fixture(scope="module")
+def topk_system():
+    system = ArmadaSystem(num_peers=64, seed=21, attribute_interval=(0.0, 1000.0))
+    system.insert_many([float(v) for v in range(0, 1000, 7)])
+    return system
+
+
+class TestTopK:
+    def test_top_k_overall(self, topk_system):
+        executor = TopKExecutor(topk_system)
+        result = executor.top_k(5)
+        expected = sorted((float(v) for v in range(0, 1000, 7)), reverse=True)[:5]
+        assert result.values == expected
+
+    def test_top_k_within_range(self, topk_system):
+        executor = TopKExecutor(topk_system)
+        result = executor.top_k(3, low=200.0, high=400.0)
+        expected = sorted(
+            (float(v) for v in range(0, 1000, 7) if 200.0 <= v <= 400.0), reverse=True
+        )[:3]
+        assert result.values == expected
+        assert result.low == 200.0 and result.high == 400.0
+
+    def test_k_larger_than_population_returns_everything(self, topk_system):
+        executor = TopKExecutor(topk_system)
+        result = executor.top_k(10, low=990.0, high=1000.0)
+        expected = sorted(
+            (float(v) for v in range(0, 1000, 7) if v >= 990.0), reverse=True
+        )
+        assert result.values == expected
+
+    def test_probes_are_delay_bounded(self, topk_system):
+        executor = TopKExecutor(topk_system)
+        result = executor.top_k(5)
+        bound = 2 * topk_system.log_size() + 1
+        assert all(probe.delay_hops <= bound for probe in result.probes)
+        assert result.total_delay_hops == sum(probe.delay_hops for probe in result.probes)
+        assert result.total_messages == sum(probe.messages for probe in result.probes)
+        assert result.rounds == len(result.probes)
+
+    def test_small_initial_fraction_uses_more_rounds_than_whole_range(self, topk_system):
+        narrow = TopKExecutor(topk_system, initial_fraction=0.01).top_k(1)
+        wide = TopKExecutor(topk_system, initial_fraction=1.0).top_k(1)
+        assert wide.rounds == 1
+        assert narrow.rounds >= 1
+        assert narrow.values == wide.values
+
+    def test_invalid_parameters(self, topk_system):
+        executor = TopKExecutor(topk_system)
+        with pytest.raises(QueryError):
+            executor.top_k(0)
+        with pytest.raises(QueryError):
+            executor.top_k(3, low=500.0, high=100.0)
+        with pytest.raises(QueryError):
+            TopKExecutor(topk_system, initial_fraction=0.0)
