@@ -1,0 +1,37 @@
+"""Machine-readable benchmark output.
+
+Benchmarks that want their numbers tracked across PRs call
+:func:`write_bench_json` with a flat metrics dictionary; the file lands as
+``BENCH_<name>.json`` next to this module (i.e. under ``benchmarks/``) so the
+perf trajectory of the repository can be diffed commit to commit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from typing import Dict, Optional
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def write_bench_json(name: str, metrics: Dict[str, float], directory: Optional[str] = None) -> str:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    The payload carries the metrics plus enough environment context
+    (python version, platform) to interpret them; values are floats so the
+    file diffs cleanly.
+    """
+    payload = {
+        "name": name,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "metrics": {key: float(value) for key, value in metrics.items()},
+    }
+    path = os.path.join(directory if directory is not None else _BENCH_DIR, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -7,6 +7,8 @@ The package is organised as a layered library:
 * :mod:`repro.fissione` -- the FISSIONE constant-degree DHT.
 * :mod:`repro.core` -- Armada: Single_hash / Multiple_hash naming, PIRA and
   MIRA range-query routing, the high-level :class:`repro.core.ArmadaSystem`.
+* :mod:`repro.engine` -- the concurrent query engine: overlapping in-flight
+  queries (open/closed loop, churn) on one simulator clock.
 * :mod:`repro.dhts` -- baseline DHTs (Chord, CAN, Skip Graph).
 * :mod:`repro.rangequery` -- baseline range-query schemes (DCF-CAN, PHT,
   Squid, SCRAP) plus a common scheme interface used by the experiments.
@@ -18,6 +20,6 @@ The package is organised as a layered library:
 
 from repro.core.armada import ArmadaSystem
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["ArmadaSystem", "__version__"]

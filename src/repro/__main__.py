@@ -1,0 +1,8 @@
+"""Allow ``python -m repro <command>`` alongside the console scripts."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

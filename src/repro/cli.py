@@ -23,6 +23,7 @@ from repro.experiments import analytics as analytics_experiment
 from repro.experiments import ablation as ablation_experiment
 from repro.experiments import figures_netsize, figures_rangesize
 from repro.experiments import fissione_props as fissione_experiment
+from repro.experiments import load as load_experiment
 from repro.experiments import mira as mira_experiment
 from repro.experiments import table1 as table1_experiment
 from repro.experiments.common import ExperimentConfig
@@ -35,6 +36,7 @@ _COMMANDS = (
     "fissione",
     "mira",
     "ablation",
+    "load",
     "all",
 )
 
@@ -61,7 +63,30 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--csv-dir", default=None, help="directory to write figure CSV series into"
     )
+    parser.add_argument(
+        "--rates",
+        default=None,
+        help="comma-separated offered rates for the load sweep (queries per sim unit)",
+    )
+    parser.add_argument(
+        "--churn",
+        action="store_true",
+        help="interleave periodic join/leave events with the load sweep's queries",
+    )
     return parser
+
+
+def parse_rates(text: Optional[str]):
+    """Parse ``--rates`` (``\"0.5,1,2\"``) into a tuple of floats, or ``None``."""
+    if text is None:
+        return None
+    try:
+        rates = tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError as exc:
+        raise SystemExit(f"invalid --rates value {text!r}: {exc}")
+    if not rates or any(rate <= 0 for rate in rates):
+        raise SystemExit(f"--rates needs one or more positive numbers, got {text!r}")
+    return rates
 
 
 def make_config(args: argparse.Namespace) -> ExperimentConfig:
@@ -95,8 +120,18 @@ def _write_csvs(csv_dir: Optional[str], csvs: Dict[str, str]) -> None:
         print(f"wrote {path}")
 
 
-def run_command(command: str, config: ExperimentConfig, csv_dir: Optional[str] = None) -> str:
+def run_command(
+    command: str,
+    config: ExperimentConfig,
+    csv_dir: Optional[str] = None,
+    rates=None,
+    churn: bool = False,
+) -> str:
     """Run one experiment command and return its formatted output."""
+    if command == "load":
+        result = load_experiment.run(config, rates=rates, churn=churn)
+        _write_csvs(csv_dir, result.to_csv())
+        return result.format()
     if command == "table1":
         return table1_experiment.run(config).format()
     if command == "figures-rangesize":
@@ -117,8 +152,8 @@ def run_command(command: str, config: ExperimentConfig, csv_dir: Optional[str] =
         return ablation_experiment.run(config).format()
     if command == "all":
         outputs = []
-        for sub_command in ("fissione", "table1", "figures-rangesize", "figures-netsize", "analytics", "mira", "ablation"):
-            outputs.append(run_command(sub_command, config, csv_dir))
+        for sub_command in ("fissione", "table1", "figures-rangesize", "figures-netsize", "analytics", "mira", "ablation", "load"):
+            outputs.append(run_command(sub_command, config, csv_dir, rates=rates, churn=churn))
         return "\n\n".join(outputs)
     raise ValueError(f"unknown command {command!r}")
 
@@ -128,7 +163,13 @@ def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     config = make_config(args)
-    output = run_command(args.command, config, csv_dir=args.csv_dir)
+    output = run_command(
+        args.command,
+        config,
+        csv_dir=args.csv_dir,
+        rates=parse_rates(args.rates),
+        churn=args.churn,
+    )
     print(output)
     return 0
 

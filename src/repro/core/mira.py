@@ -15,22 +15,29 @@ interval preserving:
 Delay remains bounded by the FRT height, i.e. by the origin's PeerID length:
 less than ``2 log N`` worst case, less than ``log N`` on average, regardless
 of the query-space size.
+
+Like PIRA, MIRA queries are resumable: :meth:`MiraExecutor.start` registers
+per-query state and returns, :meth:`MiraExecutor.handle_message` resumes an
+in-flight query on each delivery, and completion is detected by outstanding
+message counting — so any number of MIRA (and PIRA) queries overlap on one
+simulator clock.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Optional, Sequence, Set, Tuple
 
 from repro.core.errors import QueryError
 from repro.core.frt import descendant_prefix, longest_suffix_prefix
 from repro.core.multiple_hash import Box, MultiAttributeNamer
 from repro.core.pira import RangeQueryResult
+from repro.core.resumable import QueryState, ResumableExecutor
 from repro.fissione.network import FissioneNetwork
 from repro.fissione.peer import FissionePeer
 from repro.kautz import strings as ks
-from repro.sim.network import Message, OverlayNetwork
+from repro.sim.network import OverlayNetwork
 
 
 @dataclass
@@ -45,8 +52,14 @@ class _MiraQuery:
     visited: Set[Tuple[str, int]] = field(default_factory=set)
 
 
-class MiraExecutor:
-    """Executes MIRA multi-attribute range queries over a FISSIONE network."""
+class MiraExecutor(ResumableExecutor):
+    """Executes MIRA multi-attribute range queries over a FISSIONE network.
+
+    Per-query state is the shared :class:`QueryState`; its ``branches`` hold
+    the :class:`_MiraQuery` per first-level partition subtree.
+    """
+
+    message_kind = "mira"
 
     def __init__(
         self,
@@ -58,12 +71,8 @@ class MiraExecutor:
         self.namer = namer
         self.overlay = overlay if overlay is not None else OverlayNetwork()
         self._query_ids = itertools.count(1)
+        self._active: Dict[int, QueryState] = {}
         self.refresh_membership()
-
-    def refresh_membership(self) -> None:
-        """(Re-)register every current peer with the overlay network."""
-        for peer in self.network.peers():
-            self.overlay.register(peer)
 
     # ------------------------------------------------------------------ #
     # public API                                                           #
@@ -75,13 +84,33 @@ class MiraExecutor:
         ranges: Sequence[Tuple[float, float]],
     ) -> RangeQueryResult:
         """Run the multi-attribute range query ``ranges`` from ``origin_peer_id``."""
+        result = self.start(origin_peer_id, ranges)
+        self.overlay.run()
+        return result
+
+    def start(
+        self,
+        origin_peer_id: str,
+        ranges: Sequence[Tuple[float, float]],
+        query_id: Optional[int] = None,
+        on_complete: Optional[Callable[[RangeQueryResult], None]] = None,
+    ) -> RangeQueryResult:
+        """Start a MIRA query without running the simulator (see PIRA)."""
         if not self.network.has_peer(origin_peer_id):
             raise QueryError(f"unknown origin peer {origin_peer_id!r}")
         query_box = self.namer.query_box(ranges)
-        query_id = next(self._query_ids)
+        if query_id is None:
+            query_id = next(self._query_ids)
+        if query_id in self._active:
+            raise QueryError(f"query id {query_id} is already in flight")
         result = RangeQueryResult(origin=origin_peer_id, query_id=query_id)
         origin = self.network.peer(origin_peer_id)
 
+        state = QueryState(
+            result=result,
+            started_at=self.overlay.simulator.now,
+            on_complete=on_complete,
+        )
         # Like PIRA's sub-region split, the query is processed once per
         # first-level subtree of the partition tree whose subspace intersects
         # the query box; within each subtree the destination level follows
@@ -94,13 +123,22 @@ class MiraExecutor:
             clipped = query_box.intersection(subtree_box)
             com_t = self.namer.containing_label(clipped, start=symbol)
             com_s = longest_suffix_prefix(origin_peer_id, com_t)
-            state = _MiraQuery(
-                query_box=clipped,
-                ranges=tuple((float(low), float(high)) for low, high in ranges),
-                dest_level=len(origin_peer_id) - len(com_s),
+            state.branches.append(
+                _MiraQuery(
+                    query_box=clipped,
+                    ranges=tuple((float(low), float(high)) for low, high in ranges),
+                    dest_level=len(origin_peer_id) - len(com_s),
+                )
             )
-            self._process(origin, level=0, hop=0, state=state, result=result)
-        self.overlay.run()
+        self._active[query_id] = state
+
+        state.processing = True
+        try:
+            for index in range(len(state.branches)):
+                self._process(origin, level=0, hop=0, branch_index=index, state=state)
+        finally:
+            state.processing = False
+        self._maybe_complete(state)
         return result
 
     def ground_truth_destinations(self, ranges: Sequence[Tuple[float, float]]) -> Set[str]:
@@ -113,48 +151,52 @@ class MiraExecutor:
         }
 
     # ------------------------------------------------------------------ #
-    # forwarding                                                           #
+    # forwarding (message lifecycle inherited from ResumableExecutor)       #
     # ------------------------------------------------------------------ #
 
-    def _label_intersects(self, label: str, state: _MiraQuery) -> bool:
+    def _label_intersects(self, label: str, subtree: _MiraQuery) -> bool:
         """True when the partition-tree box of ``label`` intersects the query box."""
         if label == "":
             return True
         clipped = label[: self.namer.length]
-        return self.namer.box_for_label(clipped).intersects(state.query_box)
+        return self.namer.box_for_label(clipped).intersects(subtree.query_box)
 
     def _process(
         self,
         peer: FissionePeer,
         level: int,
         hop: int,
-        state: _MiraQuery,
-        result: RangeQueryResult,
+        branch_index: int,
+        state: QueryState,
     ) -> None:
+        subtree = state.branches[branch_index]
         occurrence = (peer.peer_id, level)
-        if occurrence in state.visited:
+        if occurrence in subtree.visited:
             return
-        state.visited.add(occurrence)
+        subtree.visited.add(occurrence)
 
-        if level >= state.dest_level:
-            self._handle_destination(peer, hop, state, result)
+        if level >= subtree.dest_level:
+            self._handle_destination(peer, hop, subtree, state)
             return
 
         for neighbor_id in self.network.out_neighbors(peer.peer_id):
-            prefix = descendant_prefix(neighbor_id, level + 1, state.dest_level)
-            if not self._label_intersects(prefix, state):
+            prefix = descendant_prefix(neighbor_id, level + 1, subtree.dest_level)
+            if not self._label_intersects(prefix, subtree):
                 continue
-            self._forward(peer, neighbor_id, level + 1, hop + 1, state, result)
+            self._forward_message(
+                peer.peer_id, neighbor_id, level + 1, hop + 1, branch_index, state
+            )
 
     def _handle_destination(
         self,
         peer: FissionePeer,
         hop: int,
-        state: _MiraQuery,
-        result: RangeQueryResult,
+        subtree: _MiraQuery,
+        state: QueryState,
     ) -> None:
-        if not self._label_intersects(peer.peer_id, state):
+        if not self._label_intersects(peer.peer_id, subtree):
             return
+        result = state.result
         previous = result.destinations.get(peer.peer_id)
         if previous is None or hop < previous:
             result.destinations[peer.peer_id] = hop
@@ -167,38 +209,6 @@ class MiraExecutor:
                     continue
                 if all(
                     low <= value <= high
-                    for value, (low, high) in zip(values, state.ranges)
+                    for value, (low, high) in zip(values, subtree.ranges)
                 ):
                     result.matches.append(stored)
-
-    def _forward(
-        self,
-        sender: FissionePeer,
-        receiver_id: str,
-        level: int,
-        hop: int,
-        state: _MiraQuery,
-        result: RangeQueryResult,
-    ) -> None:
-        result.messages += 1
-        result.forwarding_steps.append((sender.peer_id, receiver_id, hop))
-
-        def handler(peer: FissionePeer, _overlay: OverlayNetwork, message: Message) -> None:
-            self._process(
-                peer=peer,
-                level=message.metadata["level"],
-                hop=message.hop,
-                state=state,
-                result=result,
-            )
-
-        self.overlay.send(
-            Message(
-                sender=sender.peer_id,
-                receiver=receiver_id,
-                kind="mira",
-                hop=hop,
-                query_id=result.query_id,
-                metadata={"handler": handler, "level": level},
-            )
-        )

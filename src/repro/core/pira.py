@@ -20,21 +20,32 @@ Given a range query ``[LowV, HighV]`` issued by peer ``P = u1 .. ub``:
 The execution is message-driven through the discrete-event overlay network,
 so per-query delay (hops), message cost and destination count come straight
 out of the simulation, mirroring the measurements of Figures 5-8.
+
+Queries are *resumable*: :meth:`PiraExecutor.start` registers per-query state
+keyed by ``query_id`` and returns immediately, every subsequent forwarding
+step is handled by :meth:`PiraExecutor.handle_message`, and the query
+completes (firing its ``on_complete`` callback) when its last outstanding
+message has been processed.  Any number of queries can therefore interleave
+on one simulator clock — the concurrent query engine in
+:mod:`repro.engine` builds on exactly this.  :meth:`PiraExecutor.execute`
+remains the synchronous single-query wrapper (start, then drain the
+overlay).
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.errors import QueryError
 from repro.core.frt import descendant_prefix, destination_level
+from repro.core.resumable import QueryState, ResumableExecutor
 from repro.core.single_hash import SingleAttributeNamer
 from repro.fissione.network import FissioneNetwork
 from repro.fissione.peer import FissionePeer, StoredObject
 from repro.kautz.region import KautzRegion
-from repro.sim.network import Message, OverlayNetwork
+from repro.sim.network import OverlayNetwork
 
 
 @dataclass
@@ -94,8 +105,21 @@ class _SubQuery:
     visited: Set[Tuple[str, int]] = field(default_factory=set)
 
 
-class PiraExecutor:
+@dataclass
+class _QueryState(QueryState):
+    """PIRA query state: the shared lifecycle plus the value bounds.
+
+    ``branches`` holds the :class:`_SubQuery` per sub-region.
+    """
+
+    low_value: float = 0.0
+    high_value: float = 0.0
+
+
+class PiraExecutor(ResumableExecutor):
     """Executes PIRA range queries over a FISSIONE network."""
+
+    message_kind = "pira"
 
     def __init__(
         self,
@@ -107,15 +131,8 @@ class PiraExecutor:
         self.namer = namer
         self.overlay = overlay if overlay is not None else OverlayNetwork()
         self._query_ids = itertools.count(1)
+        self._active: Dict[int, QueryState] = {}
         self.refresh_membership()
-
-    def refresh_membership(self) -> None:
-        """(Re-)register every current peer with the overlay network.
-
-        Must be called after churn so that messages can reach new peers.
-        """
-        for peer in self.network.peers():
-            self.overlay.register(peer)
 
     # ------------------------------------------------------------------ #
     # public API                                                           #
@@ -128,37 +145,62 @@ class PiraExecutor:
         high_value: float,
     ) -> RangeQueryResult:
         """Run the range query ``[low_value, high_value]`` from ``origin_peer_id``."""
+        result = self.start(origin_peer_id, low_value, high_value)
+        # Drain the scheduled message deliveries for this query.
+        self.overlay.run()
+        return result
+
+    def start(
+        self,
+        origin_peer_id: str,
+        low_value: float,
+        high_value: float,
+        query_id: Optional[int] = None,
+        on_complete: Optional[Callable[[RangeQueryResult], None]] = None,
+    ) -> RangeQueryResult:
+        """Start a query without running the simulator.
+
+        The returned :class:`RangeQueryResult` fills in as the simulation
+        delivers the query's messages; once the last outstanding message is
+        processed the query is deregistered and ``on_complete`` (if given)
+        fires.  Many started queries interleave on one simulator clock.
+        """
         if high_value < low_value:
             raise QueryError(f"range low bound {low_value} exceeds high bound {high_value}")
         if not self.network.has_peer(origin_peer_id):
             raise QueryError(f"unknown origin peer {origin_peer_id!r}")
 
-        query_id = next(self._query_ids)
+        if query_id is None:
+            query_id = next(self._query_ids)
+        if query_id in self._active:
+            raise QueryError(f"query id {query_id} is already in flight")
         result = RangeQueryResult(origin=origin_peer_id, query_id=query_id)
         region = self.namer.region_for_range(low_value, high_value)
         origin = self.network.peer(origin_peer_id)
 
-        subqueries = []
+        state = _QueryState(
+            result=result,
+            low_value=low_value,
+            high_value=high_value,
+            started_at=self.overlay.simulator.now,
+            on_complete=on_complete,
+        )
         for subregion in region.split_by_first_symbol():
-            subqueries.append(
+            state.branches.append(
                 _SubQuery(
                     region=subregion,
                     dest_level=destination_level(origin_peer_id, subregion),
                 )
             )
+        self._active[query_id] = state
 
-        for subquery in subqueries:
-            self._process(
-                peer=origin,
-                level=0,
-                hop=0,
-                subquery=subquery,
-                result=result,
-                low_value=low_value,
-                high_value=high_value,
-            )
-        # Drain the scheduled message deliveries for this query.
-        self.overlay.run()
+        state.processing = True
+        try:
+            for index in range(len(state.branches)):
+                self._process(peer=origin, level=0, hop=0, branch_index=index, state=state)
+        finally:
+            state.processing = False
+        self._maybe_complete(state)
         return result
 
     def ground_truth_destinations(self, low_value: float, high_value: float) -> Set[str]:
@@ -171,7 +213,7 @@ class PiraExecutor:
         }
 
     # ------------------------------------------------------------------ #
-    # forwarding                                                           #
+    # forwarding (message lifecycle inherited from ResumableExecutor)       #
     # ------------------------------------------------------------------ #
 
     def _process(
@@ -179,80 +221,43 @@ class PiraExecutor:
         peer: FissionePeer,
         level: int,
         hop: int,
-        subquery: _SubQuery,
-        result: RangeQueryResult,
-        low_value: float,
-        high_value: float,
+        branch_index: int,
+        state: _QueryState,
     ) -> None:
         """Handle the query's arrival at ``peer`` (FRT level ``level``)."""
+        subquery = state.branches[branch_index]
         occurrence = (peer.peer_id, level)
         if occurrence in subquery.visited:
             return
         subquery.visited.add(occurrence)
 
         if level >= subquery.dest_level:
-            self._handle_destination(peer, hop, subquery, result, low_value, high_value)
+            self._handle_destination(peer, hop, subquery, state)
             return
 
         for neighbor_id in self.network.out_neighbors(peer.peer_id):
             prefix = descendant_prefix(neighbor_id, level + 1, subquery.dest_level)
             if not subquery.region.contains_prefix(prefix):
                 continue
-            self._forward(peer, neighbor_id, level + 1, hop + 1, subquery, result, low_value, high_value)
+            self._forward_message(
+                peer.peer_id, neighbor_id, level + 1, hop + 1, branch_index, state
+            )
 
     def _handle_destination(
         self,
         peer: FissionePeer,
         hop: int,
         subquery: _SubQuery,
-        result: RangeQueryResult,
-        low_value: float,
-        high_value: float,
+        state: _QueryState,
     ) -> None:
         """Destination-level processing: record the peer and filter its store."""
         if not subquery.region.contains_prefix(peer.peer_id):
             return
+        result = state.result
         previous = result.destinations.get(peer.peer_id)
         if previous is None or hop < previous:
             result.destinations[peer.peer_id] = hop
         if previous is None:
             for stored in peer.objects():
-                if isinstance(stored.key, (int, float)) and low_value <= stored.key <= high_value:
+                if isinstance(stored.key, (int, float)) and state.low_value <= stored.key <= state.high_value:
                     result.matches.append(stored)
-
-    def _forward(
-        self,
-        sender: FissionePeer,
-        receiver_id: str,
-        level: int,
-        hop: int,
-        subquery: _SubQuery,
-        result: RangeQueryResult,
-        low_value: float,
-        high_value: float,
-    ) -> None:
-        """Send one forwarding message through the discrete-event overlay."""
-        result.messages += 1
-        result.forwarding_steps.append((sender.peer_id, receiver_id, hop))
-
-        def handler(peer: FissionePeer, _overlay: OverlayNetwork, message: Message) -> None:
-            self._process(
-                peer=peer,
-                level=message.metadata["level"],
-                hop=message.hop,
-                subquery=subquery,
-                result=result,
-                low_value=low_value,
-                high_value=high_value,
-            )
-
-        self.overlay.send(
-            Message(
-                sender=sender.peer_id,
-                receiver=receiver_id,
-                kind="pira",
-                hop=hop,
-                query_id=result.query_id,
-                metadata={"handler": handler, "level": level},
-            )
-        )

@@ -1,0 +1,165 @@
+"""Shared machinery for resumable, message-driven query executors.
+
+PIRA and MIRA differ in *how* they prune the forward routing tree, but not
+in how an in-flight query lives on the simulator: per-query state keyed by
+``query_id``, an outstanding-message counter for completion detection, drop
+accounting so churn cannot strand a query, and a completion callback.  That
+shared lifecycle lives here, once.
+
+A concrete executor must provide
+
+* ``self.network`` (peer lookup via ``has_peer`` / ``peer``),
+* ``self.overlay`` (an :class:`~repro.sim.network.OverlayNetwork`),
+* ``message_kind`` (the overlay message kind string), and
+* ``_process(peer, level, hop, branch_index, state)`` — resume the query at
+  ``peer`` for one branch (PIRA sub-region / MIRA subtree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.network import Message, OverlayNetwork
+
+
+@dataclass
+class QueryState:
+    """Everything one in-flight query needs to resume on any message.
+
+    ``branches`` holds the per-branch pruning state (PIRA sub-regions, MIRA
+    subtrees); subclasses may add query-specific fields.
+    """
+
+    result: Any
+    branches: List[Any] = field(default_factory=list)
+    #: forwarding messages sent but not yet processed (or dropped)
+    outstanding: int = 0
+    started_at: float = 0.0
+    done: bool = False
+    #: True while a processing step runs, deferring completion checks (a
+    #: synchronous drop inside :meth:`OverlayNetwork.send` must not finish
+    #: the query while its origin is still fanning out)
+    processing: bool = False
+    on_complete: Optional[Callable[[Any], None]] = None
+
+
+class ResumableExecutor:
+    """Mixin implementing the in-flight query lifecycle."""
+
+    #: overlay message kind, set by the concrete executor
+    message_kind: str = "query"
+
+    network: Any
+    overlay: OverlayNetwork
+    _active: Dict[int, QueryState]
+
+    # ------------------------------------------------------------------ #
+    # message handling                                                     #
+    # ------------------------------------------------------------------ #
+
+    def handle_message(self, network: OverlayNetwork, message: Message) -> None:
+        """Resume the in-flight query ``message.query_id`` at the receiver.
+
+        This is the per-message entry point: it looks up the query state by
+        id, so a single executor can have any number of queries in flight at
+        once.  Late deliveries for finished/unknown queries are ignored.
+        """
+        state = self._active.get(message.query_id)
+        if state is None:
+            return
+        state.outstanding -= 1
+        # A receiver that departed mid-flight (churn) silently absorbs the
+        # message; the overlay already counted it as delivered/undeliverable.
+        if self.network.has_peer(message.receiver):
+            state.processing = True
+            try:
+                self._process(
+                    peer=self.network.peer(message.receiver),
+                    level=message.metadata["level"],
+                    hop=message.hop,
+                    branch_index=message.metadata["branch"],
+                    state=state,
+                )
+            finally:
+                state.processing = False
+        self._maybe_complete(state)
+
+    def _process(self, peer: Any, level: int, hop: int, branch_index: int, state: QueryState) -> None:
+        raise NotImplementedError
+
+    def _dispatch(self, peer: Any, network: OverlayNetwork, message: Message) -> None:
+        """Adapter for :meth:`FissionePeer.handle_message`'s handler hook."""
+        self.handle_message(network, message)
+
+    def _on_drop(self, message: Message) -> None:
+        """Account for a forwarding message that will never be delivered."""
+        state = self._active.get(message.query_id)
+        if state is None:
+            return
+        state.outstanding -= 1
+        if not state.processing:
+            self._maybe_complete(state)
+
+    def _maybe_complete(self, state: QueryState) -> None:
+        """Finish the query once no forwarding messages remain in flight."""
+        if state.done or state.processing or state.outstanding > 0:
+            return
+        state.done = True
+        self._active.pop(state.result.query_id, None)
+        if state.on_complete is not None:
+            state.on_complete(state.result)
+
+    @property
+    def active_queries(self) -> int:
+        """Number of started queries that have not yet completed."""
+        return len(self._active)
+
+    # ------------------------------------------------------------------ #
+    # membership & forwarding                                              #
+    # ------------------------------------------------------------------ #
+
+    def refresh_membership(self) -> None:
+        """Synchronise the overlay's node registry with the current peers.
+
+        Must be called after churn: new peers become reachable and departed
+        peers are unregistered (their in-flight messages are then counted
+        undeliverable and drop-accounted, so no query ever hangs and the
+        overlay does not leak node registrations under sustained churn).
+        """
+        current = set(self.network.peer_ids())
+        for node_id in self.overlay.node_ids():
+            if node_id not in current:
+                self.overlay.unregister(node_id)
+        for peer in self.network.peers():
+            self.overlay.register(peer)
+
+    def _forward_message(
+        self,
+        sender_id: str,
+        receiver_id: str,
+        level: int,
+        hop: int,
+        branch_index: int,
+        state: QueryState,
+    ) -> None:
+        """Send one forwarding message through the discrete-event overlay."""
+        result = state.result
+        result.messages += 1
+        result.forwarding_steps.append((sender_id, receiver_id, hop))
+        state.outstanding += 1
+        self.overlay.send(
+            Message(
+                sender=sender_id,
+                receiver=receiver_id,
+                kind=self.message_kind,
+                hop=hop,
+                query_id=result.query_id,
+                metadata={
+                    "handler": self._dispatch,
+                    "on_drop": self._on_drop,
+                    "level": level,
+                    "branch": branch_index,
+                },
+            )
+        )

@@ -1,0 +1,24 @@
+"""Concurrent query engine: overlapping in-flight queries on the simulator.
+
+See :mod:`repro.engine.query_engine` for the full story; the short version
+is that :class:`QueryEngine` schedules time-stamped :class:`QueryJob`
+batches (open- or closed-loop, optionally under churn) onto an
+:class:`~repro.core.armada.ArmadaSystem` whose PIRA/MIRA executors resume
+per message, and reports throughput plus latency/delay percentiles.
+"""
+
+from repro.engine.query_engine import (
+    CompletedQuery,
+    EngineReport,
+    QueryEngine,
+    QueryJob,
+    offered_load,
+)
+
+__all__ = [
+    "CompletedQuery",
+    "EngineReport",
+    "QueryEngine",
+    "QueryJob",
+    "offered_load",
+]

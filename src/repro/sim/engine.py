@@ -34,12 +34,18 @@ class Simulator:
     ['a', 'b']
     """
 
+    #: below this heap size compaction is pointless (rebuilds cost more than
+    #: the skipped pops they save)
+    COMPACT_MIN_SIZE = 16
+
     def __init__(self) -> None:
         self._now: float = 0.0
         self._sequence: int = 0
         self._heap: List[Tuple[float, int, int, CancellableHandle]] = []
         self._processed: int = 0
         self._running: bool = False
+        self._cancelled_pending: int = 0
+        self._compactions: int = 0
 
     @property
     def now(self) -> float:
@@ -53,8 +59,18 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._heap) - self._cancelled_pending
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length, cancelled entries included (for tests/diagnostics)."""
         return len(self._heap)
+
+    @property
+    def compactions(self) -> int:
+        """Number of cancelled-event compaction passes performed."""
+        return self._compactions
 
     def schedule_at(
         self,
@@ -69,10 +85,31 @@ class Simulator:
                 f"cannot schedule event at {time} before current time {self._now}"
             )
         event = Event(time=time, callback=callback, priority=priority, label=label)
-        handle = CancellableHandle(event=event)
+        handle = CancellableHandle(event=event, on_cancel=self._note_cancellation)
         self._sequence += 1
         heapq.heappush(self._heap, (time, priority, self._sequence, handle))
         return handle
+
+    def _note_cancellation(self) -> None:
+        """Bookkeeping hook fired by :meth:`CancellableHandle.cancel`.
+
+        Keeps :attr:`pending_events` exact and compacts the heap once more
+        than half of its entries are cancelled tombstones, so long-running
+        simulations with heavy timer churn stay O(live events) in memory.
+        """
+        self._cancelled_pending += 1
+        if (
+            len(self._heap) >= self.COMPACT_MIN_SIZE
+            and self._cancelled_pending * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries (O(live) time)."""
+        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_pending = 0
+        self._compactions += 1
 
     def schedule_after(
         self,
@@ -91,7 +128,10 @@ class Simulator:
         while self._heap:
             time, _priority, _seq, handle = heapq.heappop(self._heap)
             if handle.cancelled:
+                self._cancelled_pending -= 1
                 continue
+            # A cancel() after the event fired must not skew the live count.
+            handle.on_cancel = None
             self._now = time
             handle.event.fire()
             self._processed += 1
@@ -139,13 +179,19 @@ class Simulator:
             time, _priority, _seq, handle = self._heap[0]
             if handle.cancelled:
                 heapq.heappop(self._heap)
+                self._cancelled_pending -= 1
                 continue
             return time
         return None
 
     def reset(self) -> None:
         """Clear all pending events and rewind the clock to zero."""
+        # Sever the cancel-notification links first: cancelling a handle from
+        # a previous epoch must not skew the new epoch's live-event count.
+        for _time, _priority, _seq, handle in self._heap:
+            handle.on_cancel = None
         self._heap.clear()
         self._now = 0.0
         self._sequence = 0
         self._processed = 0
+        self._cancelled_pending = 0

@@ -56,12 +56,19 @@ class CancellableHandle:
     """Handle returned by :meth:`Simulator.schedule` that allows cancellation.
 
     Cancellation is lazy: the event stays in the heap but is skipped when it
-    reaches the front.  This keeps the scheduler O(log n) per operation.
+    reaches the front.  This keeps the scheduler O(log n) per operation.  The
+    scheduler installs ``on_cancel`` so it can keep an exact count of live
+    events (and compact the heap when cancellations dominate).
     """
 
     event: Event
     cancelled: bool = field(default=False)
+    on_cancel: Optional[Callable[[], None]] = field(default=None, repr=False, compare=False)
 
     def cancel(self) -> None:
-        """Mark the underlying event so the scheduler skips it."""
+        """Mark the underlying event so the scheduler skips it (idempotent)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.on_cancel is not None:
+            self.on_cancel()

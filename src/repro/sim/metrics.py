@@ -103,6 +103,18 @@ class SummaryStats:
         rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
         return ordered[rank]
 
+    def percentiles(self, fractions: Iterable[float] = (0.5, 0.95, 0.99)) -> Dict[str, float]:
+        """Percentile bundle keyed ``p50``/``p95``/``p99`` style.
+
+        >>> stats = SummaryStats(); stats.extend(range(1, 101))
+        >>> stats.percentiles()
+        {'p50': 50.0, 'p95': 95.0, 'p99': 99.0}
+        """
+        return {
+            f"p{round(fraction * 100):d}": self.percentile(fraction)
+            for fraction in fractions
+        }
+
     @property
     def samples(self) -> List[float]:
         """Copy of the raw samples."""
@@ -168,6 +180,96 @@ class MetricsRegistry:
             snapshot[f"summary.{name}.mean"] = summary.mean
             snapshot[f"summary.{name}.max"] = summary.maximum
         return snapshot
+
+
+class QueryTracker:
+    """Tracks in-flight queries and their completion latencies.
+
+    The concurrent query engine starts many overlapping queries on one
+    simulator clock; this tracker records, per query, the simulation time at
+    which it was started and completed, and accumulates sojourn latencies
+    and hop delays into :class:`SummaryStats` series.  (Completion-driven
+    behaviour such as closed-loop refill lives in the engine itself.)
+    """
+
+    def __init__(self, name: str = "queries") -> None:
+        self.name = name
+        self.latency = SummaryStats(f"{name}.latency")
+        self.delay_hops = SummaryStats(f"{name}.delay_hops")
+        self._started_at: Dict[object, float] = {}
+        self._started = 0
+        self._completed = 0
+        self._first_start: Optional[float] = None
+        self._last_completion: Optional[float] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self, query_key: object, time: float) -> None:
+        """Record that ``query_key`` entered the system at ``time``."""
+        if query_key in self._started_at:
+            raise ValueError(f"query {query_key!r} already in flight")
+        self._started_at[query_key] = time
+        self._started += 1
+        if self._first_start is None or time < self._first_start:
+            self._first_start = time
+
+    def complete(self, query_key: object, time: float, delay_hops: Optional[float] = None) -> float:
+        """Record completion; returns the query's sojourn latency."""
+        try:
+            started = self._started_at.pop(query_key)
+        except KeyError as exc:
+            raise ValueError(f"query {query_key!r} was never started") from exc
+        latency = time - started
+        self.latency.add(latency)
+        if delay_hops is not None:
+            self.delay_hops.add(delay_hops)
+        self._completed += 1
+        if self._last_completion is None or time > self._last_completion:
+            self._last_completion = time
+        return latency
+
+    # -- statistics ---------------------------------------------------------
+
+    @property
+    def started(self) -> int:
+        """Queries started so far."""
+        return self._started
+
+    @property
+    def completed(self) -> int:
+        """Queries completed so far."""
+        return self._completed
+
+    @property
+    def in_flight(self) -> int:
+        """Queries started but not yet completed."""
+        return len(self._started_at)
+
+    @property
+    def makespan(self) -> float:
+        """Simulated time from first start to last completion (0.0 when idle)."""
+        if self._first_start is None or self._last_completion is None:
+            return 0.0
+        return max(0.0, self._last_completion - self._first_start)
+
+    def throughput(self) -> float:
+        """Completed queries per simulated time unit over the makespan."""
+        return safe_ratio(float(self._completed), self.makespan)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat summary (counts, throughput, latency percentiles)."""
+        summary: Dict[str, float] = {
+            "started": float(self._started),
+            "completed": float(self._completed),
+            "in_flight": float(self.in_flight),
+            "makespan": self.makespan,
+            "throughput": self.throughput(),
+        }
+        for key, value in self.latency.percentiles().items():
+            summary[f"latency_{key}"] = value
+        for key, value in self.delay_hops.percentiles().items():
+            summary[f"delay_{key}"] = value
+        return summary
 
 
 def mean(values: Iterable[float]) -> float:

@@ -169,6 +169,7 @@ class OverlayNetwork:
             )
         if self._drop_filter is not None and self._drop_filter(message):
             self.metrics.counter("messages.dropped").increment()
+            self._notify_drop(message)
             return
         latency = self.latency_model.latency(message)
         self.simulator.schedule_after(
@@ -177,11 +178,23 @@ class OverlayNetwork:
             label=f"deliver:{message.kind}",
         )
 
+    def _notify_drop(self, message: Message) -> None:
+        """Tell the sender's protocol layer a message will never arrive.
+
+        Senders that track outstanding messages (the concurrent query engine)
+        install an ``on_drop`` metadata callback; without it a dropped message
+        would leave its query waiting forever.
+        """
+        on_drop = message.metadata.get("on_drop")
+        if on_drop is not None:
+            on_drop(message)
+
     def _deliver(self, message: Message) -> None:
         """Deliver a message to its destination node (if still present)."""
         node = self._nodes.get(message.receiver)
         if node is None:
             self.metrics.counter("messages.undeliverable").increment()
+            self._notify_drop(message)
             return
         if self.trace is not None:
             self.trace.record(

@@ -1,5 +1,13 @@
-"""Workload generators: attribute values, range queries, and domain datasets."""
+"""Workload generators: values, range queries, arrivals, churn, datasets."""
 
+from repro.workloads.arrivals import (
+    ChurnEvent,
+    ChurnSchedule,
+    periodic_churn,
+    poisson_arrival_times,
+    uniform_arrival_times,
+    zipf_range_queries,
+)
 from repro.workloads.datasets import (
     GridResource,
     StudentScore,
@@ -18,6 +26,12 @@ from repro.workloads.values import (
 )
 
 __all__ = [
+    "ChurnEvent",
+    "ChurnSchedule",
+    "periodic_churn",
+    "poisson_arrival_times",
+    "uniform_arrival_times",
+    "zipf_range_queries",
     "GridResource",
     "StudentScore",
     "generate_grid_resources",

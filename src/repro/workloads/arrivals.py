@@ -1,0 +1,165 @@
+"""Arrival processes, skewed query mixes and churn schedules.
+
+The concurrent query engine consumes *time-stamped* workloads: every query
+job carries an arrival instant on the simulator clock, and churn is a list
+of timed join/leave events.  This module generates them deterministically
+from a :class:`~repro.sim.rng.DeterministicRNG`:
+
+* :func:`poisson_arrival_times` — open-loop Poisson process at a given
+  offered rate (exponential inter-arrivals);
+* :func:`uniform_arrival_times` — evenly spaced arrivals at a given rate
+  (deterministic pacing, useful as a noise-free baseline);
+* :func:`zipf_range_queries` — range queries whose *positions* are
+  Zipf-skewed across the attribute interval, producing the hot-spot access
+  patterns real workloads show;
+* :class:`ChurnSchedule` / :func:`periodic_churn` — timed join/leave events
+  to interleave with in-flight queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+from repro.sim.rng import DeterministicRNG
+
+
+def poisson_arrival_times(
+    rng: DeterministicRNG,
+    rate: float,
+    count: int,
+    start: float = 0.0,
+) -> List[float]:
+    """``count`` arrival instants of a Poisson process with the given rate.
+
+    ``rate`` is in queries per simulated time unit; inter-arrival gaps are
+    exponential with mean ``1 / rate``.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    times: List[float] = []
+    now = start
+    for _ in range(count):
+        now += rng.exponential(1.0 / rate)
+        times.append(now)
+    return times
+
+
+def uniform_arrival_times(rate: float, count: int, start: float = 0.0) -> List[float]:
+    """``count`` evenly spaced arrivals at the given rate (first at ``start``)."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    gap = 1.0 / rate
+    return [start + index * gap for index in range(count)]
+
+
+def zipf_range_queries(
+    rng: DeterministicRNG,
+    count: int,
+    range_size: float,
+    low: float = 0.0,
+    high: float = 1000.0,
+    alpha: float = 1.1,
+    buckets: int = 100,
+) -> List[Tuple[float, float]]:
+    """``count`` fixed-size ranges whose positions are Zipf-skewed.
+
+    The attribute interval is split into ``buckets`` equal sub-intervals;
+    each query picks a bucket from a truncated Zipf distribution (bucket 1
+    hottest) and a uniform position within it, so a small part of the
+    attribute space receives most of the queries — the skew the engine's
+    load experiments need.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if high < low:
+        raise ValueError("empty attribute interval")
+    if range_size < 0 or range_size > (high - low):
+        raise ValueError("range_size must fit inside the attribute interval")
+    if buckets < 1:
+        raise ValueError("need at least one bucket")
+    width = (high - low) / buckets
+    queries: List[Tuple[float, float]] = []
+    for _ in range(count):
+        rank = rng.zipf(alpha, buckets) - 1
+        bucket_low = low + rank * width
+        bucket_high = min(high, bucket_low + width)
+        span_high = max(bucket_low, min(bucket_high, high - range_size))
+        start = rng.uniform(bucket_low, span_high) if span_high > bucket_low else bucket_low
+        start = min(start, high - range_size)
+        queries.append((start, start + range_size))
+    return queries
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One timed membership change: ``count`` peers join or leave at ``time``."""
+
+    time: float
+    kind: str  # "join" | "leave"
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("join", "leave"):
+            raise ValueError(f"kind must be 'join' or 'leave', got {self.kind!r}")
+        if self.time < 0:
+            raise ValueError("time must be non-negative")
+        if self.count < 1:
+            raise ValueError("count must be positive")
+
+
+@dataclass
+class ChurnSchedule:
+    """An ordered list of churn events plus small composition helpers."""
+
+    events: List[ChurnEvent] = field(default_factory=list)
+
+    def add(self, event: ChurnEvent) -> "ChurnSchedule":
+        """Append one event (kept sorted by time)."""
+        self.events.append(event)
+        self.events.sort(key=lambda entry: entry.time)
+        return self
+
+    def __iter__(self) -> Iterator[ChurnEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def total_joins(self) -> int:
+        """Total peers joining across the schedule."""
+        return sum(event.count for event in self.events if event.kind == "join")
+
+    def total_leaves(self) -> int:
+        """Total peers departing across the schedule."""
+        return sum(event.count for event in self.events if event.kind == "leave")
+
+
+def periodic_churn(
+    period: float,
+    until: float,
+    joins: int = 1,
+    leaves: int = 1,
+    start: float = 0.0,
+) -> ChurnSchedule:
+    """A schedule alternating ``joins`` joins and ``leaves`` leaves each period.
+
+    Events are placed at ``start + period, start + 2 * period, ...`` up to
+    ``until`` (exclusive), the join preceding the leave at each instant so
+    the network size stays balanced.
+    """
+    if period <= 0:
+        raise ValueError("period must be positive")
+    schedule = ChurnSchedule()
+    time = start + period
+    while time < until:
+        if joins > 0:
+            schedule.add(ChurnEvent(time=time, kind="join", count=joins))
+        if leaves > 0:
+            schedule.add(ChurnEvent(time=time, kind="leave", count=leaves))
+        time += period
+    return schedule

@@ -14,8 +14,23 @@ class TestArgumentHandling:
     def test_parser_accepts_all_commands(self):
         parser = build_parser()
         for command in ("table1", "figures-rangesize", "figures-netsize", "analytics",
-                        "fissione", "mira", "ablation", "all"):
+                        "fissione", "mira", "ablation", "load", "all"):
             assert parser.parse_args([command]).command == command
+
+    def test_rates_parsing(self):
+        from repro.cli import parse_rates
+
+        assert parse_rates(None) is None
+        assert parse_rates("0.5,1,2") == (0.5, 1.0, 2.0)
+        with pytest.raises(SystemExit):
+            parse_rates("fast")
+        with pytest.raises(SystemExit):
+            parse_rates("-1,2")
+
+    def test_churn_flag(self):
+        parser = build_parser()
+        assert parser.parse_args(["load", "--churn"]).churn is True
+        assert parser.parse_args(["load"]).churn is False
 
     def test_profile_selection(self):
         parser = build_parser()
@@ -83,3 +98,15 @@ class TestExecution:
     def test_run_command_unknown_raises(self):
         with pytest.raises(ValueError):
             run_command("nonsense", self.TINY)
+
+    def test_run_command_load(self, tmp_path):
+        output = run_command(
+            "load", self.TINY, csv_dir=str(tmp_path), rates=(2.0, 8.0), churn=False
+        )
+        assert "Concurrent load sweep" in output
+        assert "Throughput vs offered load" in output
+        assert os.path.exists(tmp_path / "load.csv")
+
+    def test_run_command_load_with_churn(self):
+        output = run_command("load", self.TINY, rates=(4.0,), churn=True)
+        assert "with churn" in output

@@ -1,0 +1,116 @@
+"""Unit tests for arrival processes, Zipf query skew and churn schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.rng import DeterministicRNG
+from repro.workloads.arrivals import (
+    ChurnEvent,
+    ChurnSchedule,
+    periodic_churn,
+    poisson_arrival_times,
+    uniform_arrival_times,
+    zipf_range_queries,
+)
+
+
+class TestPoissonArrivals:
+    def test_count_and_monotonicity(self):
+        times = poisson_arrival_times(DeterministicRNG(1), rate=2.0, count=500)
+        assert len(times) == 500
+        assert all(later > earlier for earlier, later in zip(times, times[1:]))
+        assert times[0] > 0.0
+
+    def test_mean_gap_matches_rate(self):
+        rate = 4.0
+        times = poisson_arrival_times(DeterministicRNG(7), rate=rate, count=4000)
+        mean_gap = times[-1] / len(times)
+        assert mean_gap == pytest.approx(1.0 / rate, rel=0.1)
+
+    def test_deterministic_given_seed(self):
+        a = poisson_arrival_times(DeterministicRNG(3), 1.0, 50)
+        b = poisson_arrival_times(DeterministicRNG(3), 1.0, 50)
+        assert a == b
+
+    def test_start_offset(self):
+        times = poisson_arrival_times(DeterministicRNG(1), 1.0, 10, start=100.0)
+        assert times[0] > 100.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            poisson_arrival_times(DeterministicRNG(1), 0.0, 5)
+        with pytest.raises(ValueError):
+            poisson_arrival_times(DeterministicRNG(1), 1.0, -1)
+
+
+class TestUniformArrivals:
+    def test_evenly_spaced(self):
+        times = uniform_arrival_times(rate=2.0, count=5)
+        assert times == [0.0, 0.5, 1.0, 1.5, 2.0]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            uniform_arrival_times(0.0, 5)
+        with pytest.raises(ValueError):
+            uniform_arrival_times(1.0, -2)
+
+
+class TestZipfRangeQueries:
+    def test_ranges_have_requested_size_and_bounds(self):
+        queries = zipf_range_queries(DeterministicRNG(5), 300, range_size=50.0)
+        assert len(queries) == 300
+        for low, high in queries:
+            assert high - low == pytest.approx(50.0)
+            assert 0.0 <= low
+            assert high <= 1000.0
+
+    def test_skew_concentrates_on_hot_buckets(self):
+        queries = zipf_range_queries(
+            DeterministicRNG(5), 2000, range_size=5.0, alpha=1.2, buckets=100
+        )
+        # bucket 0 is the hottest: far more than the uniform share (1/100)
+        hot = sum(1 for low, _high in queries if low < 10.0)
+        assert hot > 200
+
+    def test_invalid_arguments(self):
+        rng = DeterministicRNG(1)
+        with pytest.raises(ValueError):
+            zipf_range_queries(rng, -1, 10.0)
+        with pytest.raises(ValueError):
+            zipf_range_queries(rng, 5, 2000.0)
+        with pytest.raises(ValueError):
+            zipf_range_queries(rng, 5, 10.0, buckets=0)
+
+
+class TestChurnSchedules:
+    def test_periodic_schedule_alternates_joins_and_leaves(self):
+        schedule = periodic_churn(period=10.0, until=45.0, joins=2, leaves=3)
+        assert len(schedule) == 8  # 4 instants x (join + leave)
+        assert schedule.total_joins() == 8
+        assert schedule.total_leaves() == 12
+        times = [event.time for event in schedule]
+        assert times == sorted(times)
+
+    def test_events_validated(self):
+        with pytest.raises(ValueError):
+            ChurnEvent(time=-1.0, kind="join")
+        with pytest.raises(ValueError):
+            ChurnEvent(time=0.0, kind="rejoin")
+        with pytest.raises(ValueError):
+            ChurnEvent(time=0.0, kind="leave", count=0)
+
+    def test_schedule_add_keeps_sorted(self):
+        schedule = ChurnSchedule()
+        schedule.add(ChurnEvent(time=5.0, kind="join"))
+        schedule.add(ChurnEvent(time=1.0, kind="leave"))
+        assert [event.time for event in schedule] == [1.0, 5.0]
+
+    def test_zero_count_sides_omitted(self):
+        schedule = periodic_churn(period=5.0, until=20.0, joins=1, leaves=0)
+        assert schedule.total_leaves() == 0
+        assert all(event.kind == "join" for event in schedule)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            periodic_churn(period=0.0, until=10.0)

@@ -81,6 +81,83 @@ class TestCancellation:
         assert fired == ["keep", "keep2"]
 
 
+class TestPendingCountAndCompaction:
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        handles = [sim.schedule_at(float(i + 1), lambda: None) for i in range(6)]
+        assert sim.pending_events == 6
+        handles[0].cancel()
+        handles[3].cancel()
+        assert sim.pending_events == 4
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        handle = sim.schedule_at(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_events == 1
+
+    def test_cancel_after_fire_does_not_skew_count(self):
+        sim = Simulator()
+        handle = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        sim.run(until=1.5)
+        handle.cancel()
+        assert sim.pending_events == 1
+
+    def test_compaction_triggers_above_half_cancelled(self):
+        sim = Simulator()
+        keep = [sim.schedule_at(100.0, lambda: None) for _ in range(10)]
+        drop = [sim.schedule_at(200.0, lambda: None) for _ in range(11)]
+        for handle in drop:
+            handle.cancel()
+        # >50% of the 21 entries are tombstones -> the heap was rebuilt
+        assert sim.compactions >= 1
+        assert sim.heap_size == 10
+        assert sim.pending_events == 10
+        assert all(not handle.cancelled for handle in keep)
+
+    def test_small_heaps_are_not_compacted(self):
+        sim = Simulator()
+        handles = [sim.schedule_at(float(i + 1), lambda: None) for i in range(4)]
+        for handle in handles[:3]:
+            handle.cancel()
+        assert sim.compactions == 0
+        assert sim.pending_events == 1
+
+    def test_compacted_simulation_still_fires_survivors_in_order(self):
+        sim = Simulator()
+        fired = []
+        for index in range(20):
+            sim.schedule_at(float(index + 1), lambda index=index: fired.append(index))
+        cancelled = [sim.schedule_at(50.0, lambda: fired.append("no")) for _ in range(30)]
+        for handle in cancelled:
+            handle.cancel()
+        assert sim.compactions >= 1
+        sim.run()
+        assert fired == list(range(20))
+
+    def test_cancel_of_pre_reset_handle_does_not_skew_new_epoch(self):
+        sim = Simulator()
+        stale = sim.schedule_at(1.0, lambda: None)
+        sim.reset()
+        sim.schedule_at(2.0, lambda: None)
+        stale.cancel()
+        assert sim.pending_events == 1
+
+    def test_pending_count_survives_run_and_reset(self):
+        sim = Simulator()
+        handle = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        handle.cancel()
+        sim.run()
+        assert sim.pending_events == 0
+        sim.schedule_at(3.0, lambda: None).cancel()
+        sim.reset()
+        assert sim.pending_events == 0
+
+
 class TestRunControl:
     def test_run_until_stops_before_later_events(self):
         sim = Simulator()
