@@ -9,20 +9,61 @@ is checked against.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 
 def series_to_csv(x_label: str, x_values: Sequence[float], series: Dict[str, Sequence[float]]) -> str:
-    """CSV text with one column per series."""
+    """CSV text with one column per series.
+
+    Missing points — a series shorter than the x axis, or ``None`` gap
+    markers from :func:`records_to_series` — render as empty cells.
+    """
     names = list(series.keys())
     lines = [",".join([x_label] + names)]
     for index, x_value in enumerate(x_values):
         row = [f"{x_value:g}"]
         for name in names:
             values = series[name]
-            row.append(f"{values[index]:.4f}" if index < len(values) else "")
+            value = values[index] if index < len(values) else None
+            row.append(f"{value:.4f}" if value is not None else "")
         lines.append(",".join(row))
     return "\n".join(lines)
+
+
+def records_to_series(
+    records: Sequence[Dict[str, Any]],
+    x_key: str,
+    y_key: str,
+    group_key: str = "sweep_scheme",
+) -> Tuple[List[float], Dict[str, List[Optional[float]]]]:
+    """Pivot flat sweep/store records into ``(x_values, series)`` form.
+
+    One series per distinct ``group_key`` value; points are averaged when a
+    group has several records at the same x (e.g. sweep replicas), and every
+    series is aligned on the sorted union of x values.  A grid point a
+    series never measured (schemes swept on different grids, or a partially
+    completed sweep) stays ``None`` — an empty CSV cell and a skipped chart
+    point — so no fabricated values enter figure data.  The returned pair
+    plugs straight into :func:`series_to_csv` and :func:`ascii_chart`, so a
+    persisted sweep can be re-plotted without re-running it.
+    """
+    groups: Dict[str, Dict[float, List[float]]] = {}
+    x_union: List[float] = []
+    for record in records:
+        if x_key not in record or y_key not in record:
+            continue
+        group = str(record.get(group_key, "all"))
+        x_value = float(record[x_key])
+        groups.setdefault(group, {}).setdefault(x_value, []).append(float(record[y_key]))
+        if x_value not in x_union:
+            x_union.append(x_value)
+    x_union.sort()
+    series: Dict[str, List[Optional[float]]] = {}
+    for group, points in groups.items():
+        series[group] = [
+            sum(points[x]) / len(points[x]) if x in points else None for x in x_union
+        ]
+    return x_union, series
 
 
 def ascii_chart(
@@ -32,9 +73,15 @@ def ascii_chart(
     width: int = 64,
     title: str = "",
 ) -> str:
-    """A rough ASCII line chart (one marker character per series)."""
+    """A rough ASCII line chart (one marker character per series).
+
+    ``None`` values (gap markers from :func:`records_to_series`) are
+    simply not drawn.
+    """
     markers = "*o+x#@%&"
-    all_values: List[float] = [value for values in series.values() for value in values]
+    all_values: List[float] = [
+        value for values in series.values() for value in values if value is not None
+    ]
     if not all_values or not x_values:
         return title
     top = max(all_values)
@@ -47,6 +94,8 @@ def ascii_chart(
     for series_index, (name, values) in enumerate(series.items()):
         marker = markers[series_index % len(markers)]
         for x_value, y_value in zip(x_values, values):
+            if y_value is None:
+                continue
             column = int((x_value - x_min) / x_span * (width - 1))
             row = int((y_value - bottom) / span * (height - 1))
             grid[height - 1 - row][column] = marker

@@ -1,8 +1,16 @@
-"""Plain-text table rendering for experiment output."""
+"""Plain-text table rendering for experiment output.
+
+Two entry points: :func:`format_table` renders explicit header/row data
+(the serial experiment drivers build these directly), and
+:func:`format_records` renders flat record dictionaries — the form the
+sweep orchestrator produces and the JSONL result store
+(:mod:`repro.analysis.store`) reads back, so persisted sweeps can be
+re-rendered without re-running any simulation.
+"""
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
@@ -27,6 +35,28 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title
     for row in rendered_rows:
         lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
     return "\n".join(lines)
+
+
+def format_records(
+    records: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render flat record dictionaries (sweep/store rows) as an ASCII table.
+
+    ``columns`` selects and orders the rendered fields; when omitted, the
+    union of all keys is rendered in first-appearance order.  Missing fields
+    render as ``-`` so heterogeneous record batches remain readable.
+    """
+    if columns is None:
+        seen: List[str] = []
+        for record in records:
+            for key in record:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+    rows = [[record.get(column, "-") for column in columns] for record in records]
+    return format_table(list(columns), rows, title=title)
 
 
 def _render_cell(cell: object) -> str:

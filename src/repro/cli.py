@@ -19,6 +19,7 @@ import os
 import sys
 from typing import Dict, Optional
 
+from repro.analysis.store import ResultStore
 from repro.experiments import analytics as analytics_experiment
 from repro.experiments import ablation as ablation_experiment
 from repro.experiments import figures_netsize, figures_rangesize
@@ -26,6 +27,7 @@ from repro.experiments import fissione_props as fissione_experiment
 from repro.experiments import load as load_experiment
 from repro.experiments import mira as mira_experiment
 from repro.experiments import table1 as table1_experiment
+from repro.experiments import orchestrator
 from repro.experiments.common import ExperimentConfig
 
 _COMMANDS = (
@@ -37,6 +39,7 @@ _COMMANDS = (
     "mira",
     "ablation",
     "load",
+    "sweep",
     "all",
 )
 
@@ -73,6 +76,46 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="interleave periodic join/leave events with the load sweep's queries",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="sweep only: process-pool size (1 = serial reference path)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        help=(
+            "sweep only: JSONL result-store path; records stream into "
+            "<path>.tmp and replace <path> on success, so each run is a "
+            "clean snapshot and a crash leaves the previous file untouched"
+        ),
+    )
+    parser.add_argument(
+        "--schemes",
+        default=None,
+        help=(
+            "sweep only: comma-separated scheme names "
+            f"(default {','.join(orchestrator.DEFAULT_SCHEMES)}; "
+            f"available: {','.join(sorted(orchestrator.SCHEME_FACTORIES))})"
+        ),
+    )
+    parser.add_argument(
+        "--network-sizes",
+        default=None,
+        help="sweep only: comma-separated network sizes (default: the profile's peers)",
+    )
+    parser.add_argument(
+        "--range-sizes",
+        default=None,
+        help="sweep only: comma-separated range sizes (default: the profile's range sizes)",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="sweep only: independent repetitions of every grid point",
+    )
     return parser
 
 
@@ -87,6 +130,38 @@ def parse_rates(text: Optional[str]):
     if not rates or any(rate <= 0 for rate in rates):
         raise SystemExit(f"--rates needs one or more positive numbers, got {text!r}")
     return rates
+
+
+def _parse_number_list(text: Optional[str], flag: str, cast):
+    """Parse a comma-separated numeric flag value, or ``None`` when unset."""
+    if text is None:
+        return None
+    try:
+        values = tuple(cast(part) for part in text.split(",") if part.strip())
+    except ValueError as exc:
+        raise SystemExit(f"invalid {flag} value {text!r}: {exc}")
+    if not values:
+        raise SystemExit(f"{flag} needs at least one number, got {text!r}")
+    return values
+
+
+def make_sweep_spec(args: argparse.Namespace, config: ExperimentConfig):
+    """Resolve the sweep grid from the CLI arguments."""
+    schemes = (
+        tuple(part.strip() for part in args.schemes.split(",") if part.strip())
+        if args.schemes is not None
+        else orchestrator.DEFAULT_SCHEMES
+    )
+    try:
+        return orchestrator.SweepSpec.from_config(
+            config,
+            schemes=schemes,
+            network_sizes=_parse_number_list(args.network_sizes, "--network-sizes", int),
+            range_sizes=_parse_number_list(args.range_sizes, "--range-sizes", float),
+            replicas=args.replicas,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def make_config(args: argparse.Namespace) -> ExperimentConfig:
@@ -126,8 +201,29 @@ def run_command(
     csv_dir: Optional[str] = None,
     rates=None,
     churn: bool = False,
+    sweep_spec=None,
+    workers: int = 1,
+    store_path: Optional[str] = None,
 ) -> str:
     """Run one experiment command and return its formatted output."""
+    if command == "sweep":
+        spec = (
+            sweep_spec
+            if sweep_spec is not None
+            else orchestrator.SweepSpec.from_config(config)
+        )
+        # Stream into a scratch file and rename on success: re-running the
+        # same command never duplicates records, and a crashed or
+        # interrupted sweep leaves any previous result file untouched.
+        scratch = ResultStore(store_path + ".tmp") if store_path is not None else None
+        if scratch is not None:
+            scratch.clear()
+        outcome = orchestrator.run_sweep(spec, workers=workers, store=scratch)
+        parts = [outcome.format()]
+        if scratch is not None and store_path is not None:
+            os.replace(scratch.path, store_path)
+            parts.append(f"streamed {outcome.jobs} records into {store_path}")
+        return "\n\n".join(parts)
     if command == "load":
         result = load_experiment.run(config, rates=rates, churn=churn)
         _write_csvs(csv_dir, result.to_csv())
@@ -169,6 +265,9 @@ def main(argv=None) -> int:
         csv_dir=args.csv_dir,
         rates=parse_rates(args.rates),
         churn=args.churn,
+        sweep_spec=make_sweep_spec(args, config) if args.command == "sweep" else None,
+        workers=args.workers,
+        store_path=args.store,
     )
     print(output)
     return 0

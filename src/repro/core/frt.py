@@ -109,7 +109,7 @@ class ForwardRoutingTree:
         for level in range(limit):
             next_frontier: List[FRTNode] = []
             for node in frontier:
-                for neighbor in sorted(self._network.out_neighbors(node.peer_id)):
+                for neighbor in sorted(self._network.out_neighbors_view(node.peer_id)):
                     child = FRTNode(peer_id=neighbor, level=level + 1)
                     node.children.append(child)
                     next_frontier.append(child)

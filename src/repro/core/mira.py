@@ -179,7 +179,7 @@ class MiraExecutor(ResumableExecutor):
             self._handle_destination(peer, hop, subtree, state)
             return
 
-        for neighbor_id in self.network.out_neighbors(peer.peer_id):
+        for neighbor_id in self.network.out_neighbors_view(peer.peer_id):
             prefix = descendant_prefix(neighbor_id, level + 1, subtree.dest_level)
             if not self._label_intersects(prefix, subtree):
                 continue

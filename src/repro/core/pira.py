@@ -235,7 +235,7 @@ class PiraExecutor(ResumableExecutor):
             self._handle_destination(peer, hop, subquery, state)
             return
 
-        for neighbor_id in self.network.out_neighbors(peer.peer_id):
+        for neighbor_id in self.network.out_neighbors_view(peer.peer_id):
             prefix = descendant_prefix(neighbor_id, level + 1, subquery.dest_level)
             if not subquery.region.contains_prefix(prefix):
                 continue

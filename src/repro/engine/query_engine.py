@@ -205,7 +205,14 @@ class QueryEngine:
     # -- execution ----------------------------------------------------------
 
     def run_open_loop(self, jobs: Sequence[QueryJob], until: Optional[float] = None) -> EngineReport:
-        """Submit all jobs at their arrival times and drain the simulator."""
+        """Submit all jobs at their arrival times and drain the simulator.
+
+        This models *offered load*: arrivals fire on the workload's clock
+        regardless of how many queries are already in flight, so latency
+        percentiles in the report reflect queueing under the offered rate.
+        With ``until`` the run stops at that simulation instant and the
+        report covers whatever completed by then.
+        """
         self.submit_many(jobs)
         return self.run(until=until)
 
@@ -232,7 +239,13 @@ class QueryEngine:
         return self.report()
 
     def report(self) -> EngineReport:
-        """Aggregate statistics for the queries completed so far."""
+        """Aggregate statistics for the queries completed so far.
+
+        Message and event counts are deltas since this engine was
+        constructed, so several engines can share one long-lived system
+        (as the load sweep does, one engine per offered rate) without
+        double-counting each other's traffic.
+        """
         return EngineReport(
             completed=list(self._completed),
             started=self.tracker.started,

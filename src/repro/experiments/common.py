@@ -1,4 +1,17 @@
-"""Shared experiment configuration and driver helpers."""
+"""Shared experiment configuration and driver helpers.
+
+Every experiment driver — the serial per-figure modules, the concurrent
+load sweep and the multiprocess orchestrator — is built from the same
+three ingredients defined here:
+
+* :class:`ExperimentConfig`, the frozen parameter record (it is pickled
+  into sweep jobs, so keep its fields plain values);
+* :func:`make_values` / :func:`build_and_load`, the deterministic
+  construction of published values and overlays; and
+* :func:`run_scheme_queries`, the per-point query batch whose RNG
+  substream is keyed by scheme and x-value so that adding or reordering
+  points never shifts another point's draws.
+"""
 
 from __future__ import annotations
 
@@ -82,7 +95,14 @@ def run_scheme_queries(
     x_value: float,
     query_seed_label: str = "queries",
 ) -> SchemePointResult:
-    """Run ``queries_per_point`` random queries of one range size on a built scheme."""
+    """Run ``queries_per_point`` random queries of one range size on a built scheme.
+
+    ``x_value`` is the point's position on the figure's x-axis (the range
+    size for Figures 5/6, the network size for Figures 7/8); together with
+    ``scheme.name`` and ``query_seed_label`` it keys the RNG substream, so
+    every (scheme, point) pair draws an independent, reproducible query
+    batch.  Returns the aggregate row plus the raw per-query measurements.
+    """
     workload = RangeQueryWorkload(
         range_size=range_size,
         low=config.attribute_low,
@@ -101,7 +121,13 @@ def build_and_load(
     num_peers: int,
     values: Sequence[float],
 ) -> RangeQueryScheme:
-    """Construct a scheme, build its overlay and publish the values."""
+    """Construct a scheme, build its overlay and publish the values.
+
+    The overlay is built from ``config.seed`` alone, so two calls with the
+    same config, peer count and values produce structurally identical
+    overlays — the property the sweep orchestrator relies on when it
+    rebuilds schemes inside worker processes.
+    """
     scheme = scheme_factory()
     scheme.build(num_peers, seed=config.seed)
     scheme.load(list(values))

@@ -40,7 +40,19 @@ class FissioneError(RuntimeError):
 
 
 class FissioneNetwork:
-    """Membership, zone ownership and neighbour computation for FISSIONE."""
+    """Membership, zone ownership and neighbour computation for FISSIONE.
+
+    Topology-derived lookups (out-/in-neighbour tables, owner-of-prefix
+    resolution, the maximum PeerID length) are cached between membership
+    changes: the tables are recomputed lazily per peer and every join or
+    departure invalidates all of them at once.  Queries vastly outnumber
+    membership changes in every experiment, so the event loop's per-hop
+    neighbour and owner lookups become dictionary hits instead of repeated
+    Kautz-string derivations.
+    """
+
+    #: owner-cache capacity; a full cache is cleared, not grown (see owner_id)
+    _OWNER_CACHE_MAX = 1 << 17
 
     def __init__(self, object_id_length: int = 100, base: int = 2) -> None:
         if object_id_length < 4:
@@ -50,6 +62,11 @@ class FissioneNetwork:
         self.base = base
         self._peers: Dict[str, FissionePeer] = {}
         self._sorted_ids: List[str] = []
+        # Topology caches, invalidated wholesale on membership changes.
+        self._out_cache: Dict[str, Tuple[str, ...]] = {}
+        self._in_cache: Dict[str, Tuple[str, ...]] = {}
+        self._owner_cache: Dict[str, str] = {}
+        self._max_len: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # construction                                                         #
@@ -124,10 +141,16 @@ class FissioneNetwork:
         return sum(len(peer_id) for peer_id in self._sorted_ids) / len(self._sorted_ids)
 
     def max_id_length(self) -> int:
-        """Maximum PeerID length (paper: ``< 2 log2 N``)."""
-        if not self._peers:
-            return 0
-        return max(len(peer_id) for peer_id in self._sorted_ids)
+        """Maximum PeerID length (paper: ``< 2 log2 N``).
+
+        Cached between membership changes; ownership resolution truncates
+        lookup keys to this length on every routing hop.
+        """
+        if self._max_len is None:
+            self._max_len = (
+                max(len(peer_id) for peer_id in self._sorted_ids) if self._sorted_ids else 0
+            )
+        return self._max_len
 
     def log_size(self) -> float:
         """``log2`` of the network size, the paper's reference line."""
@@ -141,10 +164,29 @@ class FissioneNetwork:
         """PeerID of the peer whose zone contains ``key``.
 
         ``key`` may be a full ObjectID or any Kautz string at least as long
-        as the deepest PeerID; ownership is determined by prefix.
+        as the deepest PeerID; ownership is determined by prefix.  Because
+        ownership only ever depends on the first ``max_id_length()`` symbols
+        of ``key``, the lookup key is truncated to that length and the
+        resolution is cached per prefix — the per-hop ``next hop`` lookup of
+        FISSIONE routing becomes a dictionary hit on a static topology.
         """
         if not self._sorted_ids:
             raise FissioneError("network is empty")
+        limit = self.max_id_length()
+        probe = key if len(key) <= limit else key[:limit]
+        cached = self._owner_cache.get(probe)
+        if cached is None:
+            cached = self._owner_id_uncached(probe)
+            # Epoch-style bound: on a static topology distinct probes can
+            # keep arriving forever (one per routed window), so reset the
+            # cache once it fills rather than letting it grow unbounded.
+            if len(self._owner_cache) >= self._OWNER_CACHE_MAX:
+                self._owner_cache.clear()
+            self._owner_cache[probe] = cached
+        return cached
+
+    def _owner_id_uncached(self, key: str) -> str:
+        """The bisect-based ownership resolution behind :meth:`owner_id`."""
         index = bisect.bisect_right(self._sorted_ids, key) - 1
         if index < 0:
             # ``key`` sorts before every PeerID; with a complete cover this
@@ -199,8 +241,16 @@ class FissioneNetwork:
     # neighbour relations                                                  #
     # ------------------------------------------------------------------ #
 
-    def out_neighbors(self, peer_id: str) -> List[str]:
-        """Out-neighbours of ``peer_id`` in the approximate Kautz topology."""
+    def out_neighbors_view(self, peer_id: str) -> Tuple[str, ...]:
+        """Cached immutable out-neighbour table of ``peer_id``.
+
+        The returned tuple is shared between callers and between calls —
+        this is the hot-path accessor the query executors iterate on every
+        forwarding hop.  Use :meth:`out_neighbors` for a fresh list.
+        """
+        cached = self._out_cache.get(peer_id)
+        if cached is not None:
+            return cached
         if peer_id not in self._peers:
             raise FissioneError(f"no peer with id {peer_id!r}")
         tail = peer_id[1:]
@@ -214,10 +264,19 @@ class FissioneNetwork:
                 for other in self._sorted_ids
                 if other and other[0] != peer_id[0]
             ]
-        return [other for other in neighbors if other != peer_id]
+        result = tuple(other for other in neighbors if other != peer_id)
+        self._out_cache[peer_id] = result
+        return result
 
-    def in_neighbors(self, peer_id: str) -> List[str]:
-        """In-neighbours of ``peer_id``: peers with an edge towards it."""
+    def out_neighbors(self, peer_id: str) -> List[str]:
+        """Out-neighbours of ``peer_id`` in the approximate Kautz topology."""
+        return list(self.out_neighbors_view(peer_id))
+
+    def in_neighbors_view(self, peer_id: str) -> Tuple[str, ...]:
+        """Cached immutable in-neighbour table of ``peer_id``."""
+        cached = self._in_cache.get(peer_id)
+        if cached is not None:
+            return cached
         if peer_id not in self._peers:
             raise FissioneError(f"no peer with id {peer_id!r}")
         result: List[str] = []
@@ -225,12 +284,18 @@ class FissioneNetwork:
             for candidate in self.compatible_peers(symbol + peer_id):
                 if candidate != peer_id and candidate not in result:
                     result.append(candidate)
-        return result
+        table = tuple(result)
+        self._in_cache[peer_id] = table
+        return table
+
+    def in_neighbors(self, peer_id: str) -> List[str]:
+        """In-neighbours of ``peer_id``: peers with an edge towards it."""
+        return list(self.in_neighbors_view(peer_id))
 
     def neighbors(self, peer_id: str) -> List[str]:
         """Union of in- and out-neighbours."""
         seen: List[str] = []
-        for neighbor in self.out_neighbors(peer_id) + self.in_neighbors(peer_id):
+        for neighbor in self.out_neighbors_view(peer_id) + self.in_neighbors_view(peer_id):
             if neighbor not in seen:
                 seen.append(neighbor)
         return seen
@@ -239,7 +304,7 @@ class FissioneNetwork:
         """Average out-degree (paper: FISSIONE's average degree is 4 counting both directions)."""
         if not self._peers:
             return 0.0
-        total = sum(len(self.out_neighbors(peer_id)) for peer_id in self._sorted_ids)
+        total = sum(len(self.out_neighbors_view(peer_id)) for peer_id in self._sorted_ids)
         return total / len(self._sorted_ids)
 
     # ------------------------------------------------------------------ #
@@ -395,12 +460,23 @@ class FissioneNetwork:
                 best_length = len(first)
         return best
 
+    def _invalidate_topology_caches(self) -> None:
+        """Drop every topology-derived cache (after a membership change)."""
+        if self._out_cache:
+            self._out_cache.clear()
+        if self._in_cache:
+            self._in_cache.clear()
+        if self._owner_cache:
+            self._owner_cache.clear()
+        self._max_len = None
+
     def _add_peer(self, peer: FissionePeer) -> None:
         if peer.peer_id in self._peers:
             raise FissioneError(f"peer {peer.peer_id!r} already exists")
         ks.validate_kautz_string(peer.peer_id, base=self.base)
         self._peers[peer.peer_id] = peer
         bisect.insort(self._sorted_ids, peer.peer_id)
+        self._invalidate_topology_caches()
 
     def _remove_peer(self, peer_id: str) -> FissionePeer:
         peer = self._peers.pop(peer_id, None)
@@ -409,6 +485,7 @@ class FissioneNetwork:
         index = bisect.bisect_left(self._sorted_ids, peer_id)
         if index < len(self._sorted_ids) and self._sorted_ids[index] == peer_id:
             self._sorted_ids.pop(index)
+        self._invalidate_topology_caches()
         return peer
 
     def __repr__(self) -> str:

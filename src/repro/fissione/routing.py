@@ -60,13 +60,18 @@ def route(network: FissioneNetwork, source_peer_id: str, object_id: str) -> Rout
     spliced = ks.splice(source_peer_id, object_id, base=network.base)
     # Position at which the ObjectID starts inside the spliced string.
     object_start = len(spliced) - len(object_id)
+    # Ownership only depends on the first ``max_id_length`` symbols of the
+    # window, so truncate before the lookup: the short window doubles as the
+    # next-hop cache key inside :meth:`FissioneNetwork.owner_id`, making each
+    # hop a dictionary hit on a static topology.
+    window_length = network.max_id_length()
 
     path = RoutePath(source=source_peer_id, object_id=object_id, peers=[source_peer_id])
     current = source_peer_id
     for position in range(1, object_start + 1):
         if current.startswith(object_id[: len(current)]) and object_id.startswith(current):
             break
-        window = spliced[position:]
+        window = spliced[position : position + window_length]
         next_peer = network.owner_id(window)
         if next_peer != current:
             path.peers.append(next_peer)

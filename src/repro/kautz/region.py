@@ -11,9 +11,28 @@ lexicographically minimal / maximal extensions of ``p``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator, List
 
 from repro.kautz import strings as ks
+
+
+@lru_cache(maxsize=1 << 17)
+def _contains_prefix_memo(low: str, high: str, base: int, prefix: str) -> bool:
+    """Memoised core of :meth:`KautzRegion.contains_prefix`.
+
+    Keyed by the region's endpoints rather than the region object so that
+    the many equal-but-distinct :class:`KautzRegion` instances produced per
+    query share one cache line per (region, prefix) pair.  The inputs are
+    pre-validated by the caller.
+    """
+    length = len(low)
+    if len(prefix) > length:
+        head = prefix[:length]
+        return ks.is_kautz_string(head, base=base) and low <= head <= high
+    lowest = ks.min_extension(prefix, length, base=base)
+    highest = ks.max_extension(prefix, length, base=base)
+    return lowest <= high and highest >= low
 
 
 @dataclass(frozen=True)
@@ -66,19 +85,15 @@ class KautzRegion:
     def contains_prefix(self, prefix: str) -> bool:
         """True when some string of the region has ``prefix`` as a prefix.
 
-        This is PIRA's forwarding predicate.  It holds exactly when the
-        interval of strings extending ``prefix`` intersects ``[low, high]``:
-        the smallest extension must not exceed ``high`` and the largest
-        extension must not fall below ``low``.
+        This is PIRA's forwarding predicate, evaluated once per
+        (neighbour, sub-region) pair on every hop of every in-flight query,
+        so the verdict is memoised across queries.  It holds exactly when
+        the interval of strings extending ``prefix`` intersects
+        ``[low, high]``: the smallest extension must not exceed ``high``
+        and the largest extension must not fall below ``low``.
         """
         ks.validate_kautz_string(prefix, base=self.base, allow_empty=True)
-        if len(prefix) > self.length:
-            # A prefix longer than k can only match if its first k symbols
-            # form a string inside the region.
-            return prefix[: self.length] in self
-        lowest = ks.min_extension(prefix, self.length, base=self.base)
-        highest = ks.max_extension(prefix, self.length, base=self.base)
-        return lowest <= self.high and highest >= self.low
+        return _contains_prefix_memo(self.low, self.high, self.base, prefix)
 
     def intersect_prefix_count(self, prefix: str) -> int:
         """Number of strings in the region that extend ``prefix``."""

@@ -14,17 +14,26 @@ The functions here implement the pieces Armada's naming and routing need:
   length (:func:`min_extension`, :func:`max_extension`) -- these define the
   interval of length-``k`` Kautz strings owned by a prefix,
 * counting and rank/unrank within ``KautzSpace(d, k)``.
+
+These helpers sit on the per-hop hot path of the event simulator (every
+PIRA forwarding decision extends peer-id prefixes to region length), so the
+pure string-valued functions are memoised: validation results, symbol
+tables and prefix extensions are computed once per distinct input and then
+served from caches.  All cached values are immutable (``str`` / ``tuple``),
+so sharing them is safe.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from functools import lru_cache
+from typing import List, Optional, Tuple
 
 
 class KautzStringError(ValueError):
     """Raised for malformed Kautz strings or invalid parameters."""
 
 
+@lru_cache(maxsize=16)
 def alphabet(base: int) -> str:
     """The ``base + 1`` symbols usable in a base-``base`` Kautz string."""
     if base < 1:
@@ -34,16 +43,11 @@ def alphabet(base: int) -> str:
     return "".join(str(symbol) for symbol in range(base + 1))
 
 
-def validate_kautz_string(value: str, base: int = 2, allow_empty: bool = False) -> str:
-    """Validate ``value`` as a Kautz string (or prefix) and return it.
-
-    Raises :class:`KautzStringError` if the string uses symbols outside the
-    alphabet or repeats a symbol in adjacent positions.
-    """
+def _validate_impl(value: str, base: int, allow_empty: bool) -> None:
     symbols = alphabet(base)
     if not value:
         if allow_empty:
-            return value
+            return
         raise KautzStringError("Kautz string must not be empty")
     for position, char in enumerate(value):
         if char not in symbols:
@@ -54,7 +58,30 @@ def validate_kautz_string(value: str, base: int = 2, allow_empty: bool = False) 
             raise KautzStringError(
                 f"adjacent symbols at positions {position - 1} and {position} are equal in {value!r}"
             )
-    return value
+
+
+@lru_cache(maxsize=1 << 17)
+def _is_valid_memo(value: str, base: int, allow_empty: bool) -> bool:
+    try:
+        _validate_impl(value, base, allow_empty)
+    except KautzStringError:
+        return False
+    return True
+
+
+def validate_kautz_string(value: str, base: int = 2, allow_empty: bool = False) -> str:
+    """Validate ``value`` as a Kautz string (or prefix) and return it.
+
+    Raises :class:`KautzStringError` if the string uses symbols outside the
+    alphabet or repeats a symbol in adjacent positions.  Validation verdicts
+    are memoised (peer ids and object-id prefixes are re-validated on every
+    routing hop); the slow path is only re-entered to build the error
+    message for invalid inputs.
+    """
+    if _is_valid_memo(value, base, allow_empty):
+        return value
+    _validate_impl(value, base, allow_empty)
+    return value  # pragma: no cover - unreachable: invalid inputs raise above
 
 
 def is_kautz_string(value: str, base: int = 2, allow_empty: bool = False) -> bool:
@@ -80,22 +107,32 @@ def common_prefix(first: str, second: str) -> str:
     return first[:limit]
 
 
+@lru_cache(maxsize=256)
+def _allowed_symbols_memo(previous: Optional[str], base: int) -> Tuple[str, ...]:
+    """Shared immutable symbol table behind :func:`allowed_symbols`."""
+    symbols = alphabet(base)
+    if previous is None or previous == "":
+        return tuple(symbols)
+    if previous not in symbols:
+        raise KautzStringError(f"previous symbol {previous!r} not in base-{base} alphabet")
+    return tuple(symbol for symbol in symbols if symbol != previous)
+
+
 def allowed_symbols(previous: Optional[str], base: int = 2) -> List[str]:
     """Symbols usable after ``previous`` (all symbols when ``previous`` is None).
 
     The returned list is sorted increasingly, matching the left-to-right edge
     labelling of the partition tree and the forward routing tree.
     """
-    symbols = alphabet(base)
-    if previous is None or previous == "":
-        return list(symbols)
-    if previous not in symbols:
-        raise KautzStringError(f"previous symbol {previous!r} not in base-{base} alphabet")
-    return [symbol for symbol in symbols if symbol != previous]
+    return list(_allowed_symbols_memo(previous, base))
 
 
+@lru_cache(maxsize=1 << 17)
 def min_extension(prefix: str, length: int, base: int = 2) -> str:
     """Lexicographically smallest length-``length`` Kautz string with ``prefix``.
+
+    Memoised: PIRA evaluates the same (peer-id prefix, region length)
+    extensions on every forwarding hop.
 
     >>> min_extension("02", 4)
     '0201'
@@ -108,12 +145,15 @@ def min_extension(prefix: str, length: int, base: int = 2) -> str:
     result = list(prefix)
     while len(result) < length:
         previous = result[-1] if result else None
-        result.append(allowed_symbols(previous, base=base)[0])
+        result.append(_allowed_symbols_memo(previous, base)[0])
     return "".join(result)
 
 
+@lru_cache(maxsize=1 << 17)
 def max_extension(prefix: str, length: int, base: int = 2) -> str:
     """Lexicographically largest length-``length`` Kautz string with ``prefix``.
+
+    Memoised, like :func:`min_extension`.
 
     >>> max_extension("02", 4)
     '0212'
@@ -126,7 +166,7 @@ def max_extension(prefix: str, length: int, base: int = 2) -> str:
     result = list(prefix)
     while len(result) < length:
         previous = result[-1] if result else None
-        result.append(allowed_symbols(previous, base=base)[-1])
+        result.append(_allowed_symbols_memo(previous, base)[-1])
     return "".join(result)
 
 
@@ -162,7 +202,7 @@ def rank(value: str, base: int = 2) -> int:
     index = 0
     previous: Optional[str] = None
     for position, char in enumerate(value):
-        choices = allowed_symbols(previous, base=base)
+        choices = _allowed_symbols_memo(previous, base)
         char_index = choices.index(char)
         remaining = length - position - 1
         index += char_index * (base ** remaining)
@@ -179,7 +219,7 @@ def unrank(index: int, length: int, base: int = 2) -> str:
     previous: Optional[str] = None
     remaining_index = index
     for position in range(length):
-        choices = allowed_symbols(previous, base=base)
+        choices = _allowed_symbols_memo(previous, base)
         block = base ** (length - position - 1)
         choice_index = remaining_index // block
         remaining_index -= choice_index * block

@@ -30,8 +30,11 @@ class Simulator:
     >>> _ = sim.schedule_at(2.0, lambda: fired.append("b"))
     >>> _ = sim.schedule_at(1.0, lambda: fired.append("a"))
     >>> sim.run()
+    2
     >>> fired
     ['a', 'b']
+    >>> sim.now
+    2.0
     """
 
     #: below this heap size compaction is pointless (rebuilds cost more than

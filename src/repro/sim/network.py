@@ -109,6 +109,11 @@ class OverlayNetwork:
         self.trace = trace
         self._nodes: Dict[Hashable, NodeProtocol] = {}
         self._drop_filter: Optional[Callable[[Message], bool]] = None
+        # Hot-path caches: counter objects and interned per-kind labels, so
+        # sending a message costs no registry lookups or string formatting.
+        self._total_counter = self.metrics.counter("messages.total")
+        self._kind_counters: Dict[str, Any] = {}
+        self._kind_labels: Dict[str, str] = {}
 
     # -- node management ---------------------------------------------------
 
@@ -153,10 +158,14 @@ class OverlayNetwork:
 
     def send(self, message: Message) -> None:
         """Send a message: count it and schedule its delivery."""
-        if not self.has_node(message.receiver):
+        if message.receiver not in self._nodes:
             raise NetworkError(f"message to unknown node {message.receiver!r}")
-        self.metrics.counter("messages.total").increment()
-        self.metrics.counter(f"messages.{message.kind}").increment()
+        self._total_counter.increment()
+        kind_counter = self._kind_counters.get(message.kind)
+        if kind_counter is None:
+            kind_counter = self.metrics.counter(f"messages.{message.kind}")
+            self._kind_counters[message.kind] = kind_counter
+        kind_counter.increment()
         if self.trace is not None:
             self.trace.record(
                 self.simulator.now,
@@ -172,10 +181,14 @@ class OverlayNetwork:
             self._notify_drop(message)
             return
         latency = self.latency_model.latency(message)
+        label = self._kind_labels.get(message.kind)
+        if label is None:
+            label = f"deliver:{message.kind}"
+            self._kind_labels[message.kind] = label
         self.simulator.schedule_after(
             latency,
             lambda msg=message: self._deliver(msg),
-            label=f"deliver:{message.kind}",
+            label=label,
         )
 
     def _notify_drop(self, message: Message) -> None:

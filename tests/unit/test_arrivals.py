@@ -39,9 +39,20 @@ class TestPoissonArrivals:
 
     def test_invalid_arguments(self):
         with pytest.raises(ValueError):
+            poisson_arrival_times(DeterministicRNG(1), 1.0, -1)
+
+    def test_zero_rate_rejected_even_for_empty_batches(self):
+        # A zero-rate process would never produce an arrival; the workload
+        # layer rejects it eagerly instead of looping forever downstream.
+        with pytest.raises(ValueError):
             poisson_arrival_times(DeterministicRNG(1), 0.0, 5)
         with pytest.raises(ValueError):
-            poisson_arrival_times(DeterministicRNG(1), 1.0, -1)
+            poisson_arrival_times(DeterministicRNG(1), 0.0, 0)
+        with pytest.raises(ValueError):
+            poisson_arrival_times(DeterministicRNG(1), -3.5, 5)
+
+    def test_zero_count_yields_empty_batch(self):
+        assert poisson_arrival_times(DeterministicRNG(1), 2.0, 0) == []
 
 
 class TestUniformArrivals:
@@ -82,6 +93,19 @@ class TestZipfRangeQueries:
         with pytest.raises(ValueError):
             zipf_range_queries(rng, 5, 10.0, buckets=0)
 
+    def test_single_bucket_degenerates_to_uniform_positions(self):
+        # With one Zipf rank every draw must return rank 1: the whole
+        # attribute interval is the single (hottest) bucket.
+        rng = DeterministicRNG(11)
+        assert all(rng.zipf(1.1, 1) == 1 for _ in range(50))
+        queries = zipf_range_queries(DeterministicRNG(11), 200, range_size=30.0, buckets=1)
+        assert len(queries) == 200
+        for low, high in queries:
+            assert high - low == pytest.approx(30.0)
+            assert 0.0 <= low and high <= 1000.0
+        # positions must still spread over the interval, not pile on one spot
+        assert len({round(low, 6) for low, _high in queries}) > 100
+
 
 class TestChurnSchedules:
     def test_periodic_schedule_alternates_joins_and_leaves(self):
@@ -114,3 +138,25 @@ class TestChurnSchedules:
     def test_invalid_period(self):
         with pytest.raises(ValueError):
             periodic_churn(period=0.0, until=10.0)
+
+    def test_empty_schedule_edge_cases(self):
+        # A window shorter than one period produces no events at all.
+        empty = periodic_churn(period=10.0, until=5.0)
+        assert len(empty) == 0
+        assert empty.total_joins() == 0
+        assert empty.total_leaves() == 0
+        assert list(empty) == []
+        # Zero join/leave counts likewise produce an empty schedule.
+        assert len(periodic_churn(period=1.0, until=10.0, joins=0, leaves=0)) == 0
+
+    def test_engine_accepts_empty_churn_schedule(self):
+        from repro.core.armada import ArmadaSystem
+        from repro.engine import QueryEngine, QueryJob
+
+        system = ArmadaSystem(num_peers=32, seed=3, attribute_interval=(0.0, 1000.0))
+        system.insert_many([float(v) for v in range(0, 1000, 100)])
+        engine = QueryEngine(system)
+        engine.schedule_churn(periodic_churn(period=10.0, until=5.0))  # no events
+        report = engine.run_open_loop([QueryJob(arrival=0.0, low=100.0, high=300.0)])
+        assert report.queries == 1
+        assert system.size == 32  # membership untouched by the empty schedule

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Documentation link checker (used by the CI docs job).
+
+Scans the repository's markdown files for inline links ``[text](target)``
+and verifies that every *relative* target exists on disk, resolved against
+the file containing the link.  External links (``http(s)://``, ``mailto:``)
+and pure in-page anchors (``#...``) are skipped; a relative target's own
+``#anchor`` suffix is stripped before the existence check.
+
+Exit status: 0 when every link resolves, 1 otherwise (missing targets are
+listed on stderr).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Iterator, List, Tuple
+
+#: inline markdown link, non-greedy so adjacent links split correctly
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: markdown files checked by default (relative to the repo root)
+DEFAULT_FILES = ("README.md", "docs/ARCHITECTURE.md")
+
+
+def iter_links(markdown_path: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line_number, target)`` for every inline link in the file."""
+    with open(markdown_path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            for match in _LINK.finditer(line):
+                yield line_number, match.group(1)
+
+
+def check_file(markdown_path: str) -> List[str]:
+    """Return a list of error strings for unresolvable relative links."""
+    errors: List[str] = []
+    base = os.path.dirname(os.path.abspath(markdown_path))
+    for line_number, target in iter_links(markdown_path):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = os.path.normpath(os.path.join(base, path))
+        if not os.path.exists(resolved):
+            errors.append(f"{markdown_path}:{line_number}: broken link -> {target}")
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = argv[1:] if len(argv) > 1 else [os.path.join(root, name) for name in DEFAULT_FILES]
+    errors: List[str] = []
+    checked = 0
+    for markdown_path in files:
+        if not os.path.exists(markdown_path):
+            errors.append(f"{markdown_path}: file not found")
+            continue
+        checked += 1
+        errors.extend(check_file(markdown_path))
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        return 1
+    print(f"checked {checked} file(s): all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
