@@ -21,14 +21,19 @@ def write_bench_json(name: str, metrics: Dict[str, float], directory: Optional[s
     """Write ``BENCH_<name>.json`` and return its path.
 
     The payload carries the metrics plus enough environment context
-    (python version, platform) to interpret them; values are floats so the
-    file diffs cleanly.
+    (python version, platform) to interpret them.  Integer metrics (counts:
+    peers, messages, queries, ...) are kept as ints and everything else is
+    coerced to float, so the JSON diffs cleanly across runs without
+    ``512.0``-style noise on values that are semantically integers.
     """
     payload = {
         "name": name,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
-        "metrics": {key: float(value) for key, value in metrics.items()},
+        "metrics": {
+            key: value if isinstance(value, int) and not isinstance(value, bool) else float(value)
+            for key, value in metrics.items()
+        },
     }
     path = os.path.join(directory if directory is not None else _BENCH_DIR, f"BENCH_{name}.json")
     with open(path, "w", encoding="utf-8") as handle:

@@ -68,8 +68,8 @@ def test_concurrent_engine_throughput(benchmark):
     events_per_sec = report.events / elapsed if elapsed > 0 else 0.0
     queries_per_sec = report.queries / elapsed if elapsed > 0 else 0.0
     metrics = {
-        "peers": float(PEERS),
-        "queries": float(report.queries),
+        "peers": PEERS,
+        "queries": report.queries,
         "offered_rate": RATE,
         "wall_seconds": elapsed,
         "events_per_sec": events_per_sec,
@@ -77,7 +77,7 @@ def test_concurrent_engine_throughput(benchmark):
         "sim_throughput": report.throughput,
         "latency_p95": report.latency_percentiles["p95"],
         "delay_p95": report.delay_percentiles["p95"],
-        "messages": float(report.messages),
+        "messages": report.messages,
     }
     path = write_bench_json("load", metrics)
 

@@ -66,16 +66,25 @@ def test_sweep_orchestrator_parallel_equals_serial(benchmark, tmp_path):
     benchmark.pedantic(lambda: run_sweep(single, workers=1), rounds=1, iterations=1)
 
     speedup = wall_serial / wall_parallel if wall_parallel > 0 else 0.0
+    cpu_count = os.cpu_count() or 1
+    # On a single-core host (the CI container) the pool cannot beat the
+    # serial path, so the speedup is *recorded* only; with real cores
+    # available a catastrophically slow pool would be a regression, so a
+    # loose lower bound is asserted there.
+    speedup_asserted = cpu_count > 1
+    if speedup_asserted:
+        assert speedup > 0.5, f"parallel sweep {speedup:.2f}x on {cpu_count} cpus"
     metrics = {
-        "jobs": float(parallel.jobs),
-        "queries_per_point": float(spec.config.queries_per_point),
-        "peers": float(spec.config.peers),
-        "workers": float(WORKERS),
-        "cpu_count": float(os.cpu_count() or 1),
+        "jobs": parallel.jobs,
+        "queries_per_point": spec.config.queries_per_point,
+        "peers": spec.config.peers,
+        "workers": WORKERS,
+        "cpu_count": cpu_count,
         "wall_serial_seconds": wall_serial,
         "wall_parallel_seconds": wall_parallel,
         "speedup_parallel_vs_serial": speedup,
-        "records_identical": 1.0,
+        "speedup_asserted": int(speedup_asserted),
+        "records_identical": 1,
     }
     path = write_bench_json("sweep", metrics)
 

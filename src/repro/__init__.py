@@ -8,7 +8,9 @@ The package is organised as a layered library:
 * :mod:`repro.core` -- Armada: Single_hash / Multiple_hash naming, PIRA and
   MIRA range-query routing, the high-level :class:`repro.core.ArmadaSystem`.
 * :mod:`repro.engine` -- the concurrent query engine: overlapping in-flight
-  queries (open/closed loop, churn) on one simulator clock.
+  queries (open/closed loop, churn, deadlines) on one simulator clock.
+* :mod:`repro.faults` -- fault injection & resilience: crash/loss/partition
+  models, the fault plan/injector, and the timeout/retry/reroute policy.
 * :mod:`repro.dhts` -- baseline DHTs (Chord, CAN, Skip Graph).
 * :mod:`repro.rangequery` -- baseline range-query schemes (DCF-CAN, PHT,
   Squid, SCRAP) plus a common scheme interface used by the experiments.

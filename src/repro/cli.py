@@ -24,6 +24,7 @@ from repro.experiments import analytics as analytics_experiment
 from repro.experiments import ablation as ablation_experiment
 from repro.experiments import figures_netsize, figures_rangesize
 from repro.experiments import fissione_props as fissione_experiment
+from repro.experiments import faults as faults_experiment
 from repro.experiments import load as load_experiment
 from repro.experiments import mira as mira_experiment
 from repro.experiments import table1 as table1_experiment
@@ -40,6 +41,7 @@ _COMMANDS = (
     "ablation",
     "load",
     "sweep",
+    "faults",
     "all",
 )
 
@@ -114,7 +116,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--replicas",
         type=int,
         default=1,
-        help="sweep only: independent repetitions of every grid point",
+        help="sweep/faults: independent repetitions of every grid point",
+    )
+    parser.add_argument(
+        "--failed-fraction",
+        default=None,
+        help=(
+            "faults only: comma-separated fractions of peers crash-stopped "
+            f"at time zero (default {','.join(str(f) for f in faults_experiment.DEFAULT_FRACTIONS)})"
+        ),
+    )
+    parser.add_argument(
+        "--scheme",
+        default=None,
+        help=(
+            "faults only: comma-separated scheme variants "
+            f"(default {','.join(faults_experiment.DEFAULT_FAULT_SCHEMES)}; "
+            f"available: {','.join(faults_experiment.FAULT_SCHEMES)})"
+        ),
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=4.0,
+        help="faults only: per-hop timeout in simulated units",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="faults only: retransmissions per hop after the initial send",
+    )
+    parser.add_argument(
+        "--no-reroute",
+        action="store_true",
+        help="faults only: disable sibling rerouting around dead hops",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="faults only: per-query deadline (default derived from N and the retry budget)",
     )
     return parser
 
@@ -147,6 +189,8 @@ def _parse_number_list(text: Optional[str], flag: str, cast):
 
 def make_sweep_spec(args: argparse.Namespace, config: ExperimentConfig):
     """Resolve the sweep grid from the CLI arguments."""
+    if args.scheme is not None:
+        raise SystemExit("--scheme selects faults variants; use --schemes for sweep")
     schemes = (
         tuple(part.strip() for part in args.schemes.split(",") if part.strip())
         if args.schemes is not None
@@ -159,6 +203,30 @@ def make_sweep_spec(args: argparse.Namespace, config: ExperimentConfig):
             network_sizes=_parse_number_list(args.network_sizes, "--network-sizes", int),
             range_sizes=_parse_number_list(args.range_sizes, "--range-sizes", float),
             replicas=args.replicas,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def make_faults_spec(args: argparse.Namespace, config: ExperimentConfig):
+    """Resolve the robustness grid from the CLI arguments."""
+    if args.schemes is not None:
+        raise SystemExit("--schemes selects sweep schemes; use --scheme for faults")
+    schemes = (
+        tuple(part.strip() for part in args.scheme.split(",") if part.strip())
+        if args.scheme is not None
+        else faults_experiment.DEFAULT_FAULT_SCHEMES
+    )
+    try:
+        return faults_experiment.FaultSweepSpec.from_config(
+            config,
+            schemes=schemes,
+            fractions=_parse_number_list(args.failed_fraction, "--failed-fraction", float),
+            replicas=args.replicas,
+            timeout=args.timeout,
+            retries=args.retries,
+            reroute=not args.no_reroute,
+            deadline=args.deadline,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -206,19 +274,28 @@ def run_command(
     store_path: Optional[str] = None,
 ) -> str:
     """Run one experiment command and return its formatted output."""
-    if command == "sweep":
-        spec = (
-            sweep_spec
-            if sweep_spec is not None
-            else orchestrator.SweepSpec.from_config(config)
-        )
+    if command in ("sweep", "faults"):
+        if command == "sweep":
+            spec = (
+                sweep_spec
+                if sweep_spec is not None
+                else orchestrator.SweepSpec.from_config(config)
+            )
+            runner = orchestrator.run_sweep
+        else:
+            spec = (
+                sweep_spec
+                if sweep_spec is not None
+                else faults_experiment.FaultSweepSpec.from_config(config)
+            )
+            runner = faults_experiment.run_sweep
         # Stream into a scratch file and rename on success: re-running the
         # same command never duplicates records, and a crashed or
         # interrupted sweep leaves any previous result file untouched.
         scratch = ResultStore(store_path + ".tmp") if store_path is not None else None
         if scratch is not None:
             scratch.clear()
-        outcome = orchestrator.run_sweep(spec, workers=workers, store=scratch)
+        outcome = runner(spec, workers=workers, store=scratch)
         parts = [outcome.format()]
         if scratch is not None and store_path is not None:
             os.replace(scratch.path, store_path)
@@ -248,7 +325,7 @@ def run_command(
         return ablation_experiment.run(config).format()
     if command == "all":
         outputs = []
-        for sub_command in ("fissione", "table1", "figures-rangesize", "figures-netsize", "analytics", "mira", "ablation", "load"):
+        for sub_command in ("fissione", "table1", "figures-rangesize", "figures-netsize", "analytics", "mira", "ablation", "load", "faults"):
             outputs.append(run_command(sub_command, config, csv_dir, rates=rates, churn=churn))
         return "\n\n".join(outputs)
     raise ValueError(f"unknown command {command!r}")
@@ -259,13 +336,19 @@ def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     config = make_config(args)
+    if args.command == "sweep":
+        spec = make_sweep_spec(args, config)
+    elif args.command == "faults":
+        spec = make_faults_spec(args, config)
+    else:
+        spec = None
     output = run_command(
         args.command,
         config,
         csv_dir=args.csv_dir,
         rates=parse_rates(args.rates),
         churn=args.churn,
-        sweep_spec=make_sweep_spec(args, config) if args.command == "sweep" else None,
+        sweep_spec=spec,
         workers=args.workers,
         store_path=args.store,
     )

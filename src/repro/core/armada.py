@@ -122,6 +122,38 @@ class ArmadaSystem:
         return self.network.random_peer(self._origin_rng).peer_id
 
     # ------------------------------------------------------------------ #
+    # faults & resilience                                                  #
+    # ------------------------------------------------------------------ #
+
+    def set_resilience(self, policy) -> None:
+        """Apply a :class:`~repro.faults.resilience.ResiliencePolicy` (or
+        ``None``) to every query executor of this system."""
+        self.pira.set_resilience(policy)
+        if self.mira is not None:
+            self.mira.set_resilience(policy)
+
+    def install_faults(self, plan):
+        """Install a :class:`~repro.faults.plan.FaultPlan` on the overlay.
+
+        Returns the :class:`~repro.faults.injector.FaultInjector`, or
+        ``None`` for an empty plan (which leaves the overlay untouched, so
+        the run stays byte-identical to a fault-free one).
+        """
+        return plan.install(self.overlay)
+
+    def live_peer_ids(self) -> List[str]:
+        """PeerIDs not currently crash-stopped by an installed fault plan
+        (all peers when no injector is installed), sorted."""
+        injector = self.overlay.fault_injector
+        if injector is None:
+            return sorted(self.network.peer_ids())
+        return [
+            peer_id
+            for peer_id in sorted(self.network.peer_ids())
+            if not injector.is_down(peer_id)
+        ]
+
+    # ------------------------------------------------------------------ #
     # publishing                                                           #
     # ------------------------------------------------------------------ #
 

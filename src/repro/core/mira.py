@@ -72,6 +72,7 @@ class MiraExecutor(ResumableExecutor):
         self.overlay = overlay if overlay is not None else OverlayNetwork()
         self._query_ids = itertools.count(1)
         self._active: Dict[int, QueryState] = {}
+        self._init_lifecycle()
         self.refresh_membership()
 
     # ------------------------------------------------------------------ #
@@ -153,6 +154,15 @@ class MiraExecutor(ResumableExecutor):
     # ------------------------------------------------------------------ #
     # forwarding (message lifecycle inherited from ResumableExecutor)       #
     # ------------------------------------------------------------------ #
+
+    def _detour_candidates(self, prefix: str, branch: _MiraQuery) -> list:
+        """Sibling-reroute targets: peers covering ``prefix`` whose zone box
+        intersects the branch's query box (sorted, deterministic)."""
+        return [
+            peer_id
+            for peer_id in self.network.compatible_peers(prefix)
+            if self._label_intersects(peer_id, branch)
+        ]
 
     def _label_intersects(self, label: str, subtree: _MiraQuery) -> bool:
         """True when the partition-tree box of ``label`` intersects the query box."""

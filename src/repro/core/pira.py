@@ -42,6 +42,7 @@ from repro.core.errors import QueryError
 from repro.core.frt import descendant_prefix, destination_level
 from repro.core.resumable import QueryState, ResumableExecutor
 from repro.core.single_hash import SingleAttributeNamer
+from repro.faults.resilience import ResilienceStats
 from repro.fissione.network import FissioneNetwork
 from repro.fissione.peer import FissionePeer, StoredObject
 from repro.kautz.region import KautzRegion
@@ -62,6 +63,8 @@ class RangeQueryResult:
     matches: List[StoredObject] = field(default_factory=list)
     #: every (sender, receiver, hop) forwarding step, for traces and tests
     forwarding_steps: List[Tuple[str, str, int]] = field(default_factory=list)
+    #: failure/recovery ledger (drops, retries, reroutes, lost subtrees)
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
 
     @property
     def delay_hops(self) -> int:
@@ -74,6 +77,25 @@ class RangeQueryResult:
     def destination_count(self) -> int:
         """``Destpeers``: number of peers whose zone intersects the query."""
         return len(self.destinations)
+
+    @property
+    def complete(self) -> bool:
+        """True when no subtree was lost and no deadline cut the query short.
+
+        A query with ``complete == False`` returned *partial* results: some
+        part of the forward routing tree could not be reached (message loss
+        without a resilience policy, a dead hop that survived every retry
+        and reroute, or deadline expiry).
+        """
+        return (
+            self.resilience.subtrees_lost == 0
+            and not self.resilience.deadline_expired
+        )
+
+    @property
+    def failed(self) -> bool:
+        """True when the engine's deadline force-completed this query."""
+        return self.resilience.deadline_expired
 
     def mesg_ratio(self) -> float:
         """``MesgRatio`` = messages / destination peers (0 when no destination)."""
@@ -132,6 +154,7 @@ class PiraExecutor(ResumableExecutor):
         self.overlay = overlay if overlay is not None else OverlayNetwork()
         self._query_ids = itertools.count(1)
         self._active: Dict[int, QueryState] = {}
+        self._init_lifecycle()
         self.refresh_membership()
 
     # ------------------------------------------------------------------ #
@@ -211,6 +234,15 @@ class PiraExecutor(ResumableExecutor):
             for peer_id in self.network.peer_ids()
             if region.contains_prefix(peer_id)
         }
+
+    def _detour_candidates(self, prefix: str, branch: _SubQuery) -> List[str]:
+        """Sibling-reroute targets: peers covering ``prefix`` whose zone
+        intersects the branch's sub-region (sorted, deterministic)."""
+        return [
+            peer_id
+            for peer_id in self.network.compatible_peers(prefix)
+            if branch.region.contains_prefix(peer_id)
+        ]
 
     # ------------------------------------------------------------------ #
     # forwarding (message lifecycle inherited from ResumableExecutor)       #

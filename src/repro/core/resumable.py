@@ -2,25 +2,85 @@
 
 PIRA and MIRA differ in *how* they prune the forward routing tree, but not
 in how an in-flight query lives on the simulator: per-query state keyed by
-``query_id``, an outstanding-message counter for completion detection, drop
+``query_id``, per-send bookkeeping for completion detection, drop
 accounting so churn cannot strand a query, and a completion callback.  That
 shared lifecycle lives here, once.
+
+On top of the lifecycle this module implements the **resilience layer**
+(see :mod:`repro.faults.resilience`).  When a
+:class:`~repro.faults.resilience.ResiliencePolicy` is set on an executor:
+
+* every forwarding message is guarded by a per-hop timer; a send that is
+  neither processed nor settled within ``per_hop_timeout`` is
+  retransmitted, up to ``max_retries`` times.  Drop notifications do *not*
+  settle the send early — loss detection always costs a timeout, as it
+  would in a deployment without the simulator's oracle;
+* duplicate deliveries (duplication faults, retransmission races) are
+  deduplicated by send id, so outstanding-send accounting never corrupts;
+* when retries to a next hop are exhausted, the sender writes the hop off
+  and attempts a **sibling reroute**: the dead hop's FRT subtree covers a
+  nameable slice of the Kautz namespace (``descendant_prefix``), so the
+  sender re-issues the query as direct *detour* messages to the live peers
+  covering that slice — modelling Armada's fallback to FISSIONE
+  point-to-point routing around the failure.  Each detour is charged the
+  tree hops it replaces plus a penalty, in both hop count and latency;
+* a hop that can be neither retried nor rerouted is recorded as a lost
+  subtree in the query's :class:`~repro.faults.resilience.ResilienceStats`,
+  so partial results report ``complete == False`` instead of lying.
+
+Without a policy the behaviour is the seed behaviour: drops settle the
+send immediately (and are recorded as lost subtrees), nothing is retried,
+and no timers are scheduled — the fault-free path is byte-identical to the
+pre-resilience code.
 
 A concrete executor must provide
 
 * ``self.network`` (peer lookup via ``has_peer`` / ``peer``),
 * ``self.overlay`` (an :class:`~repro.sim.network.OverlayNetwork`),
-* ``message_kind`` (the overlay message kind string), and
+* ``message_kind`` (the overlay message kind string),
 * ``_process(peer, level, hop, branch_index, state)`` — resume the query at
-  ``peer`` for one branch (PIRA sub-region / MIRA subtree).
+  ``peer`` for one branch (PIRA sub-region / MIRA subtree), and
+* optionally ``_detour_candidates(prefix, branch)`` — live peers covering
+  the namespace slice ``prefix`` that pass the executor's destination
+  predicate (the sibling-reroute targets; the default is none),
+
+and call :meth:`_init_lifecycle` from its ``__init__``.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.frt import descendant_prefix
+from repro.faults.resilience import ResiliencePolicy
 from repro.sim.network import Message, OverlayNetwork
+
+
+@dataclass(slots=True)
+class _PendingSend:
+    """One logical forwarding send awaiting processing (or settlement).
+
+    Retransmissions reuse the same logical send (and send id): physical
+    copies are indistinguishable on the wire and the first processed copy
+    wins; every later copy finds the send already settled and is ignored.
+    Slotted: one of these is allocated per forwarding message, on the
+    simulator's hottest path.
+    """
+
+    sender: str
+    receiver: str
+    level: int
+    hop: int
+    branch_index: int
+    attempts: int = 1
+    #: per-hop timer (set only when a resilience policy is active)
+    timer: Any = None
+    #: latency override for detour messages (they model multi-hop routes)
+    latency: Optional[float] = None
+    #: True for sibling-reroute detours (recovered-destination accounting)
+    detour: bool = False
 
 
 @dataclass
@@ -33,8 +93,10 @@ class QueryState:
 
     result: Any
     branches: List[Any] = field(default_factory=list)
-    #: forwarding messages sent but not yet processed (or dropped)
-    outstanding: int = 0
+    #: open logical sends keyed by send id (completion ⇔ ``pending`` empty)
+    pending: Dict[int, _PendingSend] = field(default_factory=dict)
+    #: detour targets already tried, per ``(branch_index, peer_id)``
+    detoured: Set[Tuple[int, str]] = field(default_factory=set)
     started_at: float = 0.0
     done: bool = False
     #: True while a processing step runs, deferring completion checks (a
@@ -42,6 +104,11 @@ class QueryState:
     #: the query while its origin is still fanning out)
     processing: bool = False
     on_complete: Optional[Callable[[Any], None]] = None
+
+    @property
+    def outstanding(self) -> int:
+        """Logical sends awaiting processing or settlement."""
+        return len(self.pending)
 
 
 class ResumableExecutor:
@@ -54,6 +121,19 @@ class ResumableExecutor:
     overlay: OverlayNetwork
     _active: Dict[int, QueryState]
 
+    def _init_lifecycle(self) -> None:
+        """Initialise the shared lifecycle state (call from ``__init__``)."""
+        self._send_ids = itertools.count(1)
+        self.resilience: Optional[ResiliencePolicy] = None
+
+    # ------------------------------------------------------------------ #
+    # resilience configuration                                             #
+    # ------------------------------------------------------------------ #
+
+    def set_resilience(self, policy: Optional[ResiliencePolicy]) -> None:
+        """Set (or clear) the timeout/retry/reroute policy for new sends."""
+        self.resilience = policy
+
     # ------------------------------------------------------------------ #
     # message handling                                                     #
     # ------------------------------------------------------------------ #
@@ -63,15 +143,26 @@ class ResumableExecutor:
 
         This is the per-message entry point: it looks up the query state by
         id, so a single executor can have any number of queries in flight at
-        once.  Late deliveries for finished/unknown queries are ignored.
+        once.  Late deliveries for finished/unknown queries — and duplicate
+        copies of a send that already settled — are ignored.
         """
         state = self._active.get(message.query_id)
         if state is None:
             return
-        state.outstanding -= 1
+        send_id = message.metadata.get("send")
+        pending = state.pending.pop(send_id, None)
+        if pending is None:
+            # A duplicate (duplication fault or retransmission race) of a
+            # send that was already processed or settled: drop it here so
+            # completion accounting never goes negative.
+            return
+        if pending.timer is not None:
+            pending.timer.cancel()
         # A receiver that departed mid-flight (churn) silently absorbs the
         # message; the overlay already counted it as delivered/undeliverable.
         if self.network.has_peer(message.receiver):
+            result = state.result
+            newly_reached = pending.detour and message.receiver not in result.destinations
             state.processing = True
             try:
                 self._process(
@@ -83,6 +174,8 @@ class ResumableExecutor:
                 )
             finally:
                 state.processing = False
+            if newly_reached and message.receiver in result.destinations:
+                result.resilience.recovered_destinations += 1
         self._maybe_complete(state)
 
     def _process(self, peer: Any, level: int, hop: int, branch_index: int, state: QueryState) -> None:
@@ -97,23 +190,92 @@ class ResumableExecutor:
         state = self._active.get(message.query_id)
         if state is None:
             return
-        state.outstanding -= 1
+        send_id = message.metadata.get("send")
+        pending = state.pending.get(send_id)
+        if pending is None:
+            return  # a copy of a send that already settled
+        stats = state.result.resilience
+        stats.drops += 1
+        if self.resilience is not None and pending.timer is not None:
+            # Timeout-based detection: the send stays open and its timer
+            # will fire, retry, and eventually fail it.  Real systems learn
+            # about loss by waiting, not from the simulator's oracle.
+            return
+        state.pending.pop(send_id, None)
+        stats.subtrees_lost += 1
+        if not state.processing:
+            self._maybe_complete(state)
+
+    def _on_timeout(self, state: QueryState, send_id: int) -> None:
+        """A per-hop timer fired before the send was acknowledged."""
+        if state.done:
+            return
+        pending = state.pending.get(send_id)
+        if pending is None:
+            return
+        policy = self.resilience
+        stats = state.result.resilience
+        stats.timeouts += 1
+        if (
+            policy is not None
+            and pending.attempts < policy.attempts_per_hop
+            and self.overlay.has_node(pending.receiver)
+        ):
+            pending.attempts += 1
+            stats.retries += 1
+            self._transmit(state, send_id, pending)
+            return
+        # Retries exhausted (or the receiver left the overlay entirely):
+        # the hop is dead.  Try to route around it; otherwise the subtree
+        # it guarded is lost and the query reports partial results.
+        state.pending.pop(send_id, None)
+        if pending.detour:
+            state.detoured.add((pending.branch_index, pending.receiver))
+        rerouted = 0
+        if policy is not None and policy.reroute:
+            rerouted = self._reroute(state, pending)
+        if rerouted == 0:
+            stats.subtrees_lost += 1
         if not state.processing:
             self._maybe_complete(state)
 
     def _maybe_complete(self, state: QueryState) -> None:
         """Finish the query once no forwarding messages remain in flight."""
-        if state.done or state.processing or state.outstanding > 0:
+        if state.done or state.processing or state.pending:
             return
         state.done = True
         self._active.pop(state.result.query_id, None)
         if state.on_complete is not None:
             state.on_complete(state.result)
 
+    def cancel(self, query_id: int) -> bool:
+        """Force-complete an in-flight query as *failed* (deadline expiry).
+
+        Cancels every per-hop timer, marks the result's resilience ledger
+        ``deadline_expired`` and fires ``on_complete`` with whatever partial
+        results were gathered.  Returns False for unknown/finished queries.
+        """
+        state = self._active.pop(query_id, None)
+        if state is None:
+            return False
+        for pending in state.pending.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+        state.pending.clear()
+        state.done = True
+        state.result.resilience.deadline_expired = True
+        if state.on_complete is not None:
+            state.on_complete(state.result)
+        return True
+
     @property
     def active_queries(self) -> int:
         """Number of started queries that have not yet completed."""
         return len(self._active)
+
+    def is_active(self, query_id: int) -> bool:
+        """True while ``query_id`` is in flight on this executor."""
+        return query_id in self._active
 
     # ------------------------------------------------------------------ #
     # membership & forwarding                                              #
@@ -144,22 +306,130 @@ class ResumableExecutor:
         state: QueryState,
     ) -> None:
         """Send one forwarding message through the discrete-event overlay."""
+        send_id = next(self._send_ids)
+        pending = _PendingSend(
+            sender=sender_id,
+            receiver=receiver_id,
+            level=level,
+            hop=hop,
+            branch_index=branch_index,
+        )
+        state.pending[send_id] = pending
+        self._transmit(state, send_id, pending)
+
+    def _fail_send(self, state: QueryState, send_id: int, pending: _PendingSend) -> None:
+        """Settle a send whose receiver is gone before transmission.
+
+        No message went on the wire, so the ``drops`` ledger (overlay-
+        reported losses) is *not* charged; the outcome shows up as a
+        reroute or a lost subtree."""
+        if pending.timer is not None:
+            pending.timer.cancel()
+        state.pending.pop(send_id, None)
+        if pending.detour:
+            state.detoured.add((pending.branch_index, pending.receiver))
+        policy = self.resilience
+        rerouted = 0
+        if policy is not None and policy.reroute:
+            rerouted = self._reroute(state, pending)
+        if rerouted == 0:
+            state.result.resilience.subtrees_lost += 1
+        if not state.processing:
+            self._maybe_complete(state)
+
+    def _transmit(self, state: QueryState, send_id: int, pending: _PendingSend) -> None:
+        """Put one physical copy of a logical send on the wire."""
+        if not self.overlay.has_node(pending.receiver):
+            # The receiver departed the overlay between the neighbour-table
+            # lookup and this send (abrupt churn): degrade like a drop
+            # instead of crashing the whole simulation on NetworkError.
+            self._fail_send(state, send_id, pending)
+            return
         result = state.result
         result.messages += 1
-        result.forwarding_steps.append((sender_id, receiver_id, hop))
-        state.outstanding += 1
+        result.forwarding_steps.append((pending.sender, pending.receiver, pending.hop))
+        if self.resilience is not None:
+            # Detour messages model multi-hop routes and carry a latency
+            # override > 1; their timers must budget for the longer transit
+            # or they would "time out" while legitimately still in flight.
+            transit = pending.latency if pending.latency is not None else 1.0
+            pending.timer = self.overlay.simulator.schedule_after(
+                self.resilience.per_hop_timeout + (transit - 1.0),
+                lambda: self._on_timeout(state, send_id),
+                label="hop-timeout",
+            )
+        metadata: Dict[str, Any] = {
+            "handler": self._dispatch,
+            "on_drop": self._on_drop,
+            "level": pending.level,
+            "branch": pending.branch_index,
+            "send": send_id,
+        }
+        if pending.latency is not None:
+            metadata["latency"] = pending.latency
         self.overlay.send(
             Message(
-                sender=sender_id,
-                receiver=receiver_id,
+                sender=pending.sender,
+                receiver=pending.receiver,
                 kind=self.message_kind,
-                hop=hop,
+                hop=pending.hop,
                 query_id=result.query_id,
-                metadata={
-                    "handler": self._dispatch,
-                    "on_drop": self._on_drop,
-                    "level": level,
-                    "branch": branch_index,
-                },
+                metadata=metadata,
             )
         )
+
+    # ------------------------------------------------------------------ #
+    # sibling rerouting                                                    #
+    # ------------------------------------------------------------------ #
+
+    def _detour_candidates(self, prefix: str, branch: Any) -> Sequence[str]:
+        """Live peers covering namespace slice ``prefix`` that could be
+        destinations of ``branch``.  Executors with pruning knowledge
+        override this; the default (no candidates) disables rerouting."""
+        return ()
+
+    def _reroute(self, state: QueryState, pending: _PendingSend) -> int:
+        """Route around a dead next hop; returns the number of detours sent.
+
+        The dead receiver's FRT subtree covers the namespace slice
+        ``descendant_prefix(receiver, level, dest_level)`` — a *nameable*
+        region, so the sender can fall back to FISSIONE point-to-point
+        routing and contact the covering peers directly.  The detour is
+        modelled as one overlay message per candidate, charged the tree
+        hops it replaces plus ``detour_hop_penalty`` in both hop count and
+        delivery latency.  A candidate that fails as well is never
+        re-detoured (``state.detoured``), so recovery always terminates.
+        """
+        policy = self.resilience
+        branch = state.branches[pending.branch_index]
+        dest_level = getattr(branch, "dest_level", None)
+        if policy is None or dest_level is None:
+            return 0
+        prefix = descendant_prefix(pending.receiver, pending.level, dest_level)
+        if not prefix:
+            return 0  # the subtree covers the whole namespace: not nameable
+        stats = state.result.resilience
+        sent = 0
+        for target in self._detour_candidates(prefix, branch):
+            if target == pending.receiver:
+                continue
+            if (pending.branch_index, target) in state.detoured:
+                continue
+            if not self.overlay.has_node(target):
+                continue
+            extra_hops = (dest_level - pending.level) + policy.detour_hop_penalty
+            send_id = next(self._send_ids)
+            detour = _PendingSend(
+                sender=pending.sender,
+                receiver=target,
+                level=dest_level,
+                hop=pending.hop + extra_hops,
+                branch_index=pending.branch_index,
+                latency=float(max(1, extra_hops)),
+                detour=True,
+            )
+            state.pending[send_id] = detour
+            stats.reroutes += 1
+            self._transmit(state, send_id, detour)
+            sent += 1
+        return sent

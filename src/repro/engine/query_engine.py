@@ -35,6 +35,7 @@ from collections import deque
 from repro.core.armada import ArmadaSystem
 from repro.core.errors import ArmadaError
 from repro.core.pira import RangeQueryResult
+from repro.faults.resilience import ResilienceStats
 from repro.sim.metrics import QueryTracker, safe_ratio
 from repro.workloads.arrivals import ChurnEvent
 
@@ -75,6 +76,14 @@ class CompletedQuery:
         """Sojourn time in simulated units (arrival-to-last-destination)."""
         return self.completed_at - self.started_at
 
+    @property
+    def status(self) -> str:
+        """``"ok"`` (full results), ``"partial"`` (lost subtrees) or
+        ``"deadline"`` (force-completed by the engine's deadline)."""
+        if self.result.resilience.deadline_expired:
+            return "deadline"
+        return "ok" if self.result.complete else "partial"
+
 
 @dataclass
 class EngineReport:
@@ -90,23 +99,48 @@ class EngineReport:
     mean_delay_hops: float = 0.0
     messages: int = 0
     events: int = 0
+    #: completions with full results / with lost subtrees or deadline expiry
+    succeeded: int = 0
+    failed: int = 0
+    #: queries started but neither completed nor failed when the simulator
+    #: went quiescent — a stall is *always* a bug (a leak the deadline and
+    #: drop accounting exist to prevent), so it gets its own column
+    stalled: int = 0
+    #: forwarding messages of this engine's queries that were lost
+    dropped: int = 0
+    #: aggregate failure/recovery ledger over all completed queries
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
 
     @property
     def queries(self) -> int:
         """Number of completed queries."""
         return len(self.completed)
 
+    @property
+    def success_ratio(self) -> float:
+        """Fully-successful completions over all completions (1.0 when idle)."""
+        return safe_ratio(float(self.succeeded), float(self.queries), default=1.0)
+
     def as_dict(self) -> Dict[str, float]:
-        """Flat summary, handy for CSV/JSON emitters."""
+        """Flat summary, handy for CSV/JSON emitters (counts stay ints)."""
         summary: Dict[str, float] = {
-            "queries": float(self.queries),
-            "started": float(self.started),
+            "queries": self.queries,
+            "started": self.started,
+            "succeeded": self.succeeded,
+            "failed": self.failed,
+            "stalled": self.stalled,
+            "dropped": self.dropped,
+            "success_ratio": self.success_ratio,
+            "retries": self.resilience.retries,
+            "timeouts": self.resilience.timeouts,
+            "reroutes": self.resilience.reroutes,
+            "subtrees_lost": self.resilience.subtrees_lost,
             "makespan": self.makespan,
             "throughput": self.throughput,
             "mean_latency": self.mean_latency,
             "mean_delay_hops": self.mean_delay_hops,
-            "messages": float(self.messages),
-            "events": float(self.events),
+            "messages": self.messages,
+            "events": self.events,
         }
         for key, value in self.latency_percentiles.items():
             summary[f"latency_{key}"] = value
@@ -118,8 +152,11 @@ class EngineReport:
         """Human-readable one-paragraph summary."""
         lat = self.latency_percentiles
         dly = self.delay_percentiles
+        res = self.resilience
         lines = [
             f"queries completed : {self.queries} (started {self.started})",
+            f"outcome           : {self.succeeded} ok, {self.failed} failed,"
+            f" {self.stalled} stalled (success ratio {self.success_ratio:.3f})",
             f"makespan          : {self.makespan:.1f} sim units",
             f"throughput        : {self.throughput:.3f} queries / sim unit",
             f"latency (sim)     : mean {self.mean_latency:.2f}"
@@ -129,6 +166,9 @@ class EngineReport:
             f"  p50 {dly.get('p50', 0.0):.1f}  p95 {dly.get('p95', 0.0):.1f}"
             f"  p99 {dly.get('p99', 0.0):.1f}",
             f"messages          : {self.messages}",
+            f"resilience        : {self.dropped} dropped, {res.timeouts} timeouts,"
+            f" {res.retries} retries, {res.reroutes} reroutes,"
+            f" {res.subtrees_lost} subtrees lost",
             f"simulator events  : {self.events}",
         ]
         return "\n".join(lines)
@@ -149,9 +189,12 @@ class QueryEngine:
     5
     """
 
-    def __init__(self, system: ArmadaSystem) -> None:
+    def __init__(self, system: ArmadaSystem, deadline: Optional[float] = None) -> None:
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive")
         self.system = system
         self.overlay = system.overlay
+        self.deadline = deadline
         self.tracker = QueryTracker()
         self._job_ids = itertools.count(1)
         self._completed: List[CompletedQuery] = []
@@ -159,6 +202,10 @@ class QueryEngine:
         self._messages_at_start = self.overlay.metrics.counter_value("messages.total")
         self._events_at_start = self.overlay.simulator.processed_events
         self._on_query_complete: List[Callable[[CompletedQuery], None]] = []
+        #: job id -> (kind, executor query id) for jobs still in flight
+        self._inflight: Dict[int, Tuple[str, int]] = {}
+        #: job id -> deadline timer handle (cancelled at completion)
+        self._deadline_handles: Dict[int, object] = {}
 
     # -- submission ---------------------------------------------------------
 
@@ -246,6 +293,16 @@ class QueryEngine:
         (as the load sweep does, one engine per offered rate) without
         double-counting each other's traffic.
         """
+        aggregate = ResilienceStats()
+        dropped = 0
+        for record in self._completed:
+            aggregate.merge(record.result.resilience)
+            dropped += record.result.resilience.drops
+        # Drops of still-in-flight (stalled) queries come from the overlay's
+        # per-query ledger, so a query lost to drops is visible even though
+        # it never completed.
+        for kind, query_id in self._inflight.values():
+            dropped += self.overlay.drops_for_query(kind, query_id)
         return EngineReport(
             completed=list(self._completed),
             started=self.tracker.started,
@@ -257,6 +314,11 @@ class QueryEngine:
             mean_delay_hops=self.tracker.delay_hops.mean,
             messages=self.overlay.metrics.counter_value("messages.total") - self._messages_at_start,
             events=self.overlay.simulator.processed_events - self._events_at_start,
+            succeeded=self.tracker.succeeded,
+            failed=self.tracker.failed,
+            stalled=self.tracker.in_flight,
+            dropped=dropped,
+            resilience=aggregate,
         )
 
     @property
@@ -283,15 +345,41 @@ class QueryEngine:
                 raise ArmadaError(
                     "multi-attribute job submitted to a system without attribute_intervals"
                 )
-            self.system.mira.start(origin, job.ranges, on_complete=on_complete)
+            executor = self.system.mira
+            result = executor.start(origin, job.ranges, on_complete=on_complete)
         else:
-            self.system.pira.start(origin, job.low, job.high, on_complete=on_complete)
+            executor = self.system.pira
+            result = executor.start(origin, job.low, job.high, on_complete=on_complete)
+        # ``start`` may have completed the query synchronously (everything
+        # pruned at the origin); only genuinely in-flight queries get a
+        # deadline timer and drop tracking.
+        if executor.is_active(result.query_id):
+            self._inflight[job_id] = (job.kind, result.query_id)
+            if self.deadline is not None:
+                self._deadline_handles[job_id] = self.overlay.simulator.schedule_after(
+                    self.deadline,
+                    lambda kind=job.kind, query_id=result.query_id: self._expire(kind, query_id),
+                    label="query-deadline",
+                )
+
+    def _expire(self, kind: str, query_id: int) -> None:
+        """Deadline enforcement: force-complete a stalled/slow query as
+        failed instead of letting it leak; partial results are kept."""
+        executor = self.system.mira if kind == "mira" else self.system.pira
+        executor.cancel(query_id)
 
     def _finish(self, job: QueryJob, job_id: int, started: float, result: RangeQueryResult) -> None:
         now = self.overlay.simulator.now
+        self._inflight.pop(job_id, None)
+        # The completed query's drops live on in result.resilience; drop the
+        # overlay's ledger entry so long-lived overlays stay O(in-flight).
+        self.overlay.clear_query_drops(job.kind, result.query_id)
+        handle = self._deadline_handles.pop(job_id, None)
+        if handle is not None:
+            handle.cancel()
         record = CompletedQuery(job=job, result=result, started_at=started, completed_at=now)
         self._completed.append(record)
-        self.tracker.complete(job_id, now, delay_hops=result.delay_hops)
+        self.tracker.complete(job_id, now, delay_hops=result.delay_hops, success=result.complete)
         for callback in self._on_query_complete:
             callback(record)
         if self._closed_queue:

@@ -272,37 +272,55 @@ class SweepOutcome:
         return format_records(self.records, columns=columns, title=title)
 
 
-def run_sweep(
-    spec: SweepSpec,
+def run_jobs(
+    jobs: Sequence[Any],
+    runner: Callable[[Any], Dict[str, Any]],
     workers: int = 1,
     store: Optional[ResultStore] = None,
     progress: Optional[Callable[[Dict[str, Any]], None]] = None,
-) -> SweepOutcome:
-    """Run every job of ``spec``, serially or on a process pool.
+) -> List[Dict[str, Any]]:
+    """Run independent experiment jobs, serially or on a process pool.
 
-    ``workers <= 1`` runs the jobs in-process, in canonical order — this is
-    the serial reference path.  ``workers > 1`` fans the same jobs out to a
+    This is the shared fan-out engine behind every grid experiment
+    (:func:`run_sweep`, the faults sweep in
+    :mod:`repro.experiments.faults`, …).  ``workers <= 1`` runs the jobs
+    in-process, in the given order — the serial reference path.
+    ``workers > 1`` fans the same jobs out to a
     :class:`~concurrent.futures.ProcessPoolExecutor`; ``Executor.map``
     preserves job order, so the merged records (and the bytes written to
-    ``store``) are identical to the serial path's.
+    ``store``) are identical to the serial path's.  ``runner`` must be a
+    picklable module-level function and jobs must be self-contained.
 
     ``progress`` (if given) is called with each record as it is merged, in
-    canonical order; records also stream into ``store`` in that order.
+    job order; records also stream into ``store`` in that order.
     """
-    jobs = spec.jobs()
-    outcome = SweepOutcome(spec=spec)
+    merged: List[Dict[str, Any]] = []
 
     def _collect(records: Iterable[Dict[str, Any]]) -> None:
         for record in records:
-            outcome.records.append(record)
+            merged.append(record)
             if store is not None:
                 store.append(record)
             if progress is not None:
                 progress(record)
 
     if workers <= 1 or len(jobs) <= 1:
-        _collect(run_job(job) for job in jobs)
+        _collect(runner(job) for job in jobs)
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            _collect(pool.map(run_job, jobs, chunksize=1))
+            _collect(pool.map(runner, jobs, chunksize=1))
+    return merged
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> SweepOutcome:
+    """Run every job of ``spec`` through :func:`run_jobs` (canonical order)."""
+    outcome = SweepOutcome(spec=spec)
+    outcome.records = run_jobs(
+        spec.jobs(), run_job, workers=workers, store=store, progress=progress
+    )
     return outcome

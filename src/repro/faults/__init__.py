@@ -1,0 +1,48 @@
+"""Fault injection and resilience: what breaks, and how badly, when the
+network does.
+
+Three pieces:
+
+* **fault models** (:mod:`repro.faults.models`) — crash-stop /
+  crash-recover node failures, i.i.d. and bursty message loss, extra
+  delay/reorder, duplication, and bisection partitions, all seeded and
+  simulator-scheduled;
+* **the plan and injector** (:mod:`repro.faults.plan`,
+  :mod:`repro.faults.injector`) — a :class:`FaultPlan` composes models and
+  installs a :class:`FaultInjector` onto an overlay (an empty plan installs
+  nothing, keeping the fault-free path byte-identical);
+* **resilience** (:mod:`repro.faults.resilience`) — the
+  :class:`ResiliencePolicy` (per-hop timeouts, bounded retries, sibling
+  rerouting) the query executors enforce, and the per-query
+  :class:`ResilienceStats` ledger.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import (
+    Bisection,
+    CrashRecover,
+    CrashStop,
+    Duplicate,
+    ExtraDelay,
+    FaultModel,
+    GilbertLoss,
+    IidLoss,
+)
+from repro.faults.plan import FaultPlan
+from repro.faults.resilience import ResiliencePolicy, ResilienceStats, default_deadline
+
+__all__ = [
+    "Bisection",
+    "CrashRecover",
+    "CrashStop",
+    "Duplicate",
+    "ExtraDelay",
+    "FaultInjector",
+    "FaultModel",
+    "FaultPlan",
+    "GilbertLoss",
+    "IidLoss",
+    "ResiliencePolicy",
+    "ResilienceStats",
+    "default_deadline",
+]

@@ -1,0 +1,67 @@
+"""``FaultPlan``: the composable description of everything that goes wrong.
+
+A plan is an ordered list of :class:`~repro.faults.models.FaultModel`
+instances plus a seed.  It is *pure configuration*: nothing happens until
+:meth:`FaultPlan.install` binds it to an overlay, which constructs a
+:class:`~repro.faults.injector.FaultInjector`, derives each model's
+substream, hooks the overlay, and lets timed models schedule their
+activation events.
+
+The empty plan is special-cased: installing it installs **nothing** — no
+hook, no injector — so a run configured with ``FaultPlan.empty()`` executes
+exactly the same code path as a run that never heard of faults.  The
+extended equivalence property test pins that down byte-for-byte.
+
+Example
+-------
+>>> from repro.faults import CrashStop, FaultPlan, IidLoss
+>>> plan = FaultPlan([CrashStop(fraction=0.1, at=0.0), IidLoss(0.01)], seed=7)
+>>> plan.describe()
+'crash(fraction=0.1, at=0.0) + loss(p=0.01) [seed 7]'
+>>> FaultPlan.empty().is_empty()
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultModel
+from repro.sim.network import OverlayNetwork
+
+
+@dataclass
+class FaultPlan:
+    """An ordered, seeded composition of fault models."""
+
+    models: List[FaultModel] = field(default_factory=list)
+    seed: int = 0
+
+    @classmethod
+    def empty(cls) -> "FaultPlan":
+        """The no-fault plan (installs nothing at all)."""
+        return cls()
+
+    def is_empty(self) -> bool:
+        """True when the plan contains no fault models."""
+        return not self.models
+
+    def add(self, model: FaultModel) -> "FaultPlan":
+        """Append a model (fluent)."""
+        self.models.append(model)
+        return self
+
+    def install(self, overlay: OverlayNetwork) -> Optional[FaultInjector]:
+        """Bind the plan to an overlay; returns the injector, or ``None``
+        for the empty plan (which leaves the overlay untouched)."""
+        if self.is_empty():
+            return None
+        return FaultInjector(overlay, self.models, seed=self.seed).install()
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the plan."""
+        if self.is_empty():
+            return "no faults"
+        return " + ".join(model.describe() for model in self.models) + f" [seed {self.seed}]"

@@ -196,9 +196,12 @@ class QueryTracker:
         self.name = name
         self.latency = SummaryStats(f"{name}.latency")
         self.delay_hops = SummaryStats(f"{name}.delay_hops")
+        self.completeness = SummaryStats(f"{name}.completeness")
         self._started_at: Dict[object, float] = {}
         self._started = 0
         self._completed = 0
+        self._succeeded = 0
+        self._failed = 0
         self._first_start: Optional[float] = None
         self._last_completion: Optional[float] = None
 
@@ -213,8 +216,19 @@ class QueryTracker:
         if self._first_start is None or time < self._first_start:
             self._first_start = time
 
-    def complete(self, query_key: object, time: float, delay_hops: Optional[float] = None) -> float:
-        """Record completion; returns the query's sojourn latency."""
+    def complete(
+        self,
+        query_key: object,
+        time: float,
+        delay_hops: Optional[float] = None,
+        success: Optional[bool] = None,
+    ) -> float:
+        """Record completion; returns the query's sojourn latency.
+
+        ``success`` feeds the success-ratio accounting of the faults work:
+        ``True``/``False`` classify the completion, ``None`` (the default)
+        counts it as successful — the fault-free legacy behaviour.
+        """
         try:
             started = self._started_at.pop(query_key)
         except KeyError as exc:
@@ -224,9 +238,19 @@ class QueryTracker:
         if delay_hops is not None:
             self.delay_hops.add(delay_hops)
         self._completed += 1
+        if success is None or success:
+            self._succeeded += 1
+        else:
+            self._failed += 1
         if self._last_completion is None or time > self._last_completion:
             self._last_completion = time
         return latency
+
+    def record_completeness(self, fraction: float) -> None:
+        """Record one query's result completeness (``[0, 1]``, vs an oracle)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("completeness must be within [0, 1]")
+        self.completeness.add(fraction)
 
     # -- statistics ---------------------------------------------------------
 
@@ -239,6 +263,20 @@ class QueryTracker:
     def completed(self) -> int:
         """Queries completed so far."""
         return self._completed
+
+    @property
+    def succeeded(self) -> int:
+        """Completions classified successful (all of them when untracked)."""
+        return self._succeeded
+
+    @property
+    def failed(self) -> int:
+        """Completions classified failed (partial results, deadline expiry)."""
+        return self._failed
+
+    def success_ratio(self) -> float:
+        """Successful completions over all completions (1.0 when idle)."""
+        return safe_ratio(float(self._succeeded), float(self._completed), default=1.0)
 
     @property
     def in_flight(self) -> int:
@@ -261,10 +299,15 @@ class QueryTracker:
         summary: Dict[str, float] = {
             "started": float(self._started),
             "completed": float(self._completed),
+            "succeeded": float(self._succeeded),
+            "failed": float(self._failed),
+            "success_ratio": self.success_ratio(),
             "in_flight": float(self.in_flight),
             "makespan": self.makespan,
             "throughput": self.throughput(),
         }
+        if self.completeness.count:
+            summary["mean_completeness"] = self.completeness.mean
         for key, value in self.latency.percentiles().items():
             summary[f"latency_{key}"] = value
         for key, value in self.delay_hops.percentiles().items():

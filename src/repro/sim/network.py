@@ -16,7 +16,7 @@ Nodes are any objects that expose a hashable ``node_id`` attribute and a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, Optional, Protocol
+from typing import Any, Callable, Dict, Hashable, Optional, Protocol, Tuple
 
 from repro.sim.engine import Simulator
 from repro.sim.metrics import MetricsRegistry
@@ -89,6 +89,46 @@ class NodeProtocol(Protocol):
         """Process a delivered message."""
 
 
+class FaultInjectorProtocol(Protocol):
+    """What the overlay needs from a fault injector (see :mod:`repro.faults`).
+
+    The overlay consults the injector twice per message: once at send time
+    (``on_send`` may drop the message, delay it, or duplicate it) and once
+    at delivery time (``blocks_delivery`` models receivers that crashed or
+    were partitioned away while the message was in flight).  Both return
+    cheaply when no fault applies, so an installed-but-idle injector does
+    not change simulation results.
+    """
+
+    def on_send(self, message: Message) -> "FaultDecision":
+        """Fault decision for a message about to be scheduled."""
+
+    def blocks_delivery(self, message: Message) -> Optional[str]:
+        """Reason the delivery must be suppressed, or ``None`` to deliver."""
+
+
+@dataclass
+class FaultDecision:
+    """Composable outcome of consulting the fault models for one message."""
+
+    drop: bool = False
+    reason: str = ""
+    extra_delay: float = 0.0
+    copies: int = 0
+
+    def combine(self, other: "FaultDecision") -> None:
+        """Fold another model's decision into this one (drop wins, delays add)."""
+        if other.drop and not self.drop:
+            self.drop = True
+            self.reason = other.reason
+        self.extra_delay += other.extra_delay
+        self.copies += other.copies
+
+
+#: shared "nothing happened" decision — callers must never mutate it
+NO_FAULT = FaultDecision()
+
+
 class NetworkError(RuntimeError):
     """Raised when a message is sent to an unknown node."""
 
@@ -109,6 +149,12 @@ class OverlayNetwork:
         self.trace = trace
         self._nodes: Dict[Hashable, NodeProtocol] = {}
         self._drop_filter: Optional[Callable[[Message], bool]] = None
+        self._fault_injector: Optional["FaultInjectorProtocol"] = None
+        # Per-query drop ledger, keyed by (kind, query_id): lost messages are
+        # attributable to the query that sent them even when the sender never
+        # installed an ``on_drop`` callback (satellite of the faults work —
+        # a query whose messages vanish must be visible, not silently short).
+        self._query_drops: Dict[Tuple[str, Any], int] = {}
         # Hot-path caches: counter objects and interned per-kind labels, so
         # sending a message costs no registry lookups or string formatting.
         self._total_counter = self.metrics.counter("messages.total")
@@ -154,6 +200,37 @@ class OverlayNetwork:
         """
         self._drop_filter = drop_filter
 
+    def set_fault_injector(self, injector: Optional[FaultInjectorProtocol]) -> None:
+        """Install (or remove) the composable fault injector.
+
+        The injector is consulted on every send and every delivery; with no
+        injector installed both paths are zero-cost, so the fault-free
+        simulation is byte-identical to the pre-faults code.
+        """
+        self._fault_injector = injector
+
+    @property
+    def fault_injector(self) -> Optional[FaultInjectorProtocol]:
+        """The currently installed fault injector, if any."""
+        return self._fault_injector
+
+    def drops_for_query(self, kind: str, query_id: Any) -> int:
+        """Messages of query ``(kind, query_id)`` that were dropped or
+        undeliverable.  Counted unconditionally in :meth:`_notify_drop`, so
+        lost queries are visible even when the sender installed no
+        ``on_drop`` callback and faults are disabled."""
+        return self._query_drops.get((kind, query_id), 0)
+
+    def clear_query_drops(self, kind: str, query_id: Any) -> None:
+        """Forget the drop ledger of a finished query (the engine calls
+        this at completion so a long-lived overlay stays O(in-flight))."""
+        self._query_drops.pop((kind, query_id), None)
+
+    @property
+    def total_query_drops(self) -> int:
+        """Dropped/undeliverable messages attributable to some query."""
+        return sum(self._query_drops.values())
+
     # -- message delivery ---------------------------------------------------
 
     def send(self, message: Message) -> None:
@@ -180,7 +257,22 @@ class OverlayNetwork:
             self.metrics.counter("messages.dropped").increment()
             self._notify_drop(message)
             return
-        latency = self.latency_model.latency(message)
+        extra_delay = 0.0
+        copies = 0
+        if self._fault_injector is not None:
+            decision = self._fault_injector.on_send(message)
+            if decision.drop:
+                self.metrics.counter("messages.dropped").increment()
+                if decision.reason:
+                    self.metrics.counter(f"messages.dropped.{decision.reason}").increment()
+                self._notify_drop(message)
+                return
+            extra_delay = decision.extra_delay
+            copies = decision.copies
+        override = message.metadata.get("latency")
+        latency = (
+            float(override) if override is not None else self.latency_model.latency(message)
+        ) + extra_delay
         label = self._kind_labels.get(message.kind)
         if label is None:
             label = f"deliver:{message.kind}"
@@ -190,14 +282,29 @@ class OverlayNetwork:
             lambda msg=message: self._deliver(msg),
             label=label,
         )
+        # Duplication faults: extra copies arrive one latency unit apart so
+        # they are strictly ordered after the original (deterministically).
+        for copy_index in range(copies):
+            self.metrics.counter("messages.duplicated").increment()
+            self.simulator.schedule_after(
+                latency + float(copy_index + 1),
+                lambda msg=message: self._deliver(msg),
+                label=label,
+            )
 
     def _notify_drop(self, message: Message) -> None:
         """Tell the sender's protocol layer a message will never arrive.
 
         Senders that track outstanding messages (the concurrent query engine)
         install an ``on_drop`` metadata callback; without it a dropped message
-        would leave its query waiting forever.
+        would leave its query waiting forever — which is why the drop is
+        *always* charged to the query's ledger first: even callback-less
+        queries show up in :meth:`drops_for_query` instead of stalling
+        invisibly.
         """
+        if message.query_id is not None:
+            key = (message.kind, message.query_id)
+            self._query_drops[key] = self._query_drops.get(key, 0) + 1
         on_drop = message.metadata.get("on_drop")
         if on_drop is not None:
             on_drop(message)
@@ -209,6 +316,14 @@ class OverlayNetwork:
             self.metrics.counter("messages.undeliverable").increment()
             self._notify_drop(message)
             return
+        if self._fault_injector is not None:
+            blocked = self._fault_injector.blocks_delivery(message)
+            if blocked is not None:
+                self.metrics.counter("messages.undeliverable").increment()
+                if blocked:
+                    self.metrics.counter(f"messages.dropped.{blocked}").increment()
+                self._notify_drop(message)
+                return
         if self.trace is not None:
             self.trace.record(
                 self.simulator.now,

@@ -121,3 +121,36 @@ class TestConcurrentSequentialEquivalence:
         sequential = run_sequentially(sequential_system, jobs)
 
         assert_equivalent(jobs, report, sequential)
+
+    def test_empty_fault_plan_is_byte_identical_to_fault_free(self):
+        """The faults acceptance property: an engine configured with an
+        empty FaultPlan, a full resilience policy and a deadline produces
+        measurements byte-identical to the plain fault-free path — the
+        fault machinery is invisible until a fault actually exists."""
+        from repro.faults import FaultPlan, ResiliencePolicy
+
+        jobs = make_mixed_jobs(build_system(seed=21), count=200, rate=8.0, seed=99)
+
+        guarded_system = build_system(seed=21)
+        assert guarded_system.install_faults(FaultPlan.empty()) is None
+        assert guarded_system.overlay.fault_injector is None
+        guarded_system.set_resilience(
+            ResiliencePolicy(per_hop_timeout=4.0, max_retries=2, reroute=True)
+        )
+        report = QueryEngine(guarded_system, deadline=500.0).run_open_loop(jobs)
+        assert report.queries == 200
+        assert report.failed == 0 and report.stalled == 0 and report.dropped == 0
+
+        plain_system = build_system(seed=21)
+        plain_report = QueryEngine(plain_system).run_open_loop(jobs)
+
+        assert_equivalent(jobs, report, run_sequentially(build_system(seed=21), jobs))
+        # Identical timing too, not just identical measurements: timers are
+        # cancelled before firing, so the processed-event stream matches.
+        guarded = {id(r.job): r for r in report.completed}
+        for record in plain_report.completed:
+            twin = guarded[id(record.job)]
+            assert twin.started_at == record.started_at
+            assert twin.completed_at == record.completed_at
+        assert report.messages == plain_report.messages
+        assert report.events == plain_report.events

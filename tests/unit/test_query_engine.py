@@ -185,6 +185,71 @@ class TestChurn:
         with pytest.raises(ValueError):
             ChurnEvent(time=0.0, kind="flap")
 
+    def test_apply_churn_rejects_unknown_kind(self):
+        """`_apply_churn` itself validates, even for events that bypassed
+        ChurnEvent's constructor (e.g. hand-built schedule entries)."""
+        from types import SimpleNamespace
+
+        engine = QueryEngine(build_system(num_peers=64))
+        with pytest.raises(ValueError, match="unknown churn kind"):
+            engine._apply_churn(SimpleNamespace(time=0.0, kind="flap", count=1))
+
+    def test_departing_peer_holding_outstanding_message(self):
+        """Churn × in-flight: depart a peer that currently holds an
+        outstanding PIRA message.  The message becomes undeliverable, is
+        drop-accounted, and the query completes with a subset of results
+        instead of hanging."""
+        system = build_system(num_peers=128)
+        executor = system.pira
+        origin = system.network.peer_ids()[0]
+        done = []
+        result = executor.start(origin, 100.0, 400.0, on_complete=done.append)
+        assert executor.active_queries == 1 and not done
+        # Pick the receiver of an in-flight first-hop message and depart it
+        # abruptly (overlay-level, before the DHT merges its zone — a
+        # graceful `leave` relabels peers, so the raw unregister is the
+        # deterministic way to strand exactly this receiver's messages).
+        receivers = {receiver for _s, receiver, _h in result.forwarding_steps}
+        victim = sorted(receivers)[0]
+        system.overlay.unregister(victim)
+        system.overlay.run()
+        assert done and done[0] is result
+        assert executor.active_queries == 0
+        assert victim not in result.destinations
+        assert result.resilience.drops >= 1
+        assert not result.complete  # the loss is reported, not hidden
+
+    def test_departing_mira_receiver_mid_flight(self):
+        system = build_system(num_peers=128, multi=True)
+        executor = system.mira
+        origin = system.network.peer_ids()[0]
+        done = []
+        result = executor.start(
+            origin, ((100.0, 500.0), (0.0, 900.0)), on_complete=done.append
+        )
+        receivers = {receiver for _s, receiver, _h in result.forwarding_steps}
+        victim = sorted(receivers)[-1]
+        system.overlay.unregister(victim)
+        system.overlay.run()
+        assert done and done[0] is result
+        assert executor.active_queries == 0
+        assert victim not in result.destinations
+
+    def test_mass_departure_during_engine_run_never_hangs(self):
+        """Remove most of the network while queries are in flight: every
+        query must still complete (possibly partially), with the losses
+        surfaced in the report's dropped column."""
+        system = build_system(num_peers=128)
+        engine = QueryEngine(system)
+        jobs = make_jobs(system, 30, rate=10.0)
+        engine.submit_many(jobs)
+        system.overlay.simulator.schedule_at(2.0, lambda: system.remove_peers(100))
+        report = engine.run()
+        assert report.queries == 30
+        assert report.stalled == 0
+        assert engine.in_flight == 0
+        assert report.dropped > 0
+
     def test_departed_peers_are_unregistered_from_overlay(self):
         """Sustained churn must not leak overlay node registrations."""
         system = build_system(num_peers=64)
