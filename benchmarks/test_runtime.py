@@ -1,0 +1,61 @@
+"""Benchmark: the live serving runtime under soak load.
+
+Boots a 32-peer asyncio cluster (8 nodes) behind a gateway on localhost,
+publishes a seeded object population, and replays a 1000-query mixed
+PIRA/MIRA workload through 16 closed-loop gateway connections — every
+forwarding message crossing a real TCP socket.  Writes wall-clock
+throughput and latency percentiles to ``benchmarks/BENCH_runtime.json``
+(same payload the ``repro soak --bench-dir`` CLI writes), tracking the
+live path's performance trajectory PR over PR.
+
+The assertions double as the acceptance bar for the runtime PR: the run
+must complete ≥1000 queries with a success ratio ≥ 0.99.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit
+from emit import write_bench_json
+
+from repro.experiments.soak import SoakSpec, run as run_soak
+
+PEERS = 32
+NODES = 8
+QUERIES = 1000
+CONCURRENCY = 16
+
+
+def test_live_soak_throughput(benchmark):
+    spec = SoakSpec(
+        peers=PEERS,
+        nodes=NODES,
+        queries=QUERIES,
+        concurrency=CONCURRENCY,
+        objects=500,
+        seed=42,
+        mira_fraction=0.2,
+    )
+    started = time.perf_counter()
+    result = run_soak(spec)
+    elapsed = time.perf_counter() - started
+
+    report = result.report
+    assert report.queries == QUERIES
+    assert report.stalled == 0
+    assert report.success_ratio >= 0.99
+
+    # A small rerun through pytest-benchmark for its statistics.
+    small = SoakSpec(
+        peers=8, nodes=4, queries=100, concurrency=8, objects=100, seed=42
+    )
+    benchmark.pedantic(lambda: run_soak(small), rounds=1, iterations=1)
+
+    path = write_bench_json("runtime", result.bench_metrics())
+    emit(
+        "Live runtime soak benchmark",
+        result.format()
+        + f"\ntotal wall (incl. boot + publish): {elapsed:.2f}s"
+        + f"\nwrote {path}",
+    )

@@ -27,9 +27,11 @@ from repro.experiments import fissione_props as fissione_experiment
 from repro.experiments import faults as faults_experiment
 from repro.experiments import load as load_experiment
 from repro.experiments import mira as mira_experiment
+from repro.experiments import soak as soak_experiment
 from repro.experiments import table1 as table1_experiment
 from repro.experiments import orchestrator
 from repro.experiments.common import ExperimentConfig
+from repro.runtime.server import ServeSettings, serve as serve_runtime
 
 _COMMANDS = (
     "table1",
@@ -42,8 +44,14 @@ _COMMANDS = (
     "load",
     "sweep",
     "faults",
+    "serve",
+    "soak",
     "all",
 )
+
+#: live commands default to a small cluster, not the simulator's 2000 peers
+_LIVE_DEFAULT_PEERS = 32
+_LIVE_DEFAULT_QUERIES = 1000
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -156,7 +164,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline",
         type=float,
         default=None,
-        help="faults only: per-query deadline (default derived from N and the retry budget)",
+        help=(
+            "per-query deadline: simulated units for faults (default derived "
+            "from N and the retry budget), wall-clock seconds for serve/soak "
+            "(default 5.0)"
+        ),
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="serve/soak: interface the live cluster binds on",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=7411,
+        help="serve only: gateway port (0 picks an ephemeral port)",
+    )
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help=(
+            "serve/soak: peer-node count; peers are distributed round-robin "
+            "(default: serve hosts one node per peer, soak uses 8)"
+        ),
+    )
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=16,
+        help="soak only: closed-loop client population",
+    )
+    parser.add_argument(
+        "--mira-fraction",
+        type=float,
+        default=0.2,
+        help="soak only: fraction of queries that are multi-attribute (MIRA)",
+    )
+    parser.add_argument(
+        "--bench-dir",
+        default=None,
+        help="soak only: directory to write BENCH_runtime.json into",
+    )
+    parser.add_argument(
+        "--require-success",
+        type=float,
+        default=None,
+        help="soak only: exit non-zero unless the success ratio reaches this bound",
     )
     return parser
 
@@ -232,6 +287,49 @@ def make_faults_spec(args: argparse.Namespace, config: ExperimentConfig):
         raise SystemExit(str(exc))
 
 
+def make_serve_settings(args: argparse.Namespace, config: ExperimentConfig) -> ServeSettings:
+    """Resolve the live-serving settings from the CLI arguments."""
+    try:
+        return ServeSettings(
+            peers=args.peers if args.peers is not None else _LIVE_DEFAULT_PEERS,
+            seed=config.seed,
+            host=args.host,
+            port=args.port,
+            nodes=args.nodes,
+            deadline=args.deadline if args.deadline is not None else 5.0,
+            attribute_interval=(config.attribute_low, config.attribute_high),
+            attribute_intervals=(
+                (config.attribute_low, config.attribute_high),
+                (config.attribute_low, config.attribute_high),
+            ),
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def make_soak_spec(args: argparse.Namespace, config: ExperimentConfig):
+    """Resolve the soak-run spec from the CLI arguments."""
+    if args.require_success is not None and not 0.0 <= args.require_success <= 1.0:
+        raise SystemExit(
+            f"--require-success must be within [0, 1], got {args.require_success}"
+        )
+    try:
+        return soak_experiment.SoakSpec(
+            peers=args.peers if args.peers is not None else _LIVE_DEFAULT_PEERS,
+            nodes=args.nodes if args.nodes is not None else 8,
+            queries=args.queries if args.queries is not None else _LIVE_DEFAULT_QUERIES,
+            concurrency=args.concurrency,
+            objects=args.objects if args.objects is not None else 1000,
+            seed=config.seed,
+            range_size=config.fixed_range_size,
+            mira_fraction=args.mira_fraction,
+            deadline=args.deadline if args.deadline is not None else 5.0,
+            attribute_interval=(config.attribute_low, config.attribute_high),
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
 def make_config(args: argparse.Namespace) -> ExperimentConfig:
     """Resolve the experiment configuration from the CLI arguments."""
     if args.profile == "quick":
@@ -250,6 +348,23 @@ def make_config(args: argparse.Namespace) -> ExperimentConfig:
     if args.seed is not None:
         overrides["seed"] = args.seed
     return config.with_overrides(**overrides) if overrides else config
+
+
+def _replace_store(store_path: str, records) -> str:
+    """Atomically replace ``store_path`` with the given records.
+
+    Streams into ``<path>.tmp`` and renames on success, so re-running the
+    same command never duplicates records and a crashed or interrupted run
+    leaves any previous result file untouched.  Returns a summary line.
+    """
+    scratch = ResultStore(store_path + ".tmp")
+    scratch.clear()
+    count = 0
+    for record in records:
+        scratch.append(record)
+        count += 1
+    os.replace(scratch.path, store_path)
+    return f"streamed {count} records into {store_path}"
 
 
 def _write_csvs(csv_dir: Optional[str], csvs: Dict[str, str]) -> None:
@@ -272,8 +387,27 @@ def run_command(
     sweep_spec=None,
     workers: int = 1,
     store_path: Optional[str] = None,
+    soak_spec=None,
+    bench_dir: Optional[str] = None,
+    require_success: Optional[float] = None,
 ) -> str:
     """Run one experiment command and return its formatted output."""
+    if command == "soak":
+        spec = soak_spec if soak_spec is not None else soak_experiment.SoakSpec()
+        result = soak_experiment.run(spec)
+        parts = [result.format()]
+        if store_path is not None:
+            parts.append(_replace_store(store_path, [result.record()]))
+        if bench_dir is not None:
+            parts.append(f"wrote {soak_experiment.write_bench(result, bench_dir)}")
+        output = "\n\n".join(parts)
+        if require_success is not None and result.report.success_ratio < require_success:
+            raise SystemExit(
+                output
+                + f"\n\nsoak failed: success ratio {result.report.success_ratio:.4f}"
+                f" below the required {require_success:g}"
+            )
+        return output
     if command in ("sweep", "faults"):
         if command == "sweep":
             spec = (
@@ -336,12 +470,17 @@ def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     config = make_config(args)
+    if args.command == "serve":
+        # Blocking: boots the live cluster and runs until SIGINT/SIGTERM.
+        return serve_runtime(make_serve_settings(args, config))
+    spec = None
+    soak_spec = None
     if args.command == "sweep":
         spec = make_sweep_spec(args, config)
     elif args.command == "faults":
         spec = make_faults_spec(args, config)
-    else:
-        spec = None
+    elif args.command == "soak":
+        soak_spec = make_soak_spec(args, config)
     output = run_command(
         args.command,
         config,
@@ -351,6 +490,9 @@ def main(argv=None) -> int:
         sweep_spec=spec,
         workers=args.workers,
         store_path=args.store,
+        soak_spec=soak_spec,
+        bench_dir=args.bench_dir,
+        require_success=args.require_success,
     )
     print(output)
     return 0

@@ -34,6 +34,7 @@ from repro.core.frt import descendant_prefix, longest_suffix_prefix
 from repro.core.multiple_hash import Box, MultiAttributeNamer
 from repro.core.pira import RangeQueryResult
 from repro.core.resumable import QueryState, ResumableExecutor
+from repro.core.transport import Transport
 from repro.fissione.network import FissioneNetwork
 from repro.fissione.peer import FissionePeer
 from repro.kautz import strings as ks
@@ -66,13 +67,19 @@ class MiraExecutor(ResumableExecutor):
         network: FissioneNetwork,
         namer: MultiAttributeNamer,
         overlay: Optional[OverlayNetwork] = None,
+        transport: Optional[Transport] = None,
     ) -> None:
         self.network = network
         self.namer = namer
-        self.overlay = overlay if overlay is not None else OverlayNetwork()
+        # Same transport seam as PiraExecutor: explicit transport wins and
+        # ``overlay`` only exists when the transport wraps one.
+        if transport is None:
+            self.overlay = overlay if overlay is not None else OverlayNetwork()
+        else:
+            self.overlay = getattr(transport, "overlay", None)
         self._query_ids = itertools.count(1)
         self._active: Dict[int, QueryState] = {}
-        self._init_lifecycle()
+        self._init_lifecycle(transport)
         self.refresh_membership()
 
     # ------------------------------------------------------------------ #
@@ -85,6 +92,11 @@ class MiraExecutor(ResumableExecutor):
         ranges: Sequence[Tuple[float, float]],
     ) -> RangeQueryResult:
         """Run the multi-attribute range query ``ranges`` from ``origin_peer_id``."""
+        if self.overlay is None:
+            raise QueryError(
+                "synchronous execute() needs the simulator transport; "
+                "live transports drive queries via start()/on_complete"
+            )
         result = self.start(origin_peer_id, ranges)
         self.overlay.run()
         return result
@@ -109,7 +121,7 @@ class MiraExecutor(ResumableExecutor):
 
         state = QueryState(
             result=result,
-            started_at=self.overlay.simulator.now,
+            started_at=self.transport.now,
             on_complete=on_complete,
         )
         # Like PIRA's sub-region split, the query is processed once per

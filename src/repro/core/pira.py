@@ -42,6 +42,7 @@ from repro.core.errors import QueryError
 from repro.core.frt import descendant_prefix, destination_level
 from repro.core.resumable import QueryState, ResumableExecutor
 from repro.core.single_hash import SingleAttributeNamer
+from repro.core.transport import Transport
 from repro.faults.resilience import ResilienceStats
 from repro.fissione.network import FissioneNetwork
 from repro.fissione.peer import FissionePeer, StoredObject
@@ -107,6 +108,38 @@ class RangeQueryResult:
         """Attribute values (keys) of the matching objects."""
         return [stored.key for stored in self.matches]
 
+    def to_wire(self) -> Dict[str, object]:
+        """JSON-compatible form carrying every field.
+
+        ``from_wire(json.loads(json.dumps(result.to_wire())))`` equals the
+        original result — the identity the live gateway's responses (and
+        the round-trip property test) rely on.
+        """
+        return {
+            "origin": self.origin,
+            "query_id": self.query_id,
+            "destinations": dict(self.destinations),
+            "messages": self.messages,
+            "matches": [stored.to_wire() for stored in self.matches],
+            "forwarding_steps": [list(step) for step in self.forwarding_steps],
+            "resilience": self.resilience.as_dict(),
+        }
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, object]) -> "RangeQueryResult":
+        """Rebuild a result from :meth:`to_wire` output (post-JSON)."""
+        return cls(
+            origin=wire["origin"],
+            query_id=int(wire["query_id"]),
+            destinations={peer: int(hop) for peer, hop in wire["destinations"].items()},
+            messages=int(wire["messages"]),
+            matches=[StoredObject.from_wire(item) for item in wire["matches"]],
+            forwarding_steps=[
+                (step[0], step[1], int(step[2])) for step in wire["forwarding_steps"]
+            ],
+            resilience=ResilienceStats.from_dict(wire["resilience"]),
+        )
+
 
 @dataclass
 class _SubQuery:
@@ -148,13 +181,20 @@ class PiraExecutor(ResumableExecutor):
         network: FissioneNetwork,
         namer: SingleAttributeNamer,
         overlay: Optional[OverlayNetwork] = None,
+        transport: Optional[Transport] = None,
     ) -> None:
         self.network = network
         self.namer = namer
-        self.overlay = overlay if overlay is not None else OverlayNetwork()
+        # With an explicit transport the executor is transport-agnostic and
+        # ``overlay`` stays None (unless the transport exposes one); the
+        # default remains a private overlay wrapped in a SimTransport.
+        if transport is None:
+            self.overlay = overlay if overlay is not None else OverlayNetwork()
+        else:
+            self.overlay = getattr(transport, "overlay", None)
         self._query_ids = itertools.count(1)
         self._active: Dict[int, QueryState] = {}
-        self._init_lifecycle()
+        self._init_lifecycle(transport)
         self.refresh_membership()
 
     # ------------------------------------------------------------------ #
@@ -168,6 +208,11 @@ class PiraExecutor(ResumableExecutor):
         high_value: float,
     ) -> RangeQueryResult:
         """Run the range query ``[low_value, high_value]`` from ``origin_peer_id``."""
+        if self.overlay is None:
+            raise QueryError(
+                "synchronous execute() needs the simulator transport; "
+                "live transports drive queries via start()/on_complete"
+            )
         result = self.start(origin_peer_id, low_value, high_value)
         # Drain the scheduled message deliveries for this query.
         self.overlay.run()
@@ -205,7 +250,7 @@ class PiraExecutor(ResumableExecutor):
             result=result,
             low_value=low_value,
             high_value=high_value,
-            started_at=self.overlay.simulator.now,
+            started_at=self.transport.now,
             on_complete=on_complete,
         )
         for subregion in region.split_by_first_symbol():

@@ -36,7 +36,6 @@ pre-resilience code.
 A concrete executor must provide
 
 * ``self.network`` (peer lookup via ``has_peer`` / ``peer``),
-* ``self.overlay`` (an :class:`~repro.sim.network.OverlayNetwork`),
 * ``message_kind`` (the overlay message kind string),
 * ``_process(peer, level, hop, branch_index, state)`` — resume the query at
   ``peer`` for one branch (PIRA sub-region / MIRA subtree), and
@@ -45,6 +44,13 @@ A concrete executor must provide
   predicate (the sibling-reroute targets; the default is none),
 
 and call :meth:`_init_lifecycle` from its ``__init__``.
+
+All sending, timer scheduling, clock reads and reachability checks go
+through ``self.transport`` (a :class:`~repro.core.transport.Transport`).
+The default is a :class:`~repro.core.transport.SimTransport` over the
+executor's overlay — byte-identical to the pre-seam behaviour — and the
+live runtime (:mod:`repro.runtime`) substitutes an asyncio/TCP transport
+without the handlers changing at all.
 """
 
 from __future__ import annotations
@@ -54,6 +60,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.frt import descendant_prefix
+from repro.core.transport import SimTransport, Transport
 from repro.faults.resilience import ResiliencePolicy
 from repro.sim.network import Message, OverlayNetwork
 
@@ -118,11 +125,20 @@ class ResumableExecutor:
     message_kind: str = "query"
 
     network: Any
-    overlay: OverlayNetwork
+    overlay: Optional[OverlayNetwork]
+    transport: Transport
     _active: Dict[int, QueryState]
 
-    def _init_lifecycle(self) -> None:
-        """Initialise the shared lifecycle state (call from ``__init__``)."""
+    def _init_lifecycle(self, transport: Optional[Transport] = None) -> None:
+        """Initialise the shared lifecycle state (call from ``__init__``).
+
+        ``transport`` defaults to a :class:`SimTransport` over the
+        executor's overlay; the live runtime passes its asyncio transport
+        instead.
+        """
+        if transport is None:
+            transport = SimTransport(self.overlay)
+        self.transport = transport
         self._send_ids = itertools.count(1)
         self.resilience: Optional[ResiliencePolicy] = None
 
@@ -219,7 +235,7 @@ class ResumableExecutor:
         if (
             policy is not None
             and pending.attempts < policy.attempts_per_hop
-            and self.overlay.has_node(pending.receiver)
+            and self.transport.has_node(pending.receiver)
         ):
             pending.attempts += 1
             stats.retries += 1
@@ -290,11 +306,11 @@ class ResumableExecutor:
         overlay does not leak node registrations under sustained churn).
         """
         current = set(self.network.peer_ids())
-        for node_id in self.overlay.node_ids():
+        for node_id in self.transport.node_ids():
             if node_id not in current:
-                self.overlay.unregister(node_id)
+                self.transport.unregister(node_id)
         for peer in self.network.peers():
-            self.overlay.register(peer)
+            self.transport.register(peer)
 
     def _forward_message(
         self,
@@ -339,7 +355,7 @@ class ResumableExecutor:
 
     def _transmit(self, state: QueryState, send_id: int, pending: _PendingSend) -> None:
         """Put one physical copy of a logical send on the wire."""
-        if not self.overlay.has_node(pending.receiver):
+        if not self.transport.has_node(pending.receiver):
             # The receiver departed the overlay between the neighbour-table
             # lookup and this send (abrupt churn): degrade like a drop
             # instead of crashing the whole simulation on NetworkError.
@@ -353,7 +369,7 @@ class ResumableExecutor:
             # override > 1; their timers must budget for the longer transit
             # or they would "time out" while legitimately still in flight.
             transit = pending.latency if pending.latency is not None else 1.0
-            pending.timer = self.overlay.simulator.schedule_after(
+            pending.timer = self.transport.schedule_after(
                 self.resilience.per_hop_timeout + (transit - 1.0),
                 lambda: self._on_timeout(state, send_id),
                 label="hop-timeout",
@@ -367,7 +383,7 @@ class ResumableExecutor:
         }
         if pending.latency is not None:
             metadata["latency"] = pending.latency
-        self.overlay.send(
+        self.transport.send(
             Message(
                 sender=pending.sender,
                 receiver=pending.receiver,
@@ -415,7 +431,7 @@ class ResumableExecutor:
                 continue
             if (pending.branch_index, target) in state.detoured:
                 continue
-            if not self.overlay.has_node(target):
+            if not self.transport.has_node(target):
                 continue
             extra_hops = (dest_level - pending.level) + policy.detour_hop_penalty
             send_id = next(self._send_ids)

@@ -7,12 +7,13 @@ batches (open- or closed-loop, optionally under churn) onto an
 per message, and reports throughput plus latency/delay percentiles.
 """
 
-from repro.engine.query_engine import (
+from repro.engine.query_engine import QueryEngine, offered_load
+from repro.engine.reporting import (
     CompletedQuery,
     EngineReport,
-    QueryEngine,
     QueryJob,
-    offered_load,
+    RunReporter,
+    build_report,
 )
 
 __all__ = [
@@ -20,5 +21,7 @@ __all__ = [
     "EngineReport",
     "QueryEngine",
     "QueryJob",
+    "RunReporter",
+    "build_report",
     "offered_load",
 ]

@@ -27,7 +27,6 @@ percentiles under load.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from collections import deque
@@ -35,143 +34,13 @@ from collections import deque
 from repro.core.armada import ArmadaSystem
 from repro.core.errors import ArmadaError
 from repro.core.pira import RangeQueryResult
-from repro.faults.resilience import ResilienceStats
+from repro.engine.reporting import CompletedQuery, EngineReport, QueryJob, build_report
 from repro.sim.metrics import QueryTracker, safe_ratio
 from repro.workloads.arrivals import ChurnEvent
 
-
-@dataclass(frozen=True)
-class QueryJob:
-    """One query to run through the engine.
-
-    ``ranges`` set → multi-attribute (MIRA); otherwise ``[low, high]``
-    single-attribute (PIRA).  ``origin`` should be chosen when the workload
-    is generated so the job is fully deterministic; ``None`` falls back to a
-    random peer drawn at launch time.
-    """
-
-    arrival: float = 0.0
-    origin: Optional[str] = None
-    low: float = 0.0
-    high: float = 0.0
-    ranges: Optional[Tuple[Tuple[float, float], ...]] = None
-
-    @property
-    def kind(self) -> str:
-        """``"mira"`` for box queries, ``"pira"`` for single-attribute."""
-        return "mira" if self.ranges is not None else "pira"
-
-
-@dataclass
-class CompletedQuery:
-    """A finished query: the job, its result and its timing."""
-
-    job: QueryJob
-    result: RangeQueryResult
-    started_at: float
-    completed_at: float
-
-    @property
-    def latency(self) -> float:
-        """Sojourn time in simulated units (arrival-to-last-destination)."""
-        return self.completed_at - self.started_at
-
-    @property
-    def status(self) -> str:
-        """``"ok"`` (full results), ``"partial"`` (lost subtrees) or
-        ``"deadline"`` (force-completed by the engine's deadline)."""
-        if self.result.resilience.deadline_expired:
-            return "deadline"
-        return "ok" if self.result.complete else "partial"
-
-
-@dataclass
-class EngineReport:
-    """Aggregate outcome of one engine run."""
-
-    completed: List[CompletedQuery] = field(default_factory=list)
-    started: int = 0
-    makespan: float = 0.0
-    throughput: float = 0.0
-    latency_percentiles: Dict[str, float] = field(default_factory=dict)
-    delay_percentiles: Dict[str, float] = field(default_factory=dict)
-    mean_latency: float = 0.0
-    mean_delay_hops: float = 0.0
-    messages: int = 0
-    events: int = 0
-    #: completions with full results / with lost subtrees or deadline expiry
-    succeeded: int = 0
-    failed: int = 0
-    #: queries started but neither completed nor failed when the simulator
-    #: went quiescent — a stall is *always* a bug (a leak the deadline and
-    #: drop accounting exist to prevent), so it gets its own column
-    stalled: int = 0
-    #: forwarding messages of this engine's queries that were lost
-    dropped: int = 0
-    #: aggregate failure/recovery ledger over all completed queries
-    resilience: ResilienceStats = field(default_factory=ResilienceStats)
-
-    @property
-    def queries(self) -> int:
-        """Number of completed queries."""
-        return len(self.completed)
-
-    @property
-    def success_ratio(self) -> float:
-        """Fully-successful completions over all completions (1.0 when idle)."""
-        return safe_ratio(float(self.succeeded), float(self.queries), default=1.0)
-
-    def as_dict(self) -> Dict[str, float]:
-        """Flat summary, handy for CSV/JSON emitters (counts stay ints)."""
-        summary: Dict[str, float] = {
-            "queries": self.queries,
-            "started": self.started,
-            "succeeded": self.succeeded,
-            "failed": self.failed,
-            "stalled": self.stalled,
-            "dropped": self.dropped,
-            "success_ratio": self.success_ratio,
-            "retries": self.resilience.retries,
-            "timeouts": self.resilience.timeouts,
-            "reroutes": self.resilience.reroutes,
-            "subtrees_lost": self.resilience.subtrees_lost,
-            "makespan": self.makespan,
-            "throughput": self.throughput,
-            "mean_latency": self.mean_latency,
-            "mean_delay_hops": self.mean_delay_hops,
-            "messages": self.messages,
-            "events": self.events,
-        }
-        for key, value in self.latency_percentiles.items():
-            summary[f"latency_{key}"] = value
-        for key, value in self.delay_percentiles.items():
-            summary[f"delay_{key}"] = value
-        return summary
-
-    def format(self) -> str:
-        """Human-readable one-paragraph summary."""
-        lat = self.latency_percentiles
-        dly = self.delay_percentiles
-        res = self.resilience
-        lines = [
-            f"queries completed : {self.queries} (started {self.started})",
-            f"outcome           : {self.succeeded} ok, {self.failed} failed,"
-            f" {self.stalled} stalled (success ratio {self.success_ratio:.3f})",
-            f"makespan          : {self.makespan:.1f} sim units",
-            f"throughput        : {self.throughput:.3f} queries / sim unit",
-            f"latency (sim)     : mean {self.mean_latency:.2f}"
-            f"  p50 {lat.get('p50', 0.0):.1f}  p95 {lat.get('p95', 0.0):.1f}"
-            f"  p99 {lat.get('p99', 0.0):.1f}",
-            f"delay (hops)      : mean {self.mean_delay_hops:.2f}"
-            f"  p50 {dly.get('p50', 0.0):.1f}  p95 {dly.get('p95', 0.0):.1f}"
-            f"  p99 {dly.get('p99', 0.0):.1f}",
-            f"messages          : {self.messages}",
-            f"resilience        : {self.dropped} dropped, {res.timeouts} timeouts,"
-            f" {res.retries} retries, {res.reroutes} reroutes,"
-            f" {res.subtrees_lost} subtrees lost",
-            f"simulator events  : {self.events}",
-        ]
-        return "\n".join(lines)
+# The job/record/report vocabulary lives in repro.engine.reporting (shared
+# with the live runtime); re-exported here for backwards compatibility.
+__all__ = ["CompletedQuery", "EngineReport", "QueryEngine", "QueryJob", "offered_load"]
 
 
 class QueryEngine:
@@ -293,32 +162,18 @@ class QueryEngine:
         (as the load sweep does, one engine per offered rate) without
         double-counting each other's traffic.
         """
-        aggregate = ResilienceStats()
-        dropped = 0
-        for record in self._completed:
-            aggregate.merge(record.result.resilience)
-            dropped += record.result.resilience.drops
         # Drops of still-in-flight (stalled) queries come from the overlay's
         # per-query ledger, so a query lost to drops is visible even though
         # it never completed.
+        inflight_drops = 0
         for kind, query_id in self._inflight.values():
-            dropped += self.overlay.drops_for_query(kind, query_id)
-        return EngineReport(
-            completed=list(self._completed),
-            started=self.tracker.started,
-            makespan=self.tracker.makespan,
-            throughput=self.tracker.throughput(),
-            latency_percentiles=self.tracker.latency.percentiles(),
-            delay_percentiles=self.tracker.delay_hops.percentiles(),
-            mean_latency=self.tracker.latency.mean,
-            mean_delay_hops=self.tracker.delay_hops.mean,
+            inflight_drops += self.overlay.drops_for_query(kind, query_id)
+        return build_report(
+            self.tracker,
+            self._completed,
             messages=self.overlay.metrics.counter_value("messages.total") - self._messages_at_start,
             events=self.overlay.simulator.processed_events - self._events_at_start,
-            succeeded=self.tracker.succeeded,
-            failed=self.tracker.failed,
-            stalled=self.tracker.in_flight,
-            dropped=dropped,
-            resilience=aggregate,
+            extra_dropped=inflight_drops,
         )
 
     @property

@@ -1,0 +1,208 @@
+"""The soak experiment: sustained mixed load against a live cluster.
+
+``repro soak`` is the live counterpart of ``repro load``: it boots an
+N-peer asyncio cluster behind a gateway on localhost, publishes a seeded
+object population, replays a deterministic mixed PIRA/MIRA workload
+through real gateway connections (closed loop, a fixed population of
+synchronous clients), and reports wall-clock throughput and latency
+percentiles through the same :class:`~repro.engine.reporting.EngineReport`
+pipeline the simulator uses.  Results persist through
+:class:`~repro.analysis.store.ResultStore` records and the
+``BENCH_runtime.json`` benchmark artifact.
+
+The run asserts nothing by itself; the CLI's ``--require-success`` turns
+the success ratio into an exit code, which is how the CI smoke job fails
+loudly when the live path regresses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.engine.reporting import EngineReport
+from repro.runtime.client import RuntimeClient
+from repro.runtime.cluster import LiveCluster
+from repro.runtime.gateway import Gateway
+from repro.runtime.loadgen import make_mixed_jobs, run_closed_loop
+from repro.sim.rng import DeterministicRNG
+from repro.workloads.values import uniform_values
+
+
+@dataclass(frozen=True)
+class SoakSpec:
+    """Parameters of one soak run (validated on construction)."""
+
+    peers: int = 32
+    nodes: Optional[int] = 8
+    queries: int = 1000
+    concurrency: int = 16
+    objects: int = 1000
+    seed: int = 42
+    range_size: float = 20.0
+    mira_fraction: float = 0.2
+    deadline: float = 5.0
+    attribute_interval: Tuple[float, float] = (0.0, 1000.0)
+
+    def __post_init__(self) -> None:
+        if self.peers < 3:
+            raise ValueError("need at least 3 peers")
+        if self.nodes is not None and self.nodes < 1:
+            raise ValueError("nodes must be positive")
+        if self.queries < 1:
+            raise ValueError("need at least one query")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be at least 1")
+        if self.objects < 0:
+            raise ValueError("objects must be non-negative")
+        if not 0.0 <= self.mira_fraction <= 1.0:
+            raise ValueError("mira-fraction must be within [0, 1]")
+        if self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+        low, high = self.attribute_interval
+        if high <= low:
+            raise ValueError("attribute interval must have positive width")
+
+
+@dataclass
+class SoakResult:
+    """Outcome of one soak run."""
+
+    spec: SoakSpec
+    report: EngineReport
+    wall_seconds: float
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def queries_per_second(self) -> float:
+        """Completed queries per wall-clock second over the whole run."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.report.queries / self.wall_seconds
+
+    def bench_metrics(self) -> Dict[str, float]:
+        """The flat metrics payload for ``BENCH_runtime.json``."""
+        lat = self.report.latency_percentiles
+        return {
+            "peers": self.spec.peers,
+            "nodes": self.stats.get("nodes", self.spec.nodes or self.spec.peers),
+            "queries": self.report.queries,
+            "concurrency": self.spec.concurrency,
+            "success_ratio": self.report.success_ratio,
+            "wall_seconds": self.wall_seconds,
+            "queries_per_sec": self.queries_per_second,
+            "latency_p50": lat.get("p50", 0.0),
+            "latency_p95": lat.get("p95", 0.0),
+            "latency_p99": lat.get("p99", 0.0),
+            "mean_latency": self.report.mean_latency,
+            "delay_hops_p95": self.report.delay_percentiles.get("p95", 0.0),
+            "messages": self.report.messages,
+        }
+
+    def record(self) -> Dict[str, Any]:
+        """One flat :class:`~repro.analysis.store.ResultStore` record."""
+        record: Dict[str, Any] = {
+            "experiment": "soak",
+            "scheme": "Armada (live)",
+            "seed": self.spec.seed,
+            "mira_fraction": self.spec.mira_fraction,
+            "range_size": self.spec.range_size,
+        }
+        record.update(self.bench_metrics())
+        return record
+
+    def format(self) -> str:
+        """Human-readable summary."""
+        lines = [
+            "Live soak (asyncio cluster on localhost TCP)",
+            f"cluster           : {self.spec.peers} peers on "
+            f"{self.stats.get('nodes', '?')} nodes, seed {self.spec.seed}",
+            f"workload          : {self.spec.queries} queries "
+            f"({self.spec.mira_fraction:.0%} MIRA), closed loop x{self.spec.concurrency}",
+            f"wall time         : {self.wall_seconds:.2f}s "
+            f"({self.queries_per_second:,.0f} queries/sec)",
+            self.report.format(clock="wall"),
+        ]
+        return "\n".join(lines)
+
+
+def write_bench(result: SoakResult, directory: str) -> str:
+    """Write ``BENCH_runtime.json`` into ``directory`` and return its path.
+
+    Same payload shape as ``benchmarks/emit.py`` (integer counts stay
+    ints), so the CLI-written artifact and the benchmark-suite one diff
+    cleanly against each other.
+    """
+    payload = {
+        "name": "runtime",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "metrics": {
+            key: value if isinstance(value, int) and not isinstance(value, bool) else float(value)
+            for key, value in result.bench_metrics().items()
+        },
+    }
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "BENCH_runtime.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def run(spec: Optional[SoakSpec] = None) -> SoakResult:
+    """Run one soak (blocking wrapper around the asyncio run)."""
+    return asyncio.run(run_async(spec if spec is not None else SoakSpec()))
+
+
+async def run_async(spec: SoakSpec) -> SoakResult:
+    """Boot, publish, replay the workload, drain, and report."""
+    cluster = LiveCluster(
+        num_peers=spec.peers,
+        seed=spec.seed,
+        num_nodes=spec.nodes,
+        attribute_interval=spec.attribute_interval,
+        attribute_intervals=(spec.attribute_interval, spec.attribute_interval),
+    )
+    await cluster.start()
+    gateway = await Gateway(cluster, deadline=spec.deadline).start()
+    try:
+        low, high = spec.attribute_interval
+        rng = DeterministicRNG(spec.seed)
+        client = await RuntimeClient.connect(*gateway.address)
+        try:
+            for value in uniform_values(rng.substream("soak-values"), spec.objects, low, high):
+                await client.insert(value)
+            # A smaller multi-attribute population so MIRA queries have
+            # something to match.
+            mrng = rng.substream("soak-mvalues")
+            for _ in range(spec.objects // 4):
+                await client.insert_multi(
+                    [mrng.uniform(low, high), mrng.uniform(low, high)]
+                )
+            jobs = make_mixed_jobs(
+                seed=spec.seed,
+                count=spec.queries,
+                peer_ids=cluster.network.peer_ids(),
+                interval=spec.attribute_interval,
+                range_size=spec.range_size,
+                mira_fraction=spec.mira_fraction,
+            )
+            started = time.perf_counter()
+            report = await run_closed_loop(
+                gateway.host, gateway.port, jobs, concurrency=spec.concurrency
+            )
+            wall = time.perf_counter() - started
+            stats = await client.stats()
+        finally:
+            await client.close()
+    finally:
+        await gateway.shutdown(drain=True)
+        await cluster.stop()
+    return SoakResult(spec=spec, report=report, wall_seconds=wall, stats=stats)

@@ -116,6 +116,24 @@ class ResilienceStats:
             "deadline_expired": int(self.deadline_expired),
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "ResilienceStats":
+        """Inverse of :meth:`as_dict` (missing counters default to zero).
+
+        ``deadline_expired`` is restored to a real bool, so
+        ``from_dict(stats.as_dict()) == stats`` holds for every ledger —
+        the identity the wire protocol's round-trip test pins down.
+        """
+        return cls(
+            drops=int(data.get("drops", 0)),
+            timeouts=int(data.get("timeouts", 0)),
+            retries=int(data.get("retries", 0)),
+            reroutes=int(data.get("reroutes", 0)),
+            subtrees_lost=int(data.get("subtrees_lost", 0)),
+            recovered_destinations=int(data.get("recovered_destinations", 0)),
+            deadline_expired=bool(data.get("deadline_expired", 0)),
+        )
+
     def merge(self, other: "ResilienceStats") -> None:
         """Fold another ledger into this one (for aggregate reports)."""
         self.drops += other.drops

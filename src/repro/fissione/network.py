@@ -322,7 +322,7 @@ class FissioneNetwork:
         if target_key is None:
             if rng is None:
                 raise FissioneError("join() needs either a target_key or an rng")
-            target_key = self._random_object_id(rng)
+            target_key = self.random_object_id(rng)
         victim_id = self.owner_id(target_key)
         victim_id = self._redirect_to_shorter(victim_id)
         return self._split(victim_id)
@@ -407,7 +407,13 @@ class FissioneNetwork:
                 f"object id {object_id!r} must have length {self.object_id_length}"
             )
 
-    def _random_object_id(self, rng) -> str:
+    def random_object_id(self, rng) -> str:
+        """A uniformly random ObjectID (one ``randint`` draw from ``rng``).
+
+        Public because the live runtime's bootstrap replays the exact join
+        sequence of :meth:`build` by drawing target keys from the same RNG
+        substream — one draw per join, identical to the simulator's.
+        """
         index = rng.randint(0, ks.space_size(self.base, self.object_id_length) - 1)
         return ks.unrank(index, self.object_id_length, base=self.base)
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
+from repro.wire import decode_value, encode_value
+
 
 @dataclass
 class StoredObject:
@@ -21,6 +23,23 @@ class StoredObject:
     object_id: str
     key: Any
     value: Any
+
+    def to_wire(self) -> Dict[str, Any]:
+        """JSON-compatible form; tuples in key/value survive the round trip."""
+        return {
+            "object_id": self.object_id,
+            "key": encode_value(self.key),
+            "value": encode_value(self.value),
+        }
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, Any]) -> "StoredObject":
+        """Rebuild a :class:`StoredObject` from :meth:`to_wire` output."""
+        return cls(
+            object_id=wire["object_id"],
+            key=decode_value(wire["key"]),
+            value=decode_value(wire["value"]),
+        )
 
 
 @dataclass

@@ -1,0 +1,45 @@
+"""Live serving runtime: the Armada overlay on real asyncio sockets.
+
+Everything below :mod:`repro.runtime` runs the *same* resumable PIRA/MIRA
+handlers as the discrete-event simulator — the transport seam
+(:mod:`repro.core.transport`) is what lets one handler codebase serve both
+worlds.  The pieces:
+
+* :mod:`~repro.runtime.protocol` — length-prefixed JSON frames, the
+  message↔wire mapping, and a small RPC channel;
+* :mod:`~repro.runtime.transport` — :class:`AsyncioTransport`, the live
+  :class:`~repro.core.transport.Transport`: peer→address routing, per-node
+  TCP links, ``loop.call_later`` timers;
+* :mod:`~repro.runtime.node` — :class:`PeerNode`, one TCP server hosting
+  one or more FISSIONE peers;
+* :mod:`~repro.runtime.cluster` — :class:`LiveCluster`, which boots N
+  peers through the bootstrap/seed join protocol (replaying the exact join
+  sequence the simulator's builder performs, so a live cluster and an
+  :class:`~repro.core.armada.ArmadaSystem` with the same seed are
+  topologically identical);
+* :mod:`~repro.runtime.gateway` / :mod:`~repro.runtime.client` — the
+  line-oriented client API (``range``/``mrange``/``insert``/``stats``) and
+  :class:`RuntimeClient`;
+* :mod:`~repro.runtime.loadgen` — open/closed-loop load generation over
+  gateway connections, reporting through the shared
+  :class:`~repro.engine.reporting.RunReporter`;
+* :mod:`~repro.runtime.server` — the ``repro serve`` runner with
+  SIGINT/SIGTERM draining.
+"""
+
+from repro.runtime.client import QueryReply, RuntimeClient
+from repro.runtime.cluster import LiveCluster
+from repro.runtime.gateway import Gateway
+from repro.runtime.loadgen import make_mixed_jobs, run_closed_loop, run_open_loop
+from repro.runtime.transport import AsyncioTransport
+
+__all__ = [
+    "AsyncioTransport",
+    "Gateway",
+    "LiveCluster",
+    "QueryReply",
+    "RuntimeClient",
+    "make_mixed_jobs",
+    "run_closed_loop",
+    "run_open_loop",
+]

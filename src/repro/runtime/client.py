@@ -1,0 +1,131 @@
+"""RuntimeClient: the programmatic face of the gateway's line protocol.
+
+One client owns one TCP connection and issues commands strictly
+request-by-request (the gateway answers every command line with exactly
+one JSON line, so a connection is a clean FIFO channel).  Query replies
+are decoded back into real :class:`~repro.core.pira.RangeQueryResult`
+objects — the same type the simulator returns — which is what the
+sim≡live equivalence test compares.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.core.pira import RangeQueryResult
+from repro.engine.reporting import QueryJob
+
+
+class GatewayError(RuntimeError):
+    """An ``{"ok": false}`` reply from the gateway."""
+
+
+@dataclass
+class QueryReply:
+    """One decoded query response."""
+
+    status: str
+    latency: float
+    result: RangeQueryResult
+
+    @property
+    def ok(self) -> bool:
+        """True for complete results (no lost subtree, no deadline)."""
+        return self.status == "ok"
+
+
+class RuntimeClient:
+    """A line-protocol client for one gateway connection."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "RuntimeClient":
+        """Open a gateway connection."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _command(self, line: str) -> Dict[str, Any]:
+        self._writer.write((line + "\n").encode("utf-8"))
+        await self._writer.drain()
+        raw = await self._reader.readline()
+        if not raw:
+            raise ConnectionError("gateway closed the connection")
+        reply = json.loads(raw.decode("utf-8"))
+        if not reply.get("ok", False):
+            raise GatewayError(reply.get("error", "unknown gateway error"))
+        return reply
+
+    # -- commands ------------------------------------------------------------
+
+    async def ping(self) -> bool:
+        """Liveness probe."""
+        reply = await self._command("ping")
+        return reply.get("type") == "pong"
+
+    async def stats(self) -> Dict[str, Any]:
+        """Cluster + gateway statistics."""
+        reply = await self._command("stats")
+        return reply["stats"]
+
+    async def insert(self, value: float) -> str:
+        """Publish a single-attribute object; returns its ObjectID."""
+        reply = await self._command(f"insert {value!r}")
+        return reply["object_id"]
+
+    async def insert_multi(self, values: Sequence[float]) -> str:
+        """Publish a multi-attribute object; returns its ObjectID."""
+        tokens = " ".join(repr(float(value)) for value in values)
+        reply = await self._command(f"minsert {tokens}")
+        return reply["object_id"]
+
+    async def range(
+        self, low: float, high: float, origin: Optional[str] = None
+    ) -> QueryReply:
+        """Single-attribute range query ``[low, high]`` via PIRA."""
+        suffix = f" origin={origin}" if origin is not None else ""
+        reply = await self._command(f"range {low!r} {high!r}{suffix}")
+        return self._decode_query(reply)
+
+    async def multi_range(
+        self,
+        ranges: Sequence[Tuple[float, float]],
+        origin: Optional[str] = None,
+    ) -> QueryReply:
+        """Multi-attribute box query via MIRA."""
+        bounds = " ".join(f"{low!r} {high!r}" for low, high in ranges)
+        suffix = f" origin={origin}" if origin is not None else ""
+        reply = await self._command(f"mrange {bounds}{suffix}")
+        return self._decode_query(reply)
+
+    async def run_job(self, job: QueryJob) -> QueryReply:
+        """Run one :class:`~repro.engine.reporting.QueryJob` (PIRA or MIRA)."""
+        if job.kind == "mira":
+            return await self.multi_range(job.ranges, origin=job.origin)
+        return await self.range(job.low, job.high, origin=job.origin)
+
+    @staticmethod
+    def _decode_query(reply: Dict[str, Any]) -> QueryReply:
+        return QueryReply(
+            status=reply["status"],
+            latency=float(reply["latency"]),
+            result=RangeQueryResult.from_wire(reply["result"]),
+        )
+
+    async def close(self) -> None:
+        """Send ``quit`` and close the connection."""
+        try:
+            self._writer.write(b"quit\n")
+            await self._writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (OSError, asyncio.CancelledError):
+            pass

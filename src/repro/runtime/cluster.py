@@ -1,0 +1,292 @@
+"""The live cluster: bootstrap, membership authority, message dispatch.
+
+:class:`LiveCluster` boots ``num_peers`` FISSIONE peers as live endpoints:
+
+1. the **seed node** starts first, owning the authoritative topology (an
+   ordinary :class:`~repro.fissione.network.FissioneNetwork`, seeded with
+   the initial ``base + 1`` zones);
+2. every further peer **joins through the seed protocol**: the joiner
+   opens a TCP connection to the seed, sends a ``join`` request carrying a
+   target key, and the seed splits the owning zone, rebinds the renamed
+   incumbent's route, and replies with the joiner's assigned PeerID; the
+   joiner then ``announce``-s the address of the node hosting it, which is
+   what makes it routable — peers become reachable only through announced
+   addresses, never by global knowledge;
+3. query messages between peers travel as ``msg`` casts over the
+   :class:`~repro.runtime.transport.AsyncioTransport`, and each node
+   dispatches them into the **same** resumable PIRA/MIRA executors the
+   simulator drives.
+
+Determinism: the join targets are drawn from the exact RNG substream
+(``seed → "topology"``) that :meth:`FissioneNetwork.build` uses, one draw
+per join, so a live cluster and an :class:`~repro.core.armada.ArmadaSystem`
+built from the same seed have identical topologies — the foundation of the
+sim≡live equivalence test.
+
+Single-process caveat (documented in ``docs/ARCHITECTURE.md``): peers are
+asyncio tasks sharing one process, so the topology object and the
+executors' per-query state are shared memory, while every forwarding
+message genuinely crosses a TCP socket.  A multi-host deployment would
+replicate the topology through the same join/announce frames; the wire
+protocol is already shaped for it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.mira import MiraExecutor
+from repro.core.multiple_hash import MultiAttributeNamer
+from repro.core.single_hash import SingleAttributeNamer
+from repro.fissione.network import FissioneNetwork
+from repro.kautz import strings as ks
+from repro.runtime.node import PeerNode
+from repro.runtime.protocol import RpcChannel, wire_to_message
+from repro.runtime.transport import Address, AsyncioTransport
+from repro.core.pira import PiraExecutor
+from repro.sim.rng import DeterministicRNG
+from repro.wire import decode_value, encode_value
+
+
+class ClusterError(RuntimeError):
+    """Raised on invalid live-cluster operations."""
+
+
+class LiveCluster:
+    """An N-peer FISSIONE overlay running on localhost TCP sockets."""
+
+    def __init__(
+        self,
+        num_peers: int,
+        seed: int = 1,
+        attribute_interval: Tuple[float, float] = (0.0, 1000.0),
+        attribute_intervals: Optional[Sequence[Tuple[float, float]]] = None,
+        object_id_length: int = 32,
+        host: str = "127.0.0.1",
+        num_nodes: Optional[int] = None,
+        extra_transit: float = 0.0,
+    ) -> None:
+        base = 2
+        if num_peers < base + 1:
+            raise ClusterError(f"need at least {base + 1} peers, got {num_peers}")
+        if num_nodes is not None and num_nodes < 1:
+            raise ClusterError("num_nodes must be positive")
+        self.num_peers = num_peers
+        self.seed = seed
+        self.host = host
+        self.num_nodes = num_nodes
+        self.attribute_interval = attribute_interval
+        self.attribute_intervals = (
+            tuple((float(low), float(high)) for low, high in attribute_intervals)
+            if attribute_intervals is not None
+            else None
+        )
+        self.object_id_length = object_id_length
+        self.extra_transit = extra_transit
+
+        self.transport = AsyncioTransport(extra_transit=extra_transit)
+        self.network = FissioneNetwork(object_id_length=object_id_length, base=base)
+        self.seed_node: Optional[PeerNode] = None
+        self.nodes: List[PeerNode] = []
+        self._node_by_address: Dict[Address, PeerNode] = {}
+        self._channels: Dict[Address, RpcChannel] = {}
+        self._next_node_index = 0
+        self.started = False
+
+        low, high = attribute_interval
+        self.single_namer = SingleAttributeNamer(
+            low=low, high=high, length=object_id_length, base=base
+        )
+        self.multi_namer: Optional[MultiAttributeNamer] = None
+        if self.attribute_intervals is not None:
+            self.multi_namer = MultiAttributeNamer(
+                intervals=self.attribute_intervals, length=object_id_length, base=base
+            )
+        self.pira: Optional[PiraExecutor] = None
+        self.mira: Optional[MiraExecutor] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                            #
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> "LiveCluster":
+        """Boot the seed, the initial zones, and join the remaining peers."""
+        if self.started:
+            raise ClusterError("cluster already started")
+        self.seed_node = await PeerNode(
+            "seed", self.host, self._dispatch_cast, self._handle_request
+        ).start()
+
+        self.network.seed_initial()
+        if self.num_nodes is not None:
+            for index in range(self.num_nodes):
+                await self._start_node(f"node-{index}")
+        for peer_id in self.network.peer_ids():
+            node = await self._next_node()
+            node.hosted.add(peer_id)
+            self.transport.assign(peer_id, node.address)
+
+        self.pira = PiraExecutor(self.network, self.single_namer, transport=self.transport)
+        if self.multi_namer is not None:
+            self.mira = MiraExecutor(self.network, self.multi_namer, transport=self.transport)
+
+        rng = DeterministicRNG(self.seed).substream("topology")
+        while self.network.size < self.num_peers:
+            await self._join_one(rng)
+        self.started = True
+        return self
+
+    async def stop(self) -> None:
+        """Close channels, links and every node's listener."""
+        for channel in self._channels.values():
+            await channel.close()
+        self._channels.clear()
+        await self.transport.close()
+        for node in self.nodes:
+            await node.stop()
+        if self.seed_node is not None:
+            await self.seed_node.stop()
+        self.started = False
+
+    async def _start_node(self, name: str) -> PeerNode:
+        node = await PeerNode(name, self.host, self._dispatch_cast, self._handle_request).start()
+        self.nodes.append(node)
+        self._node_by_address[node.address] = node
+        return node
+
+    async def _next_node(self) -> PeerNode:
+        """The node that will host the next peer: a fresh one per peer by
+        default, round-robin over the fixed pool with ``num_nodes`` set."""
+        if self.num_nodes is None:
+            return await self._start_node(f"node-{len(self.nodes)}")
+        node = self.nodes[self._next_node_index % len(self.nodes)]
+        self._next_node_index += 1
+        return node
+
+    # ------------------------------------------------------------------ #
+    # bootstrap protocol                                                   #
+    # ------------------------------------------------------------------ #
+
+    async def _join_one(self, rng) -> str:
+        """One peer joins through the seed, over a real TCP round trip."""
+        assert self.seed_node is not None
+        target = self.network.random_object_id(rng)
+        reply = await self._request(self.seed_node.address, {"type": "join", "target": target})
+        assigned = reply["assigned"]
+        node = await self._next_node()
+        await self._request(
+            self.seed_node.address,
+            {"type": "announce", "peer": assigned, "host": node.host, "port": node.port},
+        )
+        node.hosted.add(assigned)
+        return assigned
+
+    async def _request(self, address: Address, frame: Dict[str, Any]) -> Dict[str, Any]:
+        channel = self._channels.get(address)
+        if channel is None:
+            channel = await RpcChannel(*address).connect()
+            self._channels[address] = channel
+        return await channel.request(frame)
+
+    # Public RPC surface, used by the gateway.
+    request = _request
+
+    # ------------------------------------------------------------------ #
+    # frame handlers (shared by every node endpoint)                       #
+    # ------------------------------------------------------------------ #
+
+    def _dispatch_cast(self, frame: Dict[str, Any]) -> None:
+        """Route a fire-and-forget frame into the protocol handlers."""
+        if frame.get("type") != "msg":
+            return
+        message = wire_to_message(frame)
+        executor = self.pira if message.kind == "pira" else self.mira
+        if executor is None:
+            return
+        executor.handle_message(self.transport, message)
+
+    async def _handle_request(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        kind = frame.get("type")
+        if kind == "ping":
+            return {"ok": True}
+        if kind == "join":
+            return self._handle_join(frame)
+        if kind == "announce":
+            self.transport.assign(frame["peer"], (frame["host"], int(frame["port"])))
+            return {"ok": True}
+        if kind == "store":
+            return self._handle_store(frame)
+        return {"ok": False, "error": f"unknown request type {kind!r}"}
+
+    def _handle_join(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Split a zone for a joiner and rebind the renamed incumbent.
+
+        The incumbent peer's id grows by one symbol (it keeps the left
+        child zone); its route moves with it atomically, before the reply,
+        so no frame is ever addressed to the retired id.
+        """
+        before = set(self.network.peer_ids())
+        self.network.join(target_key=frame["target"])
+        victims = before - set(self.network.peer_ids())
+        if len(victims) != 1:
+            return {"ok": False, "error": f"join produced {len(victims)} renamed peers"}
+        victim = victims.pop()
+        children = [victim + symbol for symbol in ks.allowed_symbols(victim[-1], base=self.network.base)]
+        left, right = children[0], children[-1]
+        address = self.transport.address_of(victim)
+        if address is not None:
+            self.transport.assign(left, address)
+            node = self._node_by_address.get(address)
+            if node is not None:
+                node.hosted.discard(victim)
+                node.hosted.add(left)
+        self.transport.unregister(victim)
+        return {"ok": True, "assigned": right, "renamed": {victim: left}}
+
+    def _handle_store(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        object_id = frame["object_id"]
+        owner = self.network.publish(
+            object_id, key=decode_value(frame["key"]), value=decode_value(frame["value"])
+        )
+        return {"ok": True, "owner": owner.peer_id}
+
+    # ------------------------------------------------------------------ #
+    # gateway-facing helpers                                               #
+    # ------------------------------------------------------------------ #
+
+    async def store(self, object_id: str, key: Any, value: Any) -> str:
+        """Publish one object by sending a ``store`` frame to its owner's
+        node (a real TCP round trip); returns the owning PeerID."""
+        owner_id = self.network.owner_id(object_id)
+        address = self.transport.address_of(owner_id)
+        if address is None:
+            raise ClusterError(f"owner {owner_id!r} of {object_id!r} has no announced address")
+        reply = await self._request(
+            address,
+            {
+                "type": "store",
+                "object_id": object_id,
+                "key": encode_value(key),
+                "value": encode_value(value),
+            },
+        )
+        return reply["owner"]
+
+    def stats(self) -> Dict[str, Any]:
+        """Cluster-level statistics for the gateway's ``stats`` command."""
+        return {
+            "peers": self.network.size,
+            "nodes": len(self.nodes),
+            "objects": self.network.total_objects(),
+            "messages_sent": self.transport.messages_sent,
+            "messages_dropped": self.transport.messages_dropped,
+            "pira_in_flight": self.pira.active_queries if self.pira is not None else 0,
+            "mira_in_flight": self.mira.active_queries if self.mira is not None else 0,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LiveCluster(peers={self.network.size}, nodes={len(self.nodes)}, "
+            f"started={self.started})"
+        )

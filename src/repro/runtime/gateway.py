@@ -1,0 +1,305 @@
+"""The gateway: a line-oriented client API in front of a live cluster.
+
+Clients speak newline-terminated text commands; every command gets exactly
+one newline-terminated JSON reply:
+
+=====================================  ==========================================
+command                                 reply (always has ``"ok"``)
+=====================================  ==========================================
+``ping``                                ``{"ok": true, "type": "pong"}``
+``stats``                               cluster statistics + gateway counters
+``insert <value>``                      publishes a single-attribute object
+``minsert <v1> <v2> ...``               publishes a multi-attribute object
+``range <low> <high> [origin=<peer>]``  runs a PIRA query, full result inline
+``mrange <l1> <u1> [<l2> <u2> ...]``    runs a MIRA box query (``origin=`` too)
+``quit``                                closes the connection
+=====================================  ==========================================
+
+Query replies carry the complete
+:meth:`~repro.core.pira.RangeQueryResult.to_wire` payload plus the
+gateway-measured wall-clock latency, so a client can rebuild the exact
+result object the simulator would have produced.
+
+Every in-flight query is guarded by a **deadline** (wall-clock seconds):
+on expiry the executor force-completes it as failed with partial results,
+exactly like the engine's simulated deadline.  The same bound is what
+makes :meth:`Gateway.shutdown` safe — draining waits for the in-flight
+set, and the deadline caps how long that can take.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.errors import ArmadaError
+from repro.core.pira import RangeQueryResult
+from repro.runtime.cluster import ClusterError, LiveCluster
+from repro.sim.rng import DeterministicRNG
+
+
+class Gateway:
+    """TCP front door: parses client commands, drives the executors."""
+
+    def __init__(
+        self,
+        cluster: LiveCluster,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        deadline: float = 5.0,
+    ) -> None:
+        if deadline <= 0:
+            raise ValueError("deadline must be positive")
+        self.cluster = cluster
+        self.host = host
+        self.requested_port = port
+        self.port: Optional[int] = None
+        self.deadline = deadline
+        self.queries_served = 0
+        self._origin_rng = DeterministicRNG(cluster.seed).substream("gateway-origins")
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._inflight: Set[asyncio.Future] = set()
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self._closing = False
+        self._started_at: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                            #
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> "Gateway":
+        """Bind the listener (``port=0`` picks an ephemeral port)."""
+        self._server = await asyncio.start_server(self._serve, self.host, self.requested_port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = asyncio.get_running_loop().time()
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The ``(host, port)`` clients connect to."""
+        if self.port is None:
+            raise RuntimeError("gateway has not been started")
+        return (self.host, self.port)
+
+    @property
+    def in_flight(self) -> int:
+        """Queries accepted but not yet answered."""
+        return len(self._inflight)
+
+    async def shutdown(self, drain: bool = True) -> int:
+        """Stop accepting work, optionally drain, then report what drained.
+
+        The sequence the SIGINT/SIGTERM handler relies on:
+
+        1. new connections are refused and already-connected clients get
+           ``{"ok": false, "error": "shutting down"}`` for new queries;
+        2. with ``drain=True`` every in-flight query is awaited — each is
+           bounded by its per-query deadline timer, so the wait is at most
+           ``deadline`` seconds;
+        3. only then do the cluster's sockets close.
+
+        Returns the number of queries that were in flight when the drain
+        began.
+        """
+        self._closing = True
+        draining = len(self._inflight)
+        server, self._server = self._server, None
+        if server is not None:
+            # Stop accepting.  Do NOT await wait_closed() yet: since Python
+            # 3.12.1 it blocks until every client *connection* closes, and
+            # idle clients may hold theirs open indefinitely.
+            server.close()
+        if drain and self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        # The drain is over; now sever the remaining client connections so
+        # the listener can finish closing on every Python version.
+        for writer in list(self._connections):
+            writer.close()
+        if server is not None:
+            await server.wait_closed()
+        return draining
+
+    # ------------------------------------------------------------------ #
+    # connection handling                                                  #
+    # ------------------------------------------------------------------ #
+
+    async def _serve(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                command = line.decode("utf-8", errors="replace").strip()
+                if not command:
+                    continue
+                if command in ("quit", "exit"):
+                    break
+                response = await self._dispatch(command)
+                writer.write((json.dumps(response, separators=(",", ":")) + "\n").encode("utf-8"))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, command: str) -> Dict[str, Any]:
+        tokens = command.split()
+        verb, args = tokens[0], tokens[1:]
+        try:
+            if verb == "ping":
+                return {"ok": True, "type": "pong"}
+            if verb == "stats":
+                return self._stats()
+            if verb == "insert":
+                return await self._insert(args)
+            if verb == "minsert":
+                return await self._minsert(args)
+            if verb == "range":
+                return await self._range(args)
+            if verb == "mrange":
+                return await self._mrange(args)
+        except (ValueError, ClusterError, ArmadaError) as exc:
+            # ArmadaError covers QueryError/NamingError from the executors
+            # and namers (e.g. an mrange with the wrong dimension count, an
+            # insert outside the attribute interval): the client must get a
+            # JSON error line, never a dead connection.
+            return {"ok": False, "error": str(exc)}
+        return {"ok": False, "error": f"unknown command {verb!r} (try: ping, stats, insert, minsert, range, mrange, quit)"}
+
+    # ------------------------------------------------------------------ #
+    # commands                                                             #
+    # ------------------------------------------------------------------ #
+
+    def _stats(self) -> Dict[str, Any]:
+        stats = self.cluster.stats()
+        now = asyncio.get_running_loop().time()
+        stats.update(
+            {
+                "queries_served": self.queries_served,
+                "in_flight": len(self._inflight),
+                "uptime_seconds": (now - self._started_at) if self._started_at is not None else 0.0,
+            }
+        )
+        return {"ok": True, "type": "stats", "stats": stats}
+
+    async def _insert(self, args: List[str]) -> Dict[str, Any]:
+        if len(args) != 1:
+            raise ValueError("usage: insert <value>")
+        value = float(args[0])
+        object_id = self.cluster.single_namer.name(value)
+        owner = await self.cluster.store(object_id, key=value, value=value)
+        return {"ok": True, "type": "inserted", "object_id": object_id, "owner": owner}
+
+    async def _minsert(self, args: List[str]) -> Dict[str, Any]:
+        if self.cluster.multi_namer is None:
+            raise ValueError("this cluster was not configured with attribute_intervals")
+        values = [float(token) for token in args]
+        if len(values) != self.cluster.multi_namer.dimensions:
+            raise ValueError(
+                f"minsert needs {self.cluster.multi_namer.dimensions} values, got {len(values)}"
+            )
+        object_id = self.cluster.multi_namer.name(values)
+        owner = await self.cluster.store(object_id, key=tuple(values), value=None)
+        return {"ok": True, "type": "inserted", "object_id": object_id, "owner": owner}
+
+    @staticmethod
+    def _split_origin(args: List[str]) -> Tuple[List[str], Optional[str]]:
+        """Strip a trailing ``origin=<peer>`` token."""
+        if args and args[-1].startswith("origin="):
+            return args[:-1], args[-1].split("=", 1)[1]
+        return args, None
+
+    async def _range(self, args: List[str]) -> Dict[str, Any]:
+        args, origin = self._split_origin(args)
+        if len(args) != 2:
+            raise ValueError("usage: range <low> <high> [origin=<peer>]")
+        low, high = float(args[0]), float(args[1])
+        if high < low:
+            raise ValueError(f"range low bound {low} exceeds high bound {high}")
+        return await self._run_query("pira", origin, low=low, high=high)
+
+    async def _mrange(self, args: List[str]) -> Dict[str, Any]:
+        if self.cluster.mira is None:
+            raise ValueError("this cluster was not configured with attribute_intervals")
+        args, origin = self._split_origin(args)
+        if not args or len(args) % 2 != 0:
+            raise ValueError("usage: mrange <l1> <u1> [<l2> <u2> ...] [origin=<peer>]")
+        bounds = [float(token) for token in args]
+        ranges = tuple(
+            (bounds[index], bounds[index + 1]) for index in range(0, len(bounds), 2)
+        )
+        for low, high in ranges:
+            if high < low:
+                raise ValueError(f"range low bound {low} exceeds high bound {high}")
+        return await self._run_query("mira", origin, ranges=ranges)
+
+    # ------------------------------------------------------------------ #
+    # query execution                                                      #
+    # ------------------------------------------------------------------ #
+
+    def _pick_origin(self) -> str:
+        """A deterministic (seeded) origin for clients that name none."""
+        return self._origin_rng.choice(self.cluster.network.peer_ids())
+
+    async def _run_query(
+        self,
+        kind: str,
+        origin: Optional[str],
+        low: float = 0.0,
+        high: float = 0.0,
+        ranges: Optional[Tuple[Tuple[float, float], ...]] = None,
+    ) -> Dict[str, Any]:
+        if self._closing:
+            return {"ok": False, "error": "shutting down"}
+        executor = self.cluster.pira if kind == "pira" else self.cluster.mira
+        assert executor is not None
+        if origin is None:
+            origin = self._pick_origin()
+        elif not self.cluster.network.has_peer(origin):
+            raise ValueError(f"unknown origin peer {origin!r}")
+
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        future: asyncio.Future = loop.create_future()
+        self._inflight.add(future)
+
+        def complete(result: RangeQueryResult) -> None:
+            if not future.done():
+                future.set_result(result)
+
+        try:
+            if kind == "pira":
+                result = executor.start(origin, low, high, on_complete=complete)
+            else:
+                result = executor.start(origin, ranges, on_complete=complete)
+            deadline_handle = None
+            if executor.is_active(result.query_id):
+                deadline_handle = loop.call_later(
+                    self.deadline,
+                    lambda query_id=result.query_id: executor.cancel(query_id),
+                )
+            final = await future
+            if deadline_handle is not None:
+                deadline_handle.cancel()
+        finally:
+            self._inflight.discard(future)
+
+        self.queries_served += 1
+        latency = loop.time() - started
+        status = "deadline" if final.resilience.deadline_expired else (
+            "ok" if final.complete else "partial"
+        )
+        return {
+            "ok": True,
+            "type": "result",
+            "status": status,
+            "latency": latency,
+            "result": final.to_wire(),
+        }

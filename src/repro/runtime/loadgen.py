@@ -1,0 +1,182 @@
+"""Load generation against a live gateway.
+
+The generator replays the same deterministic workloads the simulated
+engine consumes — Poisson/uniform arrivals from
+:mod:`repro.workloads.arrivals`, Zipf-skewed range positions, a seeded
+PIRA/MIRA mix — but drives them through real gateway connections and
+measures wall-clock latencies, reporting through the shared
+:class:`~repro.engine.reporting.RunReporter` so the output is the same
+:class:`~repro.engine.reporting.EngineReport` the simulator produces.
+
+Two loops, mirroring :class:`~repro.engine.query_engine.QueryEngine`:
+
+* **closed loop** (:func:`run_closed_loop`) — ``concurrency`` workers,
+  each with its own gateway connection, issue queries back-to-back: a
+  fixed population of synchronous clients, the natural shape for soak
+  tests and throughput ceilings;
+* **open loop** (:func:`run_open_loop`) — jobs fire at their workload
+  arrival times (scaled by ``time_scale`` seconds per workload unit) on a
+  bounded connection pool, modelling offered load.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.pira import RangeQueryResult
+from repro.engine.reporting import EngineReport, QueryJob, RunReporter
+from repro.runtime.client import GatewayError, RuntimeClient
+from repro.sim.rng import DeterministicRNG
+from repro.workloads.arrivals import poisson_arrival_times, zipf_range_queries
+
+
+def make_mixed_jobs(
+    seed: int,
+    count: int,
+    peer_ids: Sequence[str],
+    interval: Tuple[float, float] = (0.0, 1000.0),
+    range_size: float = 20.0,
+    mira_fraction: float = 0.0,
+    mira_dimensions: int = 2,
+    rate: float = 50.0,
+) -> List[QueryJob]:
+    """A deterministic mixed PIRA/MIRA workload with pinned origins.
+
+    Every choice — arrival instants (Poisson at ``rate``), Zipf-skewed
+    range positions, origins, which queries are MIRA boxes — is drawn from
+    named substreams of ``seed``, so the same call against the simulator's
+    peer list and the live cluster's peer list (identical by construction)
+    produces the identical job list.
+    """
+    if not 0.0 <= mira_fraction <= 1.0:
+        raise ValueError("mira_fraction must be within [0, 1]")
+    if not peer_ids:
+        raise ValueError("need at least one peer id for origins")
+    low, high = interval
+    rng = DeterministicRNG(seed)
+    arrivals = poisson_arrival_times(rng.substream("arrivals"), rate, count)
+    ranges = zipf_range_queries(
+        rng.substream("ranges"), count, range_size, low=low, high=high
+    )
+    origin_rng = rng.substream("origins")
+    mix_rng = rng.substream("mix")
+    box_rng = rng.substream("boxes")
+    ordered = sorted(peer_ids)
+    jobs: List[QueryJob] = []
+    for index in range(count):
+        origin = origin_rng.choice(ordered)
+        job_low, job_high = ranges[index]
+        if mix_rng.uniform(0.0, 1.0) < mira_fraction:
+            box = tuple(
+                (job_low, job_high)
+                if dim == 0
+                else tuple(sorted((box_rng.uniform(low, high), box_rng.uniform(low, high))))
+                for dim in range(mira_dimensions)
+            )
+            jobs.append(QueryJob(arrival=arrivals[index], origin=origin, ranges=box))
+        else:
+            jobs.append(
+                QueryJob(arrival=arrivals[index], origin=origin, low=job_low, high=job_high)
+            )
+    return jobs
+
+
+async def run_closed_loop(
+    host: str,
+    port: int,
+    jobs: Sequence[QueryJob],
+    concurrency: int = 8,
+    reporter: Optional[RunReporter] = None,
+) -> EngineReport:
+    """Drive ``jobs`` through ``concurrency`` synchronous gateway clients."""
+    if concurrency < 1:
+        raise ValueError("concurrency must be at least 1")
+    reporter = reporter if reporter is not None else RunReporter()
+    queue: "asyncio.Queue[QueryJob]" = asyncio.Queue()
+    for job in jobs:
+        queue.put_nowait(job)
+    loop = asyncio.get_running_loop()
+
+    async def worker() -> None:
+        client = await RuntimeClient.connect(host, port)
+        try:
+            while True:
+                try:
+                    job = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                await _run_one(client, job, reporter, loop)
+        finally:
+            await client.close()
+
+    workers = [worker() for _ in range(min(concurrency, max(1, len(jobs))))]
+    await asyncio.gather(*workers)
+    messages = sum(record.result.messages for record in reporter.completed)
+    return reporter.report(messages=messages)
+
+
+async def run_open_loop(
+    host: str,
+    port: int,
+    jobs: Sequence[QueryJob],
+    time_scale: float = 0.001,
+    pool_size: int = 32,
+    reporter: Optional[RunReporter] = None,
+) -> EngineReport:
+    """Fire ``jobs`` at their arrival times over a bounded connection pool.
+
+    ``time_scale`` converts workload time units to seconds (the default
+    compresses one workload unit to a millisecond).  When every pooled
+    connection is busy an arrival waits for one — offered load degrades
+    into queueing, which is exactly what the latency percentiles should
+    show.
+    """
+    if time_scale <= 0:
+        raise ValueError("time_scale must be positive")
+    if pool_size < 1:
+        raise ValueError("pool_size must be at least 1")
+    reporter = reporter if reporter is not None else RunReporter()
+    loop = asyncio.get_running_loop()
+    pool: "asyncio.Queue[RuntimeClient]" = asyncio.Queue()
+    for _ in range(min(pool_size, max(1, len(jobs)))):
+        pool.put_nowait(await RuntimeClient.connect(host, port))
+
+    start = loop.time()
+    first_arrival = min((job.arrival for job in jobs), default=0.0)
+
+    async def fire(job: QueryJob) -> None:
+        delay = start + (job.arrival - first_arrival) * time_scale - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        client = await pool.get()
+        try:
+            await _run_one(client, job, reporter, loop)
+        finally:
+            pool.put_nowait(client)
+
+    await asyncio.gather(*(fire(job) for job in jobs))
+    while not pool.empty():
+        await (pool.get_nowait()).close()
+    messages = sum(record.result.messages for record in reporter.completed)
+    return reporter.report(messages=messages)
+
+
+async def _run_one(
+    client: RuntimeClient,
+    job: QueryJob,
+    reporter: RunReporter,
+    loop: asyncio.AbstractEventLoop,
+) -> None:
+    """Issue one job, recording its wall-clock sojourn in the reporter."""
+    key = reporter.begin(loop.time())
+    try:
+        reply = await client.run_job(job)
+    except (GatewayError, ConnectionError):
+        # The gateway refused (shutdown) or the link died: account the
+        # query as failed rather than losing it from the report.
+        placeholder = RangeQueryResult(origin=job.origin or "", query_id=-1)
+        placeholder.resilience.deadline_expired = True
+        reporter.finish(key, job, placeholder, loop.time())
+        return
+    reporter.finish(key, job, reply.result, loop.time())

@@ -1,0 +1,96 @@
+"""A peer node: one asyncio TCP server hosting FISSIONE peers.
+
+A :class:`PeerNode` owns a listening socket and the set of PeerIDs whose
+zones it currently hosts.  It is deliberately thin: frames arriving on its
+socket are either **casts** (query forwarding messages — dispatched
+synchronously into the cluster's shared handlers, the way the simulated
+overlay delivers into ``handle_message``) or **requests** (join / announce
+/ store / ping — answered with a ``reply`` frame).  All protocol logic
+lives in the cluster; the node is the network endpoint.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, Optional, Set
+
+from repro.runtime.protocol import ProtocolError, encode_frame, read_frame
+
+#: async request handler: frame in, reply payload out (without the rid)
+RequestHandler = Callable[[Dict[str, Any]], Awaitable[Dict[str, Any]]]
+#: sync cast handler: fire-and-forget frame in, nothing out
+CastHandler = Callable[[Dict[str, Any]], None]
+
+
+class PeerNode:
+    """One TCP server endpoint hosting one or more peers."""
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        on_cast: CastHandler,
+        on_request: RequestHandler,
+    ) -> None:
+        self.name = name
+        self.host = host
+        self.port: Optional[int] = None
+        self.hosted: Set[str] = set()
+        self._on_cast = on_cast
+        self._on_request = on_request
+        self._server: Optional[asyncio.base_events.Server] = None
+        self.frames_received = 0
+
+    @property
+    def address(self):
+        """The ``(host, port)`` this node listens on (after :meth:`start`)."""
+        if self.port is None:
+            raise RuntimeError(f"node {self.name!r} has not been started")
+        return (self.host, self.port)
+
+    async def start(self) -> "PeerNode":
+        """Bind an ephemeral port and start serving frames."""
+        self._server = await asyncio.start_server(self._serve, self.host, 0)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def _serve(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except ProtocolError:
+                    break
+                if frame is None:
+                    break
+                self.frames_received += 1
+                rid = frame.get("rid")
+                if rid is None:
+                    self._on_cast(frame)
+                    continue
+                try:
+                    payload = await self._on_request(frame)
+                except Exception as exc:  # surface handler failures to the caller
+                    payload = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+                reply = {"type": "reply", "rid": rid}
+                reply.update(payload)
+                writer.write(encode_frame(reply))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+
+    async def stop(self) -> None:
+        """Stop accepting connections and close the listener."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def __repr__(self) -> str:
+        return f"PeerNode(name={self.name!r}, port={self.port}, hosted={sorted(self.hosted)})"

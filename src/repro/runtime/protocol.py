@@ -1,0 +1,193 @@
+"""Wire protocol: length-prefixed JSON frames and the message mapping.
+
+Every byte that crosses a runtime socket is a **frame**: a 4-byte
+big-endian payload length followed by that many bytes of UTF-8 JSON.
+Frames carry either
+
+* **casts** — fire-and-forget protocol traffic, today the ``"msg"`` frames
+  that move PIRA/MIRA forwarding messages between peer nodes (the live
+  analogue of :meth:`OverlayNetwork.send`), or
+* **requests** — frames carrying an ``"rid"``; the receiving node replies
+  with a ``"reply"`` frame echoing the rid (join/announce during bootstrap,
+  ``store`` for object publication, ``ping``).
+
+The mapping between the simulator's :class:`~repro.sim.network.Message`
+and its wire form is deliberately lossy in one direction only: the
+``handler``/``on_drop`` metadata entries are *local callables* (sender-side
+bookkeeping) and never cross the wire — the receiving node re-binds the
+handler by message kind.  Everything the resumable executors need to resume
+the query (FRT ``level``, ``branch`` index, logical ``send`` id, a detour's
+``latency`` budget) does cross, so the receiving side's
+:meth:`~repro.core.resumable.ResumableExecutor.handle_message` sees exactly
+the metadata it would see on the simulator.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from typing import Any, Dict, Optional
+
+from repro.sim.network import Message
+
+#: frames above this size are protocol errors (corrupt length prefix)
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: message-metadata keys that cross the wire (all JSON scalars)
+WIRE_METADATA_KEYS = ("level", "branch", "send", "latency")
+
+
+class ProtocolError(RuntimeError):
+    """Raised on malformed frames or replies."""
+
+
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """One frame: 4-byte big-endian length + compact JSON."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES} limit")
+    return len(body).to_bytes(4, "big") + body
+
+
+def decode_frame(body: bytes) -> Dict[str, Any]:
+    """Decode a frame payload (the bytes after the length prefix)."""
+    payload = json.loads(body.decode("utf-8"))
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return payload
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+    """Read one frame from ``reader``; ``None`` on clean EOF."""
+    try:
+        prefix = await reader.readexactly(4)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    length = int.from_bytes(prefix, "big")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds the {MAX_FRAME_BYTES} limit")
+    try:
+        body = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    return decode_frame(body)
+
+
+def message_to_wire(message: Message) -> Dict[str, Any]:
+    """The ``"msg"`` cast frame for one forwarding message."""
+    meta = {
+        key: message.metadata[key]
+        for key in WIRE_METADATA_KEYS
+        if message.metadata.get(key) is not None
+    }
+    return {
+        "type": "msg",
+        "kind": message.kind,
+        "sender": message.sender,
+        "receiver": message.receiver,
+        "hop": message.hop,
+        "query_id": message.query_id,
+        "meta": meta,
+    }
+
+
+def wire_to_message(frame: Dict[str, Any]) -> Message:
+    """Rebuild the :class:`Message` a ``"msg"`` frame carries.
+
+    The local-only metadata (``handler``/``on_drop``) is gone by design;
+    the dispatching node routes by ``kind`` instead.
+    """
+    return Message(
+        sender=frame["sender"],
+        receiver=frame["receiver"],
+        kind=frame["kind"],
+        hop=int(frame["hop"]),
+        query_id=frame["query_id"],
+        metadata=dict(frame.get("meta", {})),
+    )
+
+
+class RpcChannel:
+    """A persistent request/response connection to one peer node.
+
+    Requests are frames stamped with a fresh ``rid``; a background reader
+    task resolves the matching future when the ``reply`` frame arrives, so
+    several requests can be in flight on one connection.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._rids = itertools.count(1)
+        self._reader_task: Optional[asyncio.Task] = None
+
+    async def connect(self) -> "RpcChannel":
+        """Open the connection and start the reply reader."""
+        self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_replies())
+        return self
+
+    async def _read_replies(self) -> None:
+        assert self._reader is not None
+        while True:
+            try:
+                frame = await read_frame(self._reader)
+            except (ProtocolError, OSError):
+                frame = None
+            if frame is None:
+                break
+            future = self._pending.pop(frame.get("rid"), None)
+            if future is not None and not future.done():
+                future.set_result(frame)
+        self._fail_pending(ConnectionError(f"rpc channel to {self.host}:{self.port} closed"))
+
+    def _fail_pending(self, error: Exception) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()
+
+    async def request(self, frame: Dict[str, Any], timeout: Optional[float] = 10.0) -> Dict[str, Any]:
+        """Send ``frame`` (stamped with a fresh rid) and await its reply."""
+        if self._writer is None:
+            raise ProtocolError("rpc channel is not connected")
+        rid = next(self._rids)
+        frame = dict(frame)
+        frame["rid"] = rid
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = future
+        try:
+            self._writer.write(encode_frame(frame))
+            await self._writer.drain()
+            reply = await asyncio.wait_for(future, timeout)
+        finally:
+            # On timeout/cancellation the rid must not linger: a leak would
+            # grow _pending forever and hand any late reply to a dead future.
+            self._pending.pop(rid, None)
+        if not reply.get("ok", False):
+            raise ProtocolError(
+                f"request {frame.get('type')!r} failed: {reply.get('error', 'unknown error')}"
+            )
+        return reply
+
+    async def close(self) -> None:
+        """Close the connection and cancel the reader."""
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+            self._writer = None
+        self._fail_pending(ConnectionError("rpc channel closed"))

@@ -1,0 +1,113 @@
+"""``repro serve``: boot a live cluster + gateway and run until signalled.
+
+The runner owns the process lifecycle:
+
+1. boot the :class:`~repro.runtime.cluster.LiveCluster` (bootstrap joins
+   over localhost TCP) and the :class:`~repro.runtime.gateway.Gateway`;
+2. print the connect line (``gateway listening on HOST:PORT ...``) — the
+   CLI contract scripts and the CI smoke job parse;
+3. wait for SIGINT/SIGTERM (or a programmatic stop event);
+4. **drain**: refuse new queries, await every in-flight one (each bounded
+   by the per-query deadline, so shutdown latency is capped), and only
+   then close the cluster's sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+from dataclasses import dataclass
+from typing import Optional, Sequence, TextIO, Tuple
+
+from repro.runtime.cluster import LiveCluster
+from repro.runtime.gateway import Gateway
+
+
+@dataclass(frozen=True)
+class ServeSettings:
+    """Everything ``repro serve`` needs to boot."""
+
+    peers: int = 32
+    seed: int = 1
+    host: str = "127.0.0.1"
+    port: int = 7411
+    nodes: Optional[int] = None
+    deadline: float = 5.0
+    attribute_interval: Tuple[float, float] = (0.0, 1000.0)
+    attribute_intervals: Optional[Sequence[Tuple[float, float]]] = ((0.0, 1000.0), (0.0, 1000.0))
+
+    def __post_init__(self) -> None:
+        if self.peers < 3:
+            raise ValueError("need at least 3 peers")
+        if self.port < 0 or self.port > 65535:
+            raise ValueError("port must be within [0, 65535] (0 picks an ephemeral port)")
+        if self.nodes is not None and self.nodes < 1:
+            raise ValueError("nodes must be positive")
+        if self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+
+
+async def serve_async(
+    settings: ServeSettings,
+    stop_event: Optional[asyncio.Event] = None,
+    out: TextIO = sys.stdout,
+) -> int:
+    """Run the serving loop; returns the number of queries served.
+
+    ``stop_event`` lets tests stop the server programmatically; without it
+    only SIGINT/SIGTERM end the loop.
+    """
+    loop = asyncio.get_running_loop()
+    stop = stop_event if stop_event is not None else asyncio.Event()
+
+    cluster = LiveCluster(
+        num_peers=settings.peers,
+        seed=settings.seed,
+        host=settings.host,
+        num_nodes=settings.nodes,
+        attribute_interval=settings.attribute_interval,
+        attribute_intervals=settings.attribute_intervals,
+    )
+    await cluster.start()
+    gateway = Gateway(cluster, host=settings.host, port=settings.port, deadline=settings.deadline)
+    await gateway.start()
+
+    installed_signals = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+            installed_signals.append(signum)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - non-unix
+            pass
+
+    print(
+        f"gateway listening on {gateway.host}:{gateway.port} "
+        f"({cluster.network.size} peers on {len(cluster.nodes)} nodes, "
+        f"deadline {settings.deadline:g}s)",
+        file=out,
+        flush=True,
+    )
+    try:
+        await stop.wait()
+        print(f"draining {gateway.in_flight} in-flight queries", file=out, flush=True)
+        await gateway.shutdown(drain=True)
+    finally:
+        for signum in installed_signals:
+            loop.remove_signal_handler(signum)
+        await cluster.stop()
+    print(
+        f"drained; served {gateway.queries_served} queries, sockets closed",
+        file=out,
+        flush=True,
+    )
+    return gateway.queries_served
+
+
+def serve(settings: ServeSettings) -> int:
+    """Blocking entry point for the CLI; returns a process exit code."""
+    try:
+        asyncio.run(serve_async(settings))
+    except KeyboardInterrupt:  # pragma: no cover - raced signal delivery
+        pass
+    return 0

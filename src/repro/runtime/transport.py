@@ -1,0 +1,204 @@
+"""The live :class:`~repro.core.transport.Transport`: asyncio TCP links.
+
+:class:`AsyncioTransport` is the runtime's answer to
+:class:`~repro.core.transport.SimTransport`.  Where the simulator delivers
+a message by scheduling an event, this transport
+
+* resolves the receiver PeerID to the **address** of the node hosting it
+  (the address book is populated by the cluster's bootstrap/announce
+  protocol, not global knowledge),
+* frames the message as length-prefixed JSON
+  (:func:`~repro.runtime.protocol.message_to_wire`), and
+* enqueues it on a per-node **link** — one long-lived outgoing TCP
+  connection per destination node, drained by a writer task, so the
+  executor's synchronous ``send()`` never blocks the event loop.
+
+Clock and timers come from the running asyncio loop (``loop.time()`` /
+``loop.call_later``), so the per-hop resilience timers and query deadlines
+of the core executors work unchanged — in seconds instead of simulated
+units.
+
+A send whose receiver has no route, or whose link dies, degrades into a
+**drop**: the message's local ``on_drop`` callback fires, exactly the
+signal the executors already understand from the simulated overlay.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.runtime.protocol import encode_frame, message_to_wire
+from repro.sim.network import Message
+
+Address = Tuple[str, int]
+
+
+class _Link:
+    """One outgoing TCP connection to a peer node, drained by a task."""
+
+    def __init__(self, address: Address, on_drop: Callable[[Message], None]) -> None:
+        self.address = address
+        self._on_drop = on_drop
+        self._queue: "asyncio.Queue[Optional[Message]]" = asyncio.Queue()
+        self._task: Optional[asyncio.Task] = None
+        self.broken = False
+
+    def enqueue(self, message: Message) -> None:
+        """Queue one message for transmission (starts the writer lazily)."""
+        if self.broken:
+            self._on_drop(message)
+            return
+        self._queue.put_nowait(message)
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def _run(self) -> None:
+        writer: Optional[asyncio.StreamWriter] = None
+        message: Optional[Message] = None
+        try:
+            host, port = self.address
+            _, writer = await asyncio.open_connection(host, port)
+            while True:
+                message = await self._queue.get()
+                if message is None:
+                    break
+                writer.write(encode_frame(message_to_wire(message)))
+                await writer.drain()
+                message = None
+        except asyncio.CancelledError:
+            raise
+        except OSError:
+            # Connection refused / reset: the message being written, plus
+            # everything queued (and everything enqueued from now on), is
+            # undeliverable — report every one as a drop.
+            self.broken = True
+            if message is not None:
+                self._on_drop(message)
+            while not self._queue.empty():
+                pending = self._queue.get_nowait()
+                if pending is not None:
+                    self._on_drop(pending)
+        finally:
+            if writer is not None:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (OSError, asyncio.CancelledError):
+                    pass
+
+    async def close(self) -> None:
+        """Flush the queue sentinel and wait for the writer to finish."""
+        if self._task is None:
+            return
+        self._queue.put_nowait(None)
+        try:
+            await asyncio.wait_for(self._task, timeout=5.0)
+        except (asyncio.TimeoutError, asyncio.CancelledError):
+            self._task.cancel()
+        self._task = None
+
+
+class AsyncioTransport:
+    """Routes executor messages to peer nodes over real TCP sockets.
+
+    The cluster binds PeerIDs to node addresses with :meth:`assign` as the
+    bootstrap protocol assigns zones; the executors' membership refresh
+    (:meth:`register`/:meth:`unregister`) then only ever *narrows* the
+    reachable set — registration is address-book based, so a peer object
+    alone (with no announced address) is not reachable, mirroring a real
+    deployment where knowing a peer exists is not knowing where it lives.
+
+    ``extra_transit`` adds a fixed artificial delay (seconds) before each
+    message is enqueued — zero in production, non-zero in tests that need a
+    query to genuinely be *in flight* (e.g. the graceful-shutdown drain
+    test).
+    """
+
+    def __init__(self, extra_transit: float = 0.0) -> None:
+        if extra_transit < 0:
+            raise ValueError("extra_transit must be non-negative")
+        self.extra_transit = extra_transit
+        self._routes: Dict[Hashable, Address] = {}
+        self._links: Dict[Address, _Link] = {}
+        self.messages_sent = 0
+        self.messages_dropped = 0
+
+    # -- clock & timers ------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """The running loop's monotonic clock, in seconds."""
+        return asyncio.get_running_loop().time()
+
+    def schedule_after(self, delay: float, callback: Callable[[], None], label: str = "") -> Any:
+        """An ``loop.call_later`` timer (the label is for the simulator's
+        benefit only and is ignored here)."""
+        return asyncio.get_running_loop().call_later(delay, callback)
+
+    # -- routing -------------------------------------------------------------
+
+    def assign(self, peer_id: Hashable, address: Address) -> None:
+        """Bind ``peer_id`` to the node listening at ``address``."""
+        self._routes[peer_id] = address
+
+    def address_of(self, peer_id: Hashable) -> Optional[Address]:
+        """The address bound to ``peer_id``, if any."""
+        return self._routes.get(peer_id)
+
+    def register(self, node: Any) -> None:
+        """Membership refresh hook: a no-op, because reachability is
+        address-book based (see the class docstring)."""
+
+    def unregister(self, node_id: Hashable) -> None:
+        """Drop ``node_id``'s route (its messages become drops)."""
+        self._routes.pop(node_id, None)
+
+    def has_node(self, node_id: Hashable) -> bool:
+        return node_id in self._routes
+
+    def node_ids(self) -> Iterable[Hashable]:
+        return list(self._routes)
+
+    # -- sending -------------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Frame ``message`` and enqueue it on the link to its host node."""
+        address = self._routes.get(message.receiver)
+        if address is None:
+            self._drop(message)
+            return
+        self.messages_sent += 1
+        if self.extra_transit > 0.0:
+            asyncio.get_running_loop().call_later(
+                self.extra_transit, lambda: self._enqueue(address, message)
+            )
+        else:
+            self._enqueue(address, message)
+
+    def _enqueue(self, address: Address, message: Message) -> None:
+        link = self._links.get(address)
+        if link is None or link.broken:
+            link = _Link(address, self._drop)
+            self._links[address] = link
+        link.enqueue(message)
+
+    def _drop(self, message: Message) -> None:
+        """Tell the sender's protocol layer this message will never arrive."""
+        self.messages_dropped += 1
+        on_drop = message.metadata.get("on_drop")
+        if on_drop is not None:
+            on_drop(message)
+
+    async def close(self) -> None:
+        """Flush and close every link."""
+        links: List[_Link] = list(self._links.values())
+        self._links.clear()
+        for link in links:
+            await link.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"AsyncioTransport(routes={len(self._routes)}, links={len(self._links)}, "
+            f"sent={self.messages_sent})"
+        )

@@ -1,0 +1,58 @@
+"""Wire-format value codec shared by every layer.
+
+JSON cannot tell a tuple from a list, but the protocol objects of this
+repository lean on tuples in places where identity matters after a round
+trip: MIRA object keys are tuples of floats, ``QueryJob.ranges`` is a tuple
+of ``(low, high)`` pairs, and ``RangeQueryResult.forwarding_steps`` holds
+``(sender, receiver, hop)`` triples.  :func:`encode_value` /
+:func:`decode_value` preserve them by tagging tuples as
+``{"__tuple__": [...]}`` — recursively, so tuples nested inside lists,
+dicts or other tuples survive too.
+
+The module sits below every other layer (it imports nothing from
+``repro``), so ``fissione``, ``core``, ``engine`` and ``runtime`` can all
+use the same codec without bending the dependency order.
+
+>>> decode_value(encode_value((1.5, ("a", 2)))) == (1.5, ("a", 2))
+True
+>>> import json
+>>> decode_value(json.loads(json.dumps(encode_value({"k": (1, 2)}))))
+{'k': (1, 2)}
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: dict key reserved for the tuple tag; plain dicts must not use it
+TUPLE_TAG = "__tuple__"
+
+
+def encode_value(value: Any) -> Any:
+    """Rewrite ``value`` into a JSON-compatible shape, tagging tuples.
+
+    Scalars pass through, lists and dict values are encoded recursively,
+    and tuples become ``{TUPLE_TAG: [...]}``.  A plain dict that already
+    contains :data:`TUPLE_TAG` as a key is rejected — it would decode as a
+    tuple and silently corrupt the round trip.
+    """
+    if isinstance(value, tuple):
+        return {TUPLE_TAG: [encode_value(item) for item in value]}
+    if isinstance(value, list):
+        return [encode_value(item) for item in value]
+    if isinstance(value, dict):
+        if TUPLE_TAG in value:
+            raise ValueError(f"dict key {TUPLE_TAG!r} is reserved by the wire codec")
+        return {key: encode_value(item) for key, item in value.items()}
+    return value
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value` (after a JSON round trip)."""
+    if isinstance(value, dict):
+        if TUPLE_TAG in value:
+            return tuple(decode_value(item) for item in value[TUPLE_TAG])
+        return {key: decode_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    return value

@@ -6,7 +6,14 @@ import os
 
 import pytest
 
-from repro.cli import build_parser, main, make_config, run_command
+from repro.cli import (
+    build_parser,
+    main,
+    make_config,
+    make_serve_settings,
+    make_soak_spec,
+    run_command,
+)
 from repro.experiments.common import ExperimentConfig
 
 
@@ -14,7 +21,8 @@ class TestArgumentHandling:
     def test_parser_accepts_all_commands(self):
         parser = build_parser()
         for command in ("table1", "figures-rangesize", "figures-netsize", "analytics",
-                        "fissione", "mira", "ablation", "load", "all"):
+                        "fissione", "mira", "ablation", "load", "sweep", "faults",
+                        "serve", "soak", "all"):
             assert parser.parse_args([command]).command == command
 
     def test_rates_parsing(self):
@@ -55,6 +63,135 @@ class TestArgumentHandling:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
+
+    def test_serve_soak_defaults(self):
+        parser = build_parser()
+        config = ExperimentConfig()
+        serve = make_serve_settings(parser.parse_args(["serve"]), config)
+        assert serve.peers == 32
+        assert serve.port == 7411
+        assert serve.deadline == 5.0
+        soak = make_soak_spec(parser.parse_args(["soak"]), config)
+        assert soak.peers == 32
+        assert soak.queries == 1000
+        assert soak.nodes == 8
+        assert soak.concurrency == 16
+
+    def test_serve_soak_overrides(self):
+        parser = build_parser()
+        config = ExperimentConfig()
+        args = parser.parse_args(
+            ["soak", "--peers", "16", "--queries", "200", "--nodes", "4",
+             "--concurrency", "8", "--mira-fraction", "0.5", "--deadline", "2.5"]
+        )
+        spec = make_soak_spec(args, make_config(args))
+        assert (spec.peers, spec.queries, spec.nodes) == (16, 200, 4)
+        assert (spec.concurrency, spec.mira_fraction, spec.deadline) == (8, 0.5, 2.5)
+
+
+class TestParseErrors:
+    """Every subcommand's bad arguments must exit non-zero with a usable
+    message (a SystemExit carrying text), never a traceback."""
+
+    def run_main_expecting_exit(self, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        code = excinfo.value.code
+        # argparse exits with 2; our validators exit with a message string
+        assert code not in (0, None)
+        if isinstance(code, str):
+            assert code.strip(), "error message must not be empty"
+        return code
+
+    # -- load ---------------------------------------------------------------
+
+    def test_load_bad_rates(self):
+        message = self.run_main_expecting_exit(["load", "--rates", "fast"])
+        assert "rates" in str(message)
+
+    def test_load_negative_rates(self):
+        message = self.run_main_expecting_exit(["load", "--rates=-1,2"])
+        assert "positive" in str(message)
+
+    # -- sweep --------------------------------------------------------------
+
+    def test_sweep_unknown_scheme(self):
+        message = self.run_main_expecting_exit(
+            ["sweep", "--profile", "quick", "--schemes", "frobnicate"]
+        )
+        assert "frobnicate" in str(message)
+
+    def test_sweep_bad_network_sizes(self):
+        message = self.run_main_expecting_exit(
+            ["sweep", "--profile", "quick", "--network-sizes", "abc"]
+        )
+        assert "--network-sizes" in str(message)
+
+    def test_sweep_rejects_faults_flag(self):
+        message = self.run_main_expecting_exit(
+            ["sweep", "--profile", "quick", "--scheme", "pira"]
+        )
+        assert "--schemes" in str(message)
+
+    # -- faults -------------------------------------------------------------
+
+    def test_faults_unknown_variant(self):
+        message = self.run_main_expecting_exit(
+            ["faults", "--profile", "quick", "--scheme", "bogus"]
+        )
+        assert "bogus" in str(message)
+
+    def test_faults_bad_fraction(self):
+        message = self.run_main_expecting_exit(
+            ["faults", "--profile", "quick", "--failed-fraction", "2.0"]
+        )
+        assert "0.9" in str(message)
+
+    def test_faults_rejects_sweep_flag(self):
+        message = self.run_main_expecting_exit(
+            ["faults", "--profile", "quick", "--schemes", "pira"]
+        )
+        assert "--scheme" in str(message)
+
+    # -- serve --------------------------------------------------------------
+
+    def test_serve_too_few_peers(self):
+        message = self.run_main_expecting_exit(["serve", "--peers", "2"])
+        assert "at least 3 peers" in str(message)
+
+    def test_serve_bad_port(self):
+        message = self.run_main_expecting_exit(["serve", "--port", "70000"])
+        assert "port" in str(message)
+
+    def test_serve_bad_nodes(self):
+        message = self.run_main_expecting_exit(["serve", "--nodes", "0"])
+        assert "nodes" in str(message)
+
+    def test_serve_bad_deadline(self):
+        message = self.run_main_expecting_exit(["serve", "--deadline", "0"])
+        assert "deadline" in str(message)
+
+    # -- soak ---------------------------------------------------------------
+
+    def test_soak_zero_queries(self):
+        message = self.run_main_expecting_exit(["soak", "--queries", "0"])
+        assert "quer" in str(message)
+
+    def test_soak_bad_concurrency(self):
+        message = self.run_main_expecting_exit(["soak", "--concurrency", "0"])
+        assert "concurrency" in str(message)
+
+    def test_soak_bad_mira_fraction(self):
+        message = self.run_main_expecting_exit(["soak", "--mira-fraction", "1.5"])
+        assert "mira" in str(message)
+
+    def test_soak_bad_require_success(self):
+        message = self.run_main_expecting_exit(["soak", "--require-success", "3"])
+        assert "--require-success" in str(message)
+
+    def test_non_numeric_flag_exits_cleanly(self):
+        # argparse-level type errors (exit code 2, message on stderr)
+        self.run_main_expecting_exit(["soak", "--queries", "many"])
 
 
 class TestExecution:

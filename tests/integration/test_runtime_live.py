@@ -1,0 +1,214 @@
+"""Integration tests: the live asyncio cluster vs the simulator.
+
+The acceptance bar of the live-runtime PR: an N=32 live cluster must
+answer the same query set with result sets **identical** to the simulator
+built from the same seed — destinations, matches, message counts and hop
+delays — because both drive the same resumable executors over the same
+(deterministically bootstrapped) topology.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.armada import ArmadaSystem
+from repro.engine.reporting import QueryJob
+from repro.runtime.client import GatewayError, RuntimeClient
+from repro.runtime.cluster import ClusterError, LiveCluster
+from repro.runtime.gateway import Gateway
+from repro.runtime.loadgen import make_mixed_jobs, run_closed_loop, run_open_loop
+from repro.sim.rng import DeterministicRNG
+
+SEED = 7
+INTERVALS = ((0.0, 1000.0), (0.0, 1000.0))
+VALUES = [float(v) for v in range(0, 1000, 25)]
+MULTI_VALUES = [(float(v), float(1000 - v)) for v in range(0, 1000, 100)]
+
+
+def build_reference(num_peers: int) -> ArmadaSystem:
+    system = ArmadaSystem(num_peers=num_peers, seed=SEED, attribute_intervals=INTERVALS)
+    system.insert_many(VALUES)
+    for pair in MULTI_VALUES:
+        system.insert_multi(pair)
+    return system
+
+
+async def boot_cluster(num_peers: int, **kwargs):
+    cluster = LiveCluster(
+        num_peers=num_peers, seed=SEED, attribute_intervals=INTERVALS, **kwargs
+    )
+    await cluster.start()
+    gateway = await Gateway(cluster).start()
+    client = await RuntimeClient.connect(*gateway.address)
+    for value in VALUES:
+        await client.insert(value)
+    for pair in MULTI_VALUES:
+        await client.insert_multi(pair)
+    return cluster, gateway, client
+
+
+class TestSimLiveEquivalence:
+    def test_n32_identical_results(self):
+        """Same seed, same queries → byte-equal result sets, sim vs live."""
+        system = build_reference(32)
+
+        async def scenario():
+            cluster, gateway, client = await boot_cluster(32)
+            try:
+                assert sorted(cluster.network.peer_ids()) == sorted(
+                    system.network.peer_ids()
+                ), "bootstrap must replay the simulator's topology"
+
+                rng = DeterministicRNG(1234)
+                origins = sorted(cluster.network.peer_ids())
+                checked = 0
+                for index, origin in enumerate(origins):
+                    low = rng.uniform(0.0, 800.0)
+                    high = low + rng.uniform(1.0, 150.0)
+                    sim = system.range_query(low, high, origin=origin)
+                    live = (await client.range(low, high, origin=origin)).result
+                    assert live.destinations == sim.destinations
+                    assert sorted(live.matching_values()) == sorted(sim.matching_values())
+                    assert live.messages == sim.messages
+                    assert live.delay_hops == sim.delay_hops
+                    assert live.complete and sim.complete
+                    checked += 1
+
+                    if index % 4 == 0:  # interleave MIRA boxes
+                        box = ((low, high), (100.0, 900.0))
+                        sim_m = system.multi_range_query(box, origin=origin)
+                        live_m = (await client.multi_range(box, origin=origin)).result
+                        assert live_m.destinations == sim_m.destinations
+                        assert sorted(live_m.matching_values()) == sorted(
+                            sim_m.matching_values()
+                        )
+                        assert live_m.messages == sim_m.messages
+                        assert live_m.delay_hops == sim_m.delay_hops
+                assert checked == 32
+            finally:
+                await client.close()
+                await gateway.shutdown()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_messages_really_cross_sockets(self):
+        """The equivalence is honest: forwarding frames traverse TCP."""
+
+        async def scenario():
+            cluster, gateway, client = await boot_cluster(16, num_nodes=4)
+            try:
+                reply = await client.range(100.0, 400.0)
+                assert reply.result.messages > 0
+                frames = sum(node.frames_received for node in cluster.nodes)
+                # every forwarding message plus every store request arrived
+                # through some node's server socket
+                assert frames >= reply.result.messages
+                assert cluster.transport.messages_sent >= reply.result.messages
+            finally:
+                await client.close()
+                await gateway.shutdown()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+
+class TestGatewaySmoke:
+    def test_8_peers_50_mixed_queries_all_succeed(self):
+        """The CI smoke contract: 8 peers, ~50 mixed queries, 100% success."""
+
+        async def scenario():
+            cluster, gateway, client = await boot_cluster(8, num_nodes=8)
+            try:
+                jobs = make_mixed_jobs(
+                    seed=SEED,
+                    count=50,
+                    peer_ids=cluster.network.peer_ids(),
+                    mira_fraction=0.3,
+                )
+                report = await run_closed_loop(*gateway.address, jobs, concurrency=8)
+                assert report.queries == 50
+                assert report.succeeded == 50
+                assert report.success_ratio == 1.0
+                assert report.stalled == 0
+                assert report.latency_percentiles["p99"] > 0.0
+                stats = await client.stats()
+                assert stats["peers"] == 8
+                assert stats["queries_served"] >= 50
+            finally:
+                await client.close()
+                await gateway.shutdown()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_open_loop_load(self):
+        async def scenario():
+            cluster, gateway, client = await boot_cluster(8)
+            try:
+                jobs = make_mixed_jobs(
+                    seed=3, count=20, peer_ids=cluster.network.peer_ids(), rate=100.0
+                )
+                report = await run_open_loop(
+                    *gateway.address, jobs, time_scale=0.001, pool_size=4
+                )
+                assert report.queries == 20
+                assert report.succeeded == 20
+            finally:
+                await client.close()
+                await gateway.shutdown()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_gateway_error_replies(self):
+        async def scenario():
+            cluster, gateway, client = await boot_cluster(8)
+            try:
+                with pytest.raises(GatewayError, match="usage: range"):
+                    await client._command("range 1")
+                with pytest.raises(GatewayError, match="unknown command"):
+                    await client._command("frobnicate")
+                with pytest.raises(GatewayError, match="unknown origin"):
+                    await client.range(1.0, 2.0, origin="nonexistent")
+                with pytest.raises(GatewayError, match="exceeds"):
+                    await client.range(10.0, 1.0)
+                # the connection survives every error reply
+                assert await client.ping()
+            finally:
+                await client.close()
+                await gateway.shutdown()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_cluster_validation(self):
+        with pytest.raises(ClusterError):
+            LiveCluster(num_peers=2)
+        with pytest.raises(ClusterError):
+            LiveCluster(num_peers=8, num_nodes=0)
+
+    def test_job_helper_against_reference_peers(self):
+        """make_mixed_jobs is origin-deterministic across peer-list sources."""
+        system = build_reference(16)
+
+        async def scenario():
+            cluster, gateway, client = await boot_cluster(16)
+            try:
+                sim_jobs = make_mixed_jobs(
+                    seed=5, count=30, peer_ids=system.network.peer_ids(), mira_fraction=0.5
+                )
+                live_jobs = make_mixed_jobs(
+                    seed=5, count=30, peer_ids=cluster.network.peer_ids(), mira_fraction=0.5
+                )
+                assert sim_jobs == live_jobs
+                assert any(job.kind == "mira" for job in live_jobs)
+                assert any(job.kind == "pira" for job in live_jobs)
+            finally:
+                await client.close()
+                await gateway.shutdown()
+                await cluster.stop()
+
+        asyncio.run(scenario())

@@ -1,0 +1,189 @@
+"""Graceful-shutdown audit: draining in-flight queries before closing.
+
+The contract of ``repro serve`` (and :meth:`Gateway.shutdown`):
+
+1. a query that is *in flight* when shutdown begins completes normally —
+   bounded by the per-query deadline, never abandoned;
+2. queries arriving after shutdown began are refused with a usable error;
+3. the process-level SIGINT path drains and exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.runtime.client import GatewayError, RuntimeClient
+from repro.runtime.cluster import LiveCluster
+from repro.runtime.gateway import Gateway
+from repro.runtime.server import ServeSettings, serve_async
+
+
+async def boot(extra_transit: float = 0.0, deadline: float = 5.0):
+    cluster = LiveCluster(num_peers=8, seed=3, extra_transit=extra_transit)
+    await cluster.start()
+    gateway = await Gateway(cluster, deadline=deadline).start()
+    return cluster, gateway
+
+
+class TestGatewayDrain:
+    def test_inflight_query_completes_during_shutdown(self):
+        """The drain waits for the in-flight query; the client gets its
+        full result, not a reset connection."""
+
+        async def scenario():
+            # 150ms of artificial transit keeps the query genuinely in
+            # flight (frames scheduled but not yet delivered) at shutdown.
+            cluster, gateway = await boot(extra_transit=0.15)
+            client = await RuntimeClient.connect(*gateway.address)
+            await client.insert(500.0)
+
+            pending = asyncio.create_task(client.range(0.0, 1000.0))
+            await asyncio.sleep(0.05)
+            assert gateway.in_flight == 1
+
+            drained = await gateway.shutdown(drain=True)
+            assert drained == 1
+            reply = await pending
+            assert reply.status == "ok"
+            assert reply.result.complete
+            assert reply.result.destination_count == cluster.network.size
+            assert 500.0 in reply.result.matching_values()
+
+            await client.close()
+            await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_shutdown_with_idle_connected_client(self):
+        """Since Python 3.12.1, ``Server.wait_closed()`` blocks until every
+        client connection closes — an idle client must therefore never be
+        able to stall the drain (regression: the gateway once awaited
+        ``wait_closed`` before draining and hung forever on 3.12/3.13)."""
+
+        async def scenario():
+            cluster, gateway = await boot()
+            idle = await RuntimeClient.connect(*gateway.address)
+            try:
+                await asyncio.wait_for(gateway.shutdown(drain=True), timeout=10.0)
+            finally:
+                await idle.close()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_new_queries_refused_while_draining(self):
+        async def scenario():
+            cluster, gateway = await boot(extra_transit=0.15)
+            client = await RuntimeClient.connect(*gateway.address)
+            pending = asyncio.create_task(client.range(0.0, 1000.0))
+            await asyncio.sleep(0.05)
+
+            shutdown = asyncio.create_task(gateway.shutdown(drain=True))
+            await asyncio.sleep(0.01)
+            # New work is refused while the drain runs: either the listener
+            # is already closed (connect fails) or an accepted command gets
+            # the parseable "shutting down" error.
+            with pytest.raises((GatewayError, ConnectionError, OSError)):
+                probe = await RuntimeClient.connect(*gateway.address)
+                try:
+                    await probe.range(1.0, 2.0)
+                finally:
+                    await probe.close()
+
+            await shutdown
+            assert (await pending).status == "ok"
+            await client.close()
+            await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_deadline_bounds_the_drain(self):
+        """A query that cannot finish (its route was severed mid-flight) is
+        force-completed as failed by its deadline, so the drain returns in
+        bounded time instead of hanging."""
+
+        async def scenario():
+            cluster, gateway = await boot(extra_transit=0.1, deadline=0.4)
+            client = await RuntimeClient.connect(*gateway.address)
+
+            pending = asyncio.create_task(client.range(0.0, 1000.0))
+            await asyncio.sleep(0.02)
+            # Sever every route: in-flight frames can still be enqueued but
+            # re-sends/new hops have nowhere to go; the executor cannot
+            # complete the full tree.
+            for peer_id in list(cluster.transport.node_ids()):
+                cluster.transport.unregister(peer_id)
+
+            started = asyncio.get_running_loop().time()
+            await gateway.shutdown(drain=True)
+            elapsed = asyncio.get_running_loop().time() - started
+            assert elapsed < 5.0, "drain must be bounded by the deadline, not hang"
+
+            reply = await pending
+            assert reply.status in ("deadline", "partial")
+            await client.close()
+            await cluster.stop()
+
+        asyncio.run(scenario())
+
+
+class TestServeRunner:
+    def test_programmatic_stop_drains(self, capsys):
+        async def scenario():
+            stop = asyncio.Event()
+            settings = ServeSettings(peers=8, port=0, deadline=2.0)
+            served_task = asyncio.create_task(serve_async(settings, stop_event=stop))
+            # wait for the listening line
+            for _ in range(200):
+                await asyncio.sleep(0.01)
+                if "listening" in capsys.readouterr().out:
+                    break
+            stop.set()
+            served = await served_task
+            assert served == 0
+
+        asyncio.run(scenario())
+
+    def test_sigint_drains_and_exits_zero(self, tmp_path):
+        """The full process contract: serve, query, SIGINT, clean exit."""
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--peers", "6", "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "gateway listening on" in banner
+            host_port = banner.split("listening on ")[1].split()[0]
+            host, port = host_port.rsplit(":", 1)
+
+            import json as json_module
+            import socket
+
+            with socket.create_connection((host, int(port)), timeout=10) as sock:
+                handle = sock.makefile("rw")
+                handle.write("range 100 300\n")
+                handle.flush()
+                reply = json_module.loads(handle.readline())
+                assert reply["ok"] is True
+
+            proc.send_signal(signal.SIGINT)
+            out, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0
+        assert "draining" in out
+        assert "drained; served 1 queries, sockets closed" in out

@@ -1,0 +1,155 @@
+"""Property tests: wire serialization is the identity after a JSON trip.
+
+Satellite of the live-runtime PR: the gateway ships
+:class:`RangeQueryResult` (and soak runs ship :class:`EngineReport`) as
+JSON, so encode→decode must reproduce *every* field exactly — including
+tuple-typed keys, forwarding-step triples and the resilience ledger's
+bool.  Hypothesis builds structurally arbitrary instances and asserts
+``from_wire(json.loads(json.dumps(to_wire(x)))) == x``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pira import RangeQueryResult
+from repro.engine.reporting import CompletedQuery, EngineReport, QueryJob
+from repro.faults.resilience import ResilienceStats
+from repro.fissione.peer import StoredObject
+
+# -- strategies --------------------------------------------------------------
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+peer_ids = st.text(alphabet="012", min_size=1, max_size=8)
+counts = st.integers(min_value=0, max_value=10**6)
+
+#: JSON-compatible values, plus tuples (which the codec must preserve)
+wire_values = st.recursive(
+    st.one_of(st.none(), st.booleans(), counts, finite_floats, st.text(max_size=12)),
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.tuples(children, children),
+        st.dictionaries(st.text(max_size=6).filter(lambda k: k != "__tuple__"), children, max_size=3),
+    ),
+    max_leaves=8,
+)
+
+stored_objects = st.builds(
+    StoredObject,
+    object_id=st.text(alphabet="012", min_size=1, max_size=16),
+    key=st.one_of(finite_floats, st.tuples(finite_floats, finite_floats)),
+    value=wire_values,
+)
+
+resilience_stats = st.builds(
+    ResilienceStats,
+    drops=counts,
+    timeouts=counts,
+    retries=counts,
+    reroutes=counts,
+    subtrees_lost=counts,
+    recovered_destinations=counts,
+    deadline_expired=st.booleans(),
+)
+
+range_results = st.builds(
+    RangeQueryResult,
+    origin=peer_ids,
+    query_id=st.integers(min_value=1, max_value=10**9),
+    destinations=st.dictionaries(peer_ids, st.integers(min_value=0, max_value=64), max_size=5),
+    messages=counts,
+    matches=st.lists(stored_objects, max_size=4),
+    forwarding_steps=st.lists(
+        st.tuples(peer_ids, peer_ids, st.integers(min_value=0, max_value=64)), max_size=5
+    ),
+    resilience=resilience_stats,
+)
+
+query_jobs = st.builds(
+    QueryJob,
+    arrival=finite_floats,
+    origin=st.one_of(st.none(), peer_ids),
+    low=finite_floats,
+    high=finite_floats,
+    ranges=st.one_of(
+        st.none(),
+        st.lists(st.tuples(finite_floats, finite_floats), min_size=1, max_size=3).map(tuple),
+    ),
+)
+
+completed_queries = st.builds(
+    CompletedQuery,
+    job=query_jobs,
+    result=range_results,
+    started_at=finite_floats,
+    completed_at=finite_floats,
+)
+
+percentile_dicts = st.dictionaries(
+    st.sampled_from(["p50", "p95", "p99"]), finite_floats, max_size=3
+)
+
+engine_reports = st.builds(
+    EngineReport,
+    completed=st.lists(completed_queries, max_size=3),
+    started=counts,
+    makespan=finite_floats,
+    throughput=finite_floats,
+    latency_percentiles=percentile_dicts,
+    delay_percentiles=percentile_dicts,
+    mean_latency=finite_floats,
+    mean_delay_hops=finite_floats,
+    messages=counts,
+    events=counts,
+    succeeded=counts,
+    failed=counts,
+    stalled=counts,
+    dropped=counts,
+    resilience=resilience_stats,
+)
+
+
+def json_trip(wire):
+    """The exact transformation a frame undergoes on the wire."""
+    return json.loads(json.dumps(wire))
+
+
+# -- identities --------------------------------------------------------------
+
+
+@given(stats=resilience_stats)
+def test_resilience_stats_round_trip(stats):
+    assert ResilienceStats.from_dict(json_trip(stats.as_dict())) == stats
+
+
+@given(stored=stored_objects)
+def test_stored_object_round_trip(stored):
+    assert StoredObject.from_wire(json_trip(stored.to_wire())) == stored
+
+
+@settings(max_examples=50)
+@given(result=range_results)
+def test_range_query_result_round_trip(result):
+    rebuilt = RangeQueryResult.from_wire(json_trip(result.to_wire()))
+    assert rebuilt == result
+    # spot-check the typed invariants JSON tends to destroy
+    assert all(isinstance(step, tuple) for step in rebuilt.forwarding_steps)
+    assert isinstance(rebuilt.resilience.deadline_expired, bool)
+
+
+@given(job=query_jobs)
+def test_query_job_round_trip(job):
+    rebuilt = QueryJob.from_wire(json_trip(job.to_wire()))
+    assert rebuilt == job
+    assert rebuilt.kind == job.kind
+
+
+@settings(max_examples=25)
+@given(report=engine_reports)
+def test_engine_report_round_trip(report):
+    rebuilt = EngineReport.from_wire(json_trip(report.to_wire()))
+    assert rebuilt == report
+    assert rebuilt.success_ratio == report.success_ratio
