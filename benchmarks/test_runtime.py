@@ -1,15 +1,18 @@
-"""Benchmark: the live serving runtime under soak load.
+"""Benchmark: the live serving runtime under soak load, v1 vs v2.
 
 Boots a 32-peer asyncio cluster (8 nodes) behind a gateway on localhost,
 publishes a seeded object population, and replays a 1000-query mixed
-PIRA/MIRA workload through 16 closed-loop gateway connections — every
-forwarding message crossing a real TCP socket.  Writes wall-clock
-throughput and latency percentiles to ``benchmarks/BENCH_runtime.json``
-(same payload the ``repro soak --bench-dir`` CLI writes), tracking the
-live path's performance trajectory PR over PR.
+PIRA/MIRA workload through the session API — every forwarding message
+crossing a real TCP socket.  The workload runs **twice on identical
+clusters**: once over the deprecated v1 line protocol (one FIFO request
+per connection — the PR-4 baseline) and once over the multiplexed
+protocol v2 (a pooled :class:`~repro.api.LiveSession`, many requests in
+flight per connection).  ``benchmarks/BENCH_runtime.json`` records both
+throughputs side by side — the before/after of the API-redesign PR.
 
-The assertions double as the acceptance bar for the runtime PR: the run
-must complete ≥1000 queries with a success ratio ≥ 0.99.
+The assertions double as the acceptance bar: both runs must complete all
+queries with success ≥ 0.99, and the v2 run must actually multiplex
+(gateway peak in-flight beyond the connection-pool size).
 """
 
 from __future__ import annotations
@@ -25,10 +28,11 @@ PEERS = 32
 NODES = 8
 QUERIES = 1000
 CONCURRENCY = 16
+POOL = 4
 
 
-def test_live_soak_throughput(benchmark):
-    spec = SoakSpec(
+def make_spec(protocol: int) -> SoakSpec:
+    return SoakSpec(
         peers=PEERS,
         nodes=NODES,
         queries=QUERIES,
@@ -36,15 +40,24 @@ def test_live_soak_throughput(benchmark):
         objects=500,
         seed=42,
         mira_fraction=0.2,
+        protocol=protocol,
+        pool=POOL,
     )
+
+
+def test_live_soak_throughput(benchmark):
     started = time.perf_counter()
-    result = run_soak(spec)
+    before = run_soak(make_spec(protocol=1))  # the PR-4 baseline dialect
+    after = run_soak(make_spec(protocol=2))  # multiplexed + pooled
     elapsed = time.perf_counter() - started
 
-    report = result.report
-    assert report.queries == QUERIES
-    assert report.stalled == 0
-    assert report.success_ratio >= 0.99
+    for result in (before, after):
+        assert result.report.queries == QUERIES
+        assert result.report.stalled == 0
+        assert result.report.success_ratio >= 0.99
+    # v2 really multiplexed: more queries concurrently in flight at the
+    # gateway than the session's pooled connections could carry under v1.
+    assert after.stats.get("peak_in_flight", 0) > POOL
 
     # A small rerun through pytest-benchmark for its statistics.
     small = SoakSpec(
@@ -52,10 +65,21 @@ def test_live_soak_throughput(benchmark):
     )
     benchmark.pedantic(lambda: run_soak(small), rounds=1, iterations=1)
 
-    path = write_bench_json("runtime", result.bench_metrics())
+    metrics = dict(after.bench_metrics())
+    metrics["v1_queries_per_sec"] = before.queries_per_second
+    metrics["v1_wall_seconds"] = before.wall_seconds
+    metrics["v2_speedup_over_v1"] = (
+        after.queries_per_second / before.queries_per_second
+        if before.queries_per_second
+        else 0.0
+    )
+    path = write_bench_json("runtime", metrics)
     emit(
-        "Live runtime soak benchmark",
-        result.format()
+        "Live runtime soak benchmark (protocol v1 baseline vs v2)",
+        after.format()
+        + f"\nv1 baseline       : {before.queries_per_second:,.0f} queries/sec"
+        f" ({before.wall_seconds:.2f}s wall)"
+        + f"\nv2 over v1        : {metrics['v2_speedup_over_v1']:.2f}x"
         + f"\ntotal wall (incl. boot + publish): {elapsed:.2f}s"
         + f"\nwrote {path}",
     )

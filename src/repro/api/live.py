@@ -1,0 +1,393 @@
+""":class:`LiveSession` — the gateway binding of the session API.
+
+One session owns a **pool** of gateway connections.  On protocol v2 each
+connection is fully multiplexed: requests are rid-tagged frames, a
+background reader re-associates every reply (and streamed ``chunk``
+frame) with its per-request future, so any number of requests can be in
+flight on one connection and complete out of order.  The pool spreads
+load across connections by picking the least-loaded one per request —
+``pool * unlimited`` pipelining replaces the v1 world where throughput
+was capped at one in-flight query per connection.
+
+``version=1`` binds the same session surface to the deprecated line
+protocol through pooled :class:`~repro.runtime.client.RuntimeClient`
+instances (one in-flight request per connection, FIFO).  It exists so the
+soak experiment can measure v1 vs v2 on identical code paths; new code
+has no reason to use it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.requests import (
+    ApiError,
+    Chunk,
+    MultiRangeQuery,
+    QueryReply,
+    RangeQuery,
+    Reply,
+    Request,
+    reply_from_payload,
+)
+from repro.api.session import ChunkCallback, Session, SessionError
+from repro.engine.reporting import EngineReport, QueryJob
+from repro.runtime.protocol import (
+    GATEWAY_PROTOCOL_V2,
+    ProtocolError,
+    encode_frame,
+    hello_frame,
+    read_frame,
+)
+from repro.wire import decode_value
+
+
+@dataclass
+class _Pending:
+    """Client-side state of one in-flight request."""
+
+    request: Request
+    future: asyncio.Future
+    on_chunk: Optional[ChunkCallback] = None
+    chunks: int = 0
+
+
+class _V2Connection:
+    """One handshaken protocol-v2 gateway connection.
+
+    The reader task is the re-association point: every incoming frame
+    carries the rid of the request it answers, so replies may arrive in
+    any order — the property test in ``tests/property`` hammers exactly
+    this path.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._pending: Dict[int, _Pending] = {}
+        self._rids = itertools.count(1)
+        self._reader_task: Optional[asyncio.Task] = None
+        self.closed = False
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "_V2Connection":
+        """Open the socket and perform the version handshake."""
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(encode_frame(hello_frame()))
+        await writer.drain()
+        first = await read_frame(reader)
+        if first is None:
+            raise ConnectionError("gateway closed the connection during the handshake")
+        if first.get("type") == "error":
+            raise ApiError(f"handshake rejected: {first.get('error', 'unknown error')}")
+        if first.get("type") != "welcome" or first.get("version") != GATEWAY_PROTOCOL_V2:
+            raise ProtocolError(f"unexpected handshake reply {first!r}")
+        connection = cls(reader, writer)
+        connection._reader_task = asyncio.get_running_loop().create_task(
+            connection._read_replies()
+        )
+        return connection
+
+    @property
+    def in_flight(self) -> int:
+        """Requests awaiting their reply frame on this connection."""
+        return len(self._pending)
+
+    # -- submission ----------------------------------------------------------
+
+    def post(self, request: Request, on_chunk: Optional[ChunkCallback] = None) -> asyncio.Future:
+        """Register and buffer one request frame; returns its reply future.
+
+        The caller owns flushing (:meth:`drain`) — :meth:`LiveSession.batch`
+        posts many requests back-to-back and drains once.
+        """
+        if self.closed:
+            raise ConnectionError("connection to the gateway is closed")
+        rid = next(self._rids)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = _Pending(request=request, future=future, on_chunk=on_chunk)
+        self._writer.write(
+            encode_frame({"type": "request", "rid": rid, "request": request.to_wire()})
+        )
+        return future
+
+    async def drain(self) -> None:
+        await self._writer.drain()
+
+    # -- the re-association loop --------------------------------------------
+
+    async def _read_replies(self) -> None:
+        error: Optional[Exception] = None
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if frame is None:
+                    break
+                kind = frame.get("type")
+                if kind == "chunk":
+                    pending = self._pending.get(frame.get("rid"))
+                    if pending is not None:
+                        pending.chunks += 1
+                        if pending.on_chunk is not None:
+                            pending.on_chunk(
+                                Chunk(
+                                    peer=frame.get("peer", ""),
+                                    hop=int(frame.get("hop", 0)),
+                                    values=[decode_value(v) for v in frame.get("values", [])],
+                                )
+                            )
+                    continue
+                if kind == "reply":
+                    pending = self._pending.pop(frame.get("rid"), None)
+                    if pending is not None and not pending.future.done():
+                        pending.future.set_result((frame.get("payload", {}), pending.chunks))
+                    continue
+                if kind == "error":
+                    rid = frame.get("rid")
+                    message = frame.get("error", "unknown gateway error")
+                    if rid is not None:
+                        pending = self._pending.pop(rid, None)
+                        if pending is not None and not pending.future.done():
+                            pending.future.set_exception(ApiError(message))
+                        continue
+                    if frame.get("fatal"):
+                        error = ApiError(f"gateway closed the connection: {message}")
+                        break
+                    continue
+                # Unknown server frame types are ignored for forward
+                # compatibility (a v2.x gateway may stream new telemetry).
+        except ProtocolError as exc:
+            error = exc
+        except (ConnectionResetError, OSError) as exc:
+            error = ConnectionError(str(exc))
+        finally:
+            # Runs on EOF, on error AND on cancellation (close() cancels
+            # this task): whatever ends the reader must fail every pending
+            # future immediately, or their awaiters would sit out the full
+            # reply timeout against a connection that can never answer.
+            self.closed = True
+            failure = error if error is not None else ConnectionError(
+                "gateway connection closed with requests in flight"
+            )
+            for pending in list(self._pending.values()):
+                if not pending.future.done():
+                    pending.future.set_exception(failure)
+            self._pending.clear()
+
+    async def close(self) -> None:
+        self.closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._reader_task = None
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (OSError, asyncio.CancelledError):
+            pass
+
+
+class LiveSession(Session):
+    """Session over a live gateway (protocol v2, or v1 for comparison)."""
+
+    backend = "live"
+
+    def __init__(self, version: int, timeout: float) -> None:
+        self.version = version
+        self.timeout = timeout
+        self._address: Tuple[str, int] = ("", 0)
+        self._v2: List[_V2Connection] = []
+        self._v1: Optional[asyncio.Queue] = None
+        self._v1_clients: List[Any] = []
+        self._closed = False
+        #: client-side high-water mark of concurrently submitted requests
+        self.peak_in_flight = 0
+        self._submitted = 0
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        pool: int = 4,
+        version: int = GATEWAY_PROTOCOL_V2,
+        timeout: float = 30.0,
+    ) -> "LiveSession":
+        """Open ``pool`` gateway connections (handshaken for v2).
+
+        ``timeout`` bounds how long a reply may take when the request
+        carries no deadline option (requests with a deadline get that
+        deadline plus grace).
+        """
+        if pool < 1:
+            raise SessionError("pool must be at least 1")
+        if version not in (1, GATEWAY_PROTOCOL_V2):
+            raise SessionError(f"unknown protocol version {version} (use 1 or 2)")
+        if timeout <= 0:
+            raise SessionError("timeout must be positive")
+        session = cls(version=version, timeout=timeout)
+        session._address = (host, port)
+        try:
+            if version == GATEWAY_PROTOCOL_V2:
+                for _ in range(pool):
+                    session._v2.append(await _V2Connection.connect(host, port))
+            else:
+                from repro.runtime.client import RuntimeClient
+
+                session._v1 = asyncio.Queue()
+                for _ in range(pool):
+                    client = await RuntimeClient.connect(host, port)
+                    session._v1_clients.append(client)
+                    session._v1.put_nowait(client)
+        except BaseException:
+            await session.close()
+            raise
+        return session
+
+    @property
+    def pool_size(self) -> int:
+        """Number of gateway connections this session owns."""
+        return len(self._v2) if self.version == GATEWAY_PROTOCOL_V2 else len(self._v1_clients)
+
+    @property
+    def in_flight(self) -> int:
+        """Requests submitted but not yet answered (v2 only tracks exact)."""
+        if self.version == GATEWAY_PROTOCOL_V2:
+            return sum(connection.in_flight for connection in self._v2)
+        return self._submitted
+
+    # ------------------------------------------------------------------ #
+    # submission                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _reply_timeout(self, request: Request) -> float:
+        deadline = request.options.deadline
+        return self.timeout if deadline is None else deadline + self.timeout
+
+    def _pick_connection(self) -> _V2Connection:
+        live = [connection for connection in self._v2 if not connection.closed]
+        if not live:
+            raise ConnectionError("every pooled gateway connection is closed")
+        return min(live, key=lambda connection: connection.in_flight)
+
+    async def _submit_once(
+        self, request: Request, on_chunk: Optional[ChunkCallback] = None
+    ) -> Reply:
+        if self._closed:
+            raise SessionError("session is closed")
+        self._submitted += 1
+        self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+        try:
+            if self.version == GATEWAY_PROTOCOL_V2:
+                connection = self._pick_connection()
+                future = connection.post(request, on_chunk)
+                await connection.drain()
+                payload, chunks = await asyncio.wait_for(future, self._reply_timeout(request))
+                return reply_from_payload(request, payload, chunks=chunks)
+            return await self._submit_v1(request)
+        finally:
+            self._submitted -= 1
+
+    async def _submit_v1(self, request: Request) -> Reply:
+        assert self._v1 is not None
+        client = await self._v1.get()
+        try:
+            payload = await asyncio.wait_for(
+                client.execute(request), self._reply_timeout(request)
+            )
+        except asyncio.TimeoutError:
+            # The line protocol has no request ids: if the late reply ever
+            # arrives it would be read as the *next* command's answer.  A
+            # timed-out connection is FIFO-poisoned — retire it and pool a
+            # fresh one (best effort; the timeout still propagates).
+            await client.close()
+            self._v1_clients.remove(client)
+            try:
+                from repro.runtime.client import RuntimeClient
+
+                replacement = await RuntimeClient.connect(*self._address)
+            except OSError:
+                pass
+            else:
+                self._v1_clients.append(replacement)
+                self._v1.put_nowait(replacement)
+            raise
+        else:
+            self._v1.put_nowait(client)
+        return reply_from_payload(request, payload)
+
+    async def batch(
+        self, requests: Sequence[Request], on_chunk: Optional[ChunkCallback] = None
+    ) -> List[Reply]:
+        """Submit many requests with one flush per connection.
+
+        On v2 the whole batch is posted before the first drain — one
+        syscall-ish burst instead of a write/await per request.  Note the
+        per-request ``replicas``/``retries`` options are *not* applied on
+        this path (use :meth:`submit` per request for those).
+        """
+        if self.version != GATEWAY_PROTOCOL_V2:
+            return await super().batch(requests, on_chunk)
+        if self._closed:
+            raise SessionError("session is closed")
+        posted = []
+        touched = set()
+        for request in requests:
+            connection = self._pick_connection()
+            posted.append((request, connection.post(request, on_chunk)))
+            touched.add(id(connection))
+            self._submitted += 1
+        self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+        try:
+            for connection in self._v2:
+                if id(connection) in touched and not connection.closed:
+                    await connection.drain()
+            return [
+                reply_from_payload(request, *await asyncio.wait_for(
+                    future, self._reply_timeout(request)
+                ))
+                for request, future in posted
+            ]
+        finally:
+            self._submitted -= len(posted)
+
+    # ------------------------------------------------------------------ #
+    # workloads                                                            #
+    # ------------------------------------------------------------------ #
+
+    async def run_jobs(
+        self,
+        jobs: Sequence[QueryJob],
+        mode: str = "closed",
+        concurrency: int = 8,
+        time_scale: float = 0.001,
+    ) -> EngineReport:
+        """Drive a workload through this session's connection pool."""
+        from repro.runtime.loadgen import run_closed_loop, run_open_loop
+
+        if mode == "open":
+            return await run_open_loop(self, jobs, time_scale=time_scale)
+        if mode == "closed":
+            return await run_closed_loop(self, jobs, concurrency=concurrency)
+        raise SessionError(f"unknown workload mode {mode!r} (use 'open' or 'closed')")
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                            #
+    # ------------------------------------------------------------------ #
+
+    async def close(self) -> None:
+        """Close every pooled connection (idempotent)."""
+        self._closed = True
+        for connection in self._v2:
+            await connection.close()
+        self._v2.clear()
+        for client in self._v1_clients:
+            await client.close()
+        self._v1_clients.clear()
+        self._v1 = None

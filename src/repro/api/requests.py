@@ -1,0 +1,359 @@
+"""The unified request/response vocabulary of the ``repro.api`` layer.
+
+Every operation a client can ask of an Armada deployment — simulated or
+live — is a :class:`Request` object:
+
+* :class:`RangeQuery` — single-attribute range ``[low, high]`` via PIRA;
+* :class:`MultiRangeQuery` — multi-attribute box query via MIRA;
+* :class:`Insert` / :class:`MultiInsert` — object publication;
+* :class:`Stats` — backend statistics;
+* :class:`Ping` — liveness probe.
+
+Each request carries :class:`RequestOptions`: the per-request knobs
+(origin pinning, deadline, replica count, retry budget, streaming) that
+previously lived scattered across the gateway's line grammar, the query
+engine's constructor and the load generator.  A request serialises to a
+JSON object (:meth:`Request.to_wire`) — the exact payload a protocol-v2
+``request`` frame carries — and :func:`request_from_wire` rebuilds it on
+the gateway side, so the wire format and the in-process API share one
+definition.
+
+Replies are typed too: :class:`QueryReply` (status, latency, the full
+:class:`~repro.core.pira.RangeQueryResult`), :class:`InsertReply`,
+:class:`StatsReply` and :class:`PongReply`, decoded from the gateway's
+JSON payloads by :func:`reply_from_payload`.  Both session bindings
+return the *same* reply types, which is what lets the sim≡live
+equivalence test run entirely through the API layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.pira import RangeQueryResult
+from repro.engine.reporting import QueryJob
+
+
+class ApiError(RuntimeError):
+    """Malformed requests or undecodable replies at the API layer."""
+
+
+@dataclass(frozen=True)
+class RequestOptions:
+    """Per-request execution options, honoured by both session bindings.
+
+    * ``origin`` — the PeerID the query enters the overlay at (``None``
+      lets the backend pick a seeded-random origin);
+    * ``deadline`` — per-query bound on the *backend's* clock: wall-clock
+      seconds live, simulated units in the simulator; ``None`` uses the
+      backend default;
+    * ``replicas`` — independent executions of the same query; the best
+      reply (complete beats partial, more matches beat fewer) wins, a
+      cheap robustness knob under faults;
+    * ``retries`` — resubmissions after a *transport* failure (connection
+      drop, gateway restart); meaningless in the simulator;
+    * ``stream`` — ask for per-destination partial results (protocol v2
+      ``chunk`` frames live, synchronous callbacks in the simulator).
+      Incompatible with ``replicas > 1`` (replicated chunk streams would
+      interleave indistinguishably); after a transport *retry*, chunks
+      the failed attempt already delivered are not recalled — the reply's
+      ``chunks`` field counts the winning attempt's frames only.
+    """
+
+    origin: Optional[str] = None
+    deadline: Optional[float] = None
+    replicas: int = 1
+    retries: int = 0
+    stream: bool = False
+
+    def __post_init__(self) -> None:
+        if self.deadline is not None and self.deadline <= 0:
+            raise ApiError("deadline must be positive")
+        if self.replicas < 1:
+            raise ApiError("replicas must be at least 1")
+        if self.retries < 0:
+            raise ApiError("retries must be non-negative")
+        if self.stream and self.replicas > 1:
+            # Replicated executions would interleave their chunk streams
+            # into one callback with no way to tell them apart (and the
+            # winning reply's ``chunks`` would count only its own frames).
+            raise ApiError("stream and replicas > 1 cannot be combined")
+
+    def to_wire(self) -> Dict[str, Any]:
+        """JSON form, omitting defaults (an empty dict is all-defaults)."""
+        wire: Dict[str, Any] = {}
+        if self.origin is not None:
+            wire["origin"] = self.origin
+        if self.deadline is not None:
+            wire["deadline"] = self.deadline
+        if self.replicas != 1:
+            wire["replicas"] = self.replicas
+        if self.retries != 0:
+            wire["retries"] = self.retries
+        if self.stream:
+            wire["stream"] = True
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: Optional[Dict[str, Any]]) -> "RequestOptions":
+        """Rebuild options from :meth:`to_wire` output (post-JSON)."""
+        wire = wire or {}
+        return cls(
+            origin=wire.get("origin"),
+            deadline=None if wire.get("deadline") is None else float(wire["deadline"]),
+            replicas=int(wire.get("replicas", 1)),
+            retries=int(wire.get("retries", 0)),
+            stream=bool(wire.get("stream", False)),
+        )
+
+
+@dataclass(frozen=True)
+class Request:
+    """Base request: the operation name plus its options."""
+
+    op = "nop"
+    options: RequestOptions = field(default_factory=RequestOptions)
+
+    def payload(self) -> Dict[str, Any]:
+        """Operation-specific wire fields (subclasses override)."""
+        return {}
+
+    def to_wire(self) -> Dict[str, Any]:
+        """The JSON object a protocol-v2 ``request`` frame carries."""
+        wire: Dict[str, Any] = {"op": self.op}
+        wire.update(self.payload())
+        options = self.options.to_wire()
+        if options:
+            wire["options"] = options
+        return wire
+
+    def with_options(self, **changes: Any) -> "Request":
+        """A copy with the named option fields replaced."""
+        return replace(self, options=replace(self.options, **changes))
+
+
+@dataclass(frozen=True)
+class RangeQuery(Request):
+    """Single-attribute range query ``[low, high]`` (PIRA)."""
+
+    op = "range"
+    low: float = 0.0
+    high: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ApiError(f"range low bound {self.low} exceeds high bound {self.high}")
+
+    def payload(self) -> Dict[str, Any]:
+        return {"low": self.low, "high": self.high}
+
+
+@dataclass(frozen=True)
+class MultiRangeQuery(Request):
+    """Multi-attribute box query (MIRA): one ``(low, high)`` per dimension."""
+
+    op = "mrange"
+    ranges: Tuple[Tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        ranges = tuple((float(low), float(high)) for low, high in self.ranges)
+        if not ranges:
+            raise ApiError("a multi-range query needs at least one range")
+        for low, high in ranges:
+            if high < low:
+                raise ApiError(f"range low bound {low} exceeds high bound {high}")
+        object.__setattr__(self, "ranges", ranges)
+
+    def payload(self) -> Dict[str, Any]:
+        return {"ranges": [list(pair) for pair in self.ranges]}
+
+
+@dataclass(frozen=True)
+class Insert(Request):
+    """Publish one single-attribute object."""
+
+    op = "insert"
+    value: float = 0.0
+
+    def payload(self) -> Dict[str, Any]:
+        return {"value": float(self.value)}
+
+
+@dataclass(frozen=True)
+class MultiInsert(Request):
+    """Publish one multi-attribute object."""
+
+    op = "minsert"
+    values: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        values = tuple(float(value) for value in self.values)
+        if not values:
+            raise ApiError("a multi-attribute insert needs at least one value")
+        object.__setattr__(self, "values", values)
+
+    def payload(self) -> Dict[str, Any]:
+        return {"values": list(self.values)}
+
+
+@dataclass(frozen=True)
+class Stats(Request):
+    """Backend statistics (cluster + gateway counters live, system stats sim)."""
+
+    op = "stats"
+
+
+@dataclass(frozen=True)
+class Ping(Request):
+    """Liveness probe."""
+
+    op = "ping"
+
+
+#: every concrete request type, keyed by its wire ``op``
+REQUEST_TYPES: Dict[str, type] = {
+    cls.op: cls for cls in (RangeQuery, MultiRangeQuery, Insert, MultiInsert, Stats, Ping)
+}
+
+QueryRequest = Union[RangeQuery, MultiRangeQuery]
+
+
+def request_from_wire(wire: Dict[str, Any]) -> Request:
+    """Rebuild a :class:`Request` from its :meth:`~Request.to_wire` form.
+
+    Raises :class:`ApiError` on unknown ops or malformed fields — the
+    gateway turns that into a structured error frame.
+    """
+    if not isinstance(wire, dict):
+        raise ApiError("request payload must be a JSON object")
+    op = wire.get("op")
+    cls = REQUEST_TYPES.get(op)
+    if cls is None:
+        known = ", ".join(sorted(REQUEST_TYPES))
+        raise ApiError(f"unknown request op {op!r} (known: {known})")
+    options = RequestOptions.from_wire(wire.get("options"))
+    try:
+        if cls is RangeQuery:
+            return RangeQuery(low=float(wire["low"]), high=float(wire["high"]), options=options)
+        if cls is MultiRangeQuery:
+            return MultiRangeQuery(
+                ranges=tuple((float(low), float(high)) for low, high in wire["ranges"]),
+                options=options,
+            )
+        if cls is Insert:
+            return Insert(value=float(wire["value"]), options=options)
+        if cls is MultiInsert:
+            return MultiInsert(
+                values=tuple(float(value) for value in wire["values"]), options=options
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ApiError(f"malformed {op!r} request: {exc}") from exc
+    return cls(options=options)
+
+
+def request_from_job(job: QueryJob, **option_changes: Any) -> QueryRequest:
+    """The API request for one :class:`~repro.engine.reporting.QueryJob`."""
+    options = RequestOptions(origin=job.origin)
+    if option_changes:
+        options = replace(options, **option_changes)
+    if job.kind == "mira":
+        return MultiRangeQuery(ranges=job.ranges, options=options)
+    return RangeQuery(low=job.low, high=job.high, options=options)
+
+
+# --------------------------------------------------------------------------- #
+# replies                                                                      #
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Reply:
+    """Base reply: everything a session hands back is one of these."""
+
+    ok: bool = True
+
+
+@dataclass(frozen=True)
+class QueryReply(Reply):
+    """One decoded query response (identical shape on both backends).
+
+    ``status`` is ``"ok"`` (complete), ``"partial"`` (lost subtrees) or
+    ``"deadline"``; ``latency`` is measured on the backend's clock
+    (wall-clock seconds live, simulated units sim); ``chunks`` counts the
+    streamed partial-result frames that preceded this summary (0 for
+    non-streaming requests).
+    """
+
+    status: str = "ok"
+    latency: float = 0.0
+    result: RangeQueryResult = None  # type: ignore[assignment]
+    chunks: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ok", self.status == "ok")
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One streamed partial result: a destination peer's report."""
+
+    peer: str
+    hop: int
+    values: List[Any]
+
+
+@dataclass(frozen=True)
+class InsertReply(Reply):
+    """Publication acknowledged: the ObjectID and its owning peer."""
+
+    object_id: str = ""
+    owner: str = ""
+
+
+@dataclass(frozen=True)
+class StatsReply(Reply):
+    """Backend statistics."""
+
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class PongReply(Reply):
+    """Answer to a :class:`Ping`."""
+
+
+def reply_from_payload(request: Request, payload: Dict[str, Any], chunks: int = 0) -> Reply:
+    """Decode a gateway JSON reply payload into the typed reply for ``request``.
+
+    The payload shape is shared by protocol v1 (one JSON line) and v2
+    (a ``reply`` frame); only the envelope differs.
+    """
+    if not payload.get("ok", False):
+        raise ApiError(payload.get("error", "unknown gateway error"))
+    kind = payload.get("type")
+    if kind == "result":
+        return QueryReply(
+            status=payload["status"],
+            latency=float(payload["latency"]),
+            result=RangeQueryResult.from_wire(payload["result"]),
+            chunks=chunks,
+        )
+    if kind == "inserted":
+        return InsertReply(object_id=payload["object_id"], owner=payload["owner"])
+    if kind == "stats":
+        return StatsReply(stats=payload["stats"])
+    if kind == "pong":
+        return PongReply()
+    raise ApiError(f"undecodable reply type {kind!r} for request op {request.op!r}")
+
+
+def better_query_reply(left: QueryReply, right: QueryReply) -> QueryReply:
+    """Pick the better of two replicated query replies.
+
+    Completeness dominates (a complete result beats any partial one),
+    then match count, then lower latency.
+    """
+    left_key = (left.result.complete, len(left.result.matches), -left.latency)
+    right_key = (right.result.complete, len(right.result.matches), -right.latency)
+    return left if left_key >= right_key else right

@@ -1,0 +1,228 @@
+"""The :class:`Session` abstraction: one client API, two backends.
+
+A session is the single way user code talks to an Armada deployment::
+
+    async with await open_session(system) as session:          # simulator
+        reply = await session.range(100.0, 200.0)
+
+    async with await LiveSession.connect(host, port) as session:  # live TCP
+        reply = await session.range(100.0, 200.0)
+
+Both bindings accept the same :class:`~repro.api.requests.Request`
+objects and return the same typed replies, so experiments, load
+generators and the CLI are written once against ``Session`` and run
+unchanged on either backend — the sim≡live equivalence test does exactly
+that.
+
+The base class implements everything that is backend-independent:
+
+* the convenience verbs (:meth:`range`, :meth:`multi_range`,
+  :meth:`insert`, :meth:`insert_multi`, :meth:`stats`, :meth:`ping`,
+  :meth:`run_job`) as thin wrappers over :meth:`submit`;
+* the **replica** option: ``replicas=k`` executes the query ``k`` times
+  and returns the best reply (complete beats partial, then match count);
+* the **retry budget**: a transport failure (connection drop) is retried
+  up to ``options.retries`` times before the error propagates;
+* :meth:`batch`: concurrent submission of many requests (the live
+  binding overrides this to post every request frame across its
+  connection pool before a single flush per connection).
+
+Backends implement :meth:`_submit_once` (execute one request once) and
+:meth:`run_jobs` (drive a whole workload, reporting through the shared
+:class:`~repro.engine.reporting.EngineReport` pipeline).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.requests import (
+    Chunk,
+    Insert,
+    InsertReply,
+    MultiInsert,
+    MultiRangeQuery,
+    Ping,
+    PongReply,
+    QueryReply,
+    RangeQuery,
+    Reply,
+    Request,
+    RequestOptions,
+    Stats,
+    StatsReply,
+    better_query_reply,
+    request_from_job,
+)
+from repro.engine.reporting import EngineReport, QueryJob
+
+#: callback receiving streamed partial results (``stream=True`` requests)
+ChunkCallback = Callable[[Chunk], None]
+
+
+class SessionError(RuntimeError):
+    """A session-level failure (closed session, exhausted retries)."""
+
+
+class Session:
+    """Abstract client session over one Armada backend."""
+
+    #: ``"sim"`` or ``"live"`` — for reports and stats
+    backend = "abstract"
+
+    # ------------------------------------------------------------------ #
+    # backend contract                                                     #
+    # ------------------------------------------------------------------ #
+
+    async def _submit_once(
+        self, request: Request, on_chunk: Optional[ChunkCallback] = None
+    ) -> Reply:
+        """Execute ``request`` exactly once (no replicas, no retries)."""
+        raise NotImplementedError
+
+    async def run_jobs(
+        self,
+        jobs: Sequence[QueryJob],
+        mode: str = "closed",
+        concurrency: int = 8,
+        time_scale: float = 0.001,
+    ) -> EngineReport:
+        """Drive a whole workload and report through the shared pipeline.
+
+        ``mode="closed"`` keeps ``concurrency`` queries outstanding
+        (synchronous-client population); ``mode="open"`` fires jobs at
+        their arrival times (offered load), with ``time_scale`` mapping
+        workload time units to the backend clock where needed.
+        """
+        raise NotImplementedError
+
+    async def close(self) -> None:
+        """Release backend resources (idempotent)."""
+
+    # ------------------------------------------------------------------ #
+    # generic submission (replicas + retry budget)                         #
+    # ------------------------------------------------------------------ #
+
+    async def submit(
+        self, request: Request, on_chunk: Optional[ChunkCallback] = None
+    ) -> Reply:
+        """Execute ``request``, honouring its replica and retry options."""
+        options = request.options
+        best: Optional[Reply] = None
+        for _ in range(options.replicas):
+            reply = await self._submit_with_retries(request, on_chunk)
+            if not isinstance(reply, QueryReply):
+                return reply  # replicas only make sense for queries
+            best = reply if best is None else better_query_reply(best, reply)
+            if reply.result.complete:
+                break  # a complete result cannot be improved upon
+        assert best is not None
+        return best
+
+    async def _submit_with_retries(
+        self, request: Request, on_chunk: Optional[ChunkCallback]
+    ) -> Reply:
+        attempts = 1 + request.options.retries
+        for attempt in range(attempts):
+            try:
+                return await self._submit_once(request, on_chunk)
+            except (ConnectionError, asyncio.TimeoutError):
+                if attempt + 1 >= attempts:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def batch(
+        self, requests: Sequence[Request], on_chunk: Optional[ChunkCallback] = None
+    ) -> List[Reply]:
+        """Submit many requests concurrently; replies in request order."""
+        return list(
+            await asyncio.gather(*(self.submit(request, on_chunk) for request in requests))
+        )
+
+    # ------------------------------------------------------------------ #
+    # convenience verbs                                                    #
+    # ------------------------------------------------------------------ #
+
+    async def range(
+        self,
+        low: float,
+        high: float,
+        origin: Optional[str] = None,
+        deadline: Optional[float] = None,
+        replicas: int = 1,
+        retries: int = 0,
+        on_chunk: Optional[ChunkCallback] = None,
+    ) -> QueryReply:
+        """Single-attribute range query ``[low, high]`` via PIRA."""
+        options = RequestOptions(
+            origin=origin,
+            deadline=deadline,
+            replicas=replicas,
+            retries=retries,
+            stream=on_chunk is not None,
+        )
+        reply = await self.submit(RangeQuery(low=low, high=high, options=options), on_chunk)
+        assert isinstance(reply, QueryReply)
+        return reply
+
+    async def multi_range(
+        self,
+        ranges: Sequence[Tuple[float, float]],
+        origin: Optional[str] = None,
+        deadline: Optional[float] = None,
+        replicas: int = 1,
+        retries: int = 0,
+        on_chunk: Optional[ChunkCallback] = None,
+    ) -> QueryReply:
+        """Multi-attribute box query via MIRA."""
+        options = RequestOptions(
+            origin=origin,
+            deadline=deadline,
+            replicas=replicas,
+            retries=retries,
+            stream=on_chunk is not None,
+        )
+        reply = await self.submit(
+            MultiRangeQuery(ranges=tuple(ranges), options=options), on_chunk
+        )
+        assert isinstance(reply, QueryReply)
+        return reply
+
+    async def insert(self, value: float) -> InsertReply:
+        """Publish a single-attribute object."""
+        reply = await self.submit(Insert(value=float(value)))
+        assert isinstance(reply, InsertReply)
+        return reply
+
+    async def insert_multi(self, values: Sequence[float]) -> InsertReply:
+        """Publish a multi-attribute object."""
+        reply = await self.submit(MultiInsert(values=tuple(values)))
+        assert isinstance(reply, InsertReply)
+        return reply
+
+    async def stats(self) -> Dict[str, Any]:
+        """Backend statistics."""
+        reply = await self.submit(Stats())
+        assert isinstance(reply, StatsReply)
+        return reply.stats
+
+    async def ping(self) -> bool:
+        """Liveness probe."""
+        return isinstance(await self.submit(Ping()), PongReply)
+
+    async def run_job(self, job: QueryJob, **option_changes: Any) -> QueryReply:
+        """Run one :class:`~repro.engine.reporting.QueryJob` (PIRA or MIRA)."""
+        reply = await self.submit(request_from_job(job, **option_changes))
+        assert isinstance(reply, QueryReply)
+        return reply
+
+    # ------------------------------------------------------------------ #
+    # context management                                                   #
+    # ------------------------------------------------------------------ #
+
+    async def __aenter__(self) -> "Session":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()

@@ -1,0 +1,199 @@
+""":class:`SimSession` — the simulator binding of the session API.
+
+Drives an :class:`~repro.core.armada.ArmadaSystem` directly: single
+requests run the resumable PIRA/MIRA executors to completion on the
+discrete-event clock, workloads go through the concurrent
+:class:`~repro.engine.query_engine.QueryEngine`.  Latencies and deadlines
+are in **simulated time units** (the live binding measures the same
+fields in wall-clock seconds).
+
+The replies are byte-identical in structure to the live binding's — the
+same :class:`~repro.core.pira.RangeQueryResult` a gateway would ship over
+the wire — so code written against :class:`~repro.api.session.Session`
+cannot tell the backends apart except by the clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from repro.api.requests import (
+    ApiError,
+    Chunk,
+    Insert,
+    InsertReply,
+    MultiInsert,
+    MultiRangeQuery,
+    Ping,
+    PongReply,
+    QueryReply,
+    RangeQuery,
+    Reply,
+    Request,
+    Stats,
+    StatsReply,
+)
+from repro.api.session import ChunkCallback, Session
+from repro.core.armada import ArmadaSystem
+from repro.core.errors import ArmadaError
+from repro.core.pira import RangeQueryResult
+from repro.engine.query_engine import QueryEngine
+from repro.engine.reporting import EngineReport, QueryJob
+
+
+class SimSession(Session):
+    """Session over a simulated :class:`ArmadaSystem`."""
+
+    backend = "sim"
+
+    def __init__(self, system: ArmadaSystem, deadline: Optional[float] = None) -> None:
+        """``deadline`` (simulated units) is the default per-query bound;
+        a request's ``options.deadline`` overrides it."""
+        if deadline is not None and deadline <= 0:
+            raise ApiError("deadline must be positive")
+        self.system = system
+        self.deadline = deadline
+        self.queries_served = 0
+
+    # ------------------------------------------------------------------ #
+    # single requests                                                      #
+    # ------------------------------------------------------------------ #
+
+    async def _submit_once(
+        self, request: Request, on_chunk: Optional[ChunkCallback] = None
+    ) -> Reply:
+        try:
+            if isinstance(request, (RangeQuery, MultiRangeQuery)):
+                return self._run_query(request, on_chunk)
+            if isinstance(request, Insert):
+                object_id = self.system.insert(request.value, payload=float(request.value))
+                return InsertReply(
+                    object_id=object_id, owner=self.system.network.owner_id(object_id)
+                )
+            if isinstance(request, MultiInsert):
+                object_id = self.system.insert_multi(request.values)
+                return InsertReply(
+                    object_id=object_id, owner=self.system.network.owner_id(object_id)
+                )
+            if isinstance(request, Stats):
+                stats = dict(self.system.stats())
+                stats.update(
+                    {
+                        "backend": "sim",
+                        "queries_served": self.queries_served,
+                        "in_flight": self.system.pira.active_queries
+                        + (self.system.mira.active_queries if self.system.mira else 0),
+                    }
+                )
+                return StatsReply(stats=stats)
+            if isinstance(request, Ping):
+                return PongReply()
+        except ArmadaError as exc:
+            # QueryError / NamingError from the executors and namers: the
+            # same failures the gateway reports as error payloads.
+            raise ApiError(str(exc)) from exc
+        raise ApiError(f"SimSession cannot execute request op {request.op!r}")
+
+    def _run_query(
+        self, request: Request, on_chunk: Optional[ChunkCallback]
+    ) -> QueryReply:
+        options = request.options
+        origin = options.origin if options.origin is not None else self.system.random_peer_id()
+        if not self.system.network.has_peer(origin):
+            raise ApiError(f"unknown origin peer {origin!r}")
+        if isinstance(request, MultiRangeQuery) and self.system.mira is None:
+            raise ApiError("this system was not configured with attribute_intervals")
+
+        simulator = self.system.overlay.simulator
+        started = simulator.now
+        finished: Dict[str, Any] = {}
+        chunks = 0
+
+        def complete(result: RangeQueryResult) -> None:
+            finished["result"] = result
+            finished["at"] = simulator.now
+            # Cancel the deadline timer at completion, or the drain below
+            # would keep running (and the clock advancing) until it fired.
+            handle = finished.pop("deadline", None)
+            if handle is not None:
+                handle.cancel()
+
+        def destination(peer_id: str, hop: int, new_matches: list) -> None:
+            nonlocal chunks
+            chunks += 1
+            if on_chunk is not None:
+                on_chunk(
+                    Chunk(
+                        peer=peer_id,
+                        hop=hop,
+                        values=[stored.key for stored in new_matches],
+                    )
+                )
+
+        if isinstance(request, MultiRangeQuery):
+            executor = self.system.mira
+            result = executor.start(
+                origin,
+                request.ranges,
+                on_complete=complete,
+                on_destination=destination,
+            )
+        else:
+            executor = self.system.pira
+            result = executor.start(
+                origin,
+                request.low,
+                request.high,
+                on_complete=complete,
+                on_destination=destination,
+            )
+
+        deadline = options.deadline if options.deadline is not None else self.deadline
+        if deadline is not None and executor.is_active(result.query_id):
+            finished["deadline"] = simulator.schedule_after(
+                deadline,
+                lambda: executor.cancel(result.query_id),
+                label="api-deadline",
+            )
+        self.system.overlay.run()
+
+        final = finished.get("result", result)
+        self.queries_served += 1
+        status = "deadline" if final.resilience.deadline_expired else (
+            "ok" if final.complete else "partial"
+        )
+        return QueryReply(
+            status=status,
+            latency=finished.get("at", simulator.now) - started,
+            result=final,
+            chunks=chunks,
+        )
+
+    # ------------------------------------------------------------------ #
+    # workloads                                                            #
+    # ------------------------------------------------------------------ #
+
+    async def run_jobs(
+        self,
+        jobs: Sequence[QueryJob],
+        mode: str = "closed",
+        concurrency: int = 8,
+        time_scale: float = 0.001,
+        churn: Optional[Sequence[Any]] = None,
+    ) -> EngineReport:
+        """Drive a workload through the concurrent query engine.
+
+        The simulator *is* the workload clock, so ``time_scale`` is
+        ignored here; open-loop jobs fire at their arrival instants and
+        closed-loop jobs maintain ``concurrency`` outstanding queries.
+        ``churn`` (:class:`~repro.workloads.arrivals.ChurnEvent` items) is
+        a sim-only extra: join/leave events interleaved with the load.
+        """
+        try:
+            report = QueryEngine(self.system, deadline=self.deadline).run_jobs(
+                jobs, mode=mode, concurrency=concurrency, churn=churn
+            )
+        except ValueError as exc:
+            raise ApiError(str(exc)) from exc
+        self.queries_served += report.queries
+        return report

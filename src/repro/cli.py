@@ -203,6 +203,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="soak only: fraction of queries that are multi-attribute (MIRA)",
     )
     parser.add_argument(
+        "--protocol",
+        type=int,
+        choices=(1, 2),
+        default=2,
+        help=(
+            "soak only: gateway wire protocol (2 = multiplexed frames via a "
+            "pooled session, 1 = the deprecated FIFO line protocol, kept for "
+            "before/after comparisons)"
+        ),
+    )
+    parser.add_argument(
+        "--pool",
+        type=int,
+        default=4,
+        help="soak only: session connection-pool size (protocol 2)",
+    )
+    parser.add_argument(
+        "--require-pipelined",
+        type=int,
+        default=None,
+        help=(
+            "soak only: exit non-zero unless the gateway observed at least "
+            "this many concurrently in-flight requests (proof of protocol-v2 "
+            "multiplexing, via the stats peak_in_flight field)"
+        ),
+    )
+    parser.add_argument(
         "--bench-dir",
         default=None,
         help="soak only: directory to write BENCH_runtime.json into",
@@ -313,6 +340,10 @@ def make_soak_spec(args: argparse.Namespace, config: ExperimentConfig):
         raise SystemExit(
             f"--require-success must be within [0, 1], got {args.require_success}"
         )
+    if args.require_pipelined is not None and args.require_pipelined < 1:
+        raise SystemExit(
+            f"--require-pipelined must be at least 1, got {args.require_pipelined}"
+        )
     try:
         return soak_experiment.SoakSpec(
             peers=args.peers if args.peers is not None else _LIVE_DEFAULT_PEERS,
@@ -325,6 +356,8 @@ def make_soak_spec(args: argparse.Namespace, config: ExperimentConfig):
             mira_fraction=args.mira_fraction,
             deadline=args.deadline if args.deadline is not None else 5.0,
             attribute_interval=(config.attribute_low, config.attribute_high),
+            protocol=args.protocol,
+            pool=args.pool,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -390,6 +423,7 @@ def run_command(
     soak_spec=None,
     bench_dir: Optional[str] = None,
     require_success: Optional[float] = None,
+    require_pipelined: Optional[int] = None,
 ) -> str:
     """Run one experiment command and return its formatted output."""
     if command == "soak":
@@ -407,6 +441,14 @@ def run_command(
                 + f"\n\nsoak failed: success ratio {result.report.success_ratio:.4f}"
                 f" below the required {require_success:g}"
             )
+        if require_pipelined is not None:
+            observed = int(result.stats.get("peak_in_flight", 0))
+            if observed < require_pipelined:
+                raise SystemExit(
+                    output
+                    + f"\n\nsoak failed: gateway peak in-flight {observed}"
+                    f" below the required pipelining depth {require_pipelined}"
+                )
         return output
     if command in ("sweep", "faults"):
         if command == "sweep":
@@ -493,6 +535,7 @@ def main(argv=None) -> int:
         soak_spec=soak_spec,
         bench_dir=args.bench_dir,
         require_success=args.require_success,
+        require_pipelined=args.require_pipelined,
     )
     print(output)
     return 0

@@ -107,6 +107,7 @@ class MiraExecutor(ResumableExecutor):
         ranges: Sequence[Tuple[float, float]],
         query_id: Optional[int] = None,
         on_complete: Optional[Callable[[RangeQueryResult], None]] = None,
+        on_destination: Optional[Callable[[str, int, list], None]] = None,
     ) -> RangeQueryResult:
         """Start a MIRA query without running the simulator (see PIRA)."""
         if not self.network.has_peer(origin_peer_id):
@@ -123,6 +124,7 @@ class MiraExecutor(ResumableExecutor):
             result=result,
             started_at=self.transport.now,
             on_complete=on_complete,
+            on_destination=on_destination,
         )
         # Like PIRA's sub-region split, the query is processed once per
         # first-level subtree of the partition tree whose subspace intersects
@@ -223,6 +225,7 @@ class MiraExecutor(ResumableExecutor):
         if previous is None or hop < previous:
             result.destinations[peer.peer_id] = hop
         if previous is None:
+            new_matches = []
             for stored in peer.objects():
                 values = stored.key
                 if not isinstance(values, (tuple, list)):
@@ -233,4 +236,7 @@ class MiraExecutor(ResumableExecutor):
                     low <= value <= high
                     for value, (low, high) in zip(values, subtree.ranges)
                 ):
-                    result.matches.append(stored)
+                    new_matches.append(stored)
+            result.matches.extend(new_matches)
+            if state.on_destination is not None:
+                state.on_destination(peer.peer_id, hop, new_matches)

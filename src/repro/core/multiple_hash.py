@@ -107,6 +107,11 @@ class MultiAttributeNamer:
                 raise NamingError("every attribute interval must have positive width")
         self._length = length
         self._base = base
+        # label -> Box memo: MIRA's pruning predicate resolves the same
+        # label prefixes over and over (once per forwarding decision), and
+        # boxes are immutable, so sharing them is safe.  Bounded so a
+        # pathological label stream cannot grow it without limit.
+        self._box_cache: dict = {}
 
     @property
     def dimensions(self) -> int:
@@ -146,16 +151,19 @@ class MultiAttributeNamer:
         for depth in range(self._length):
             choices = ks.allowed_symbols(previous, base=self._base)
             attribute = depth % self.dimensions
-            pieces = box.intervals[attribute].subdivide(len(choices))
-            position = _locate(pieces, values[attribute])
+            interval = box.intervals[attribute]
+            position = interval.locate(values[attribute], len(choices))
             symbol = choices[position]
             label.append(symbol)
-            box = box.replace(attribute, pieces[position])
+            box = box.replace(attribute, interval.child(position, len(choices)))
             previous = symbol
         return "".join(label)
 
     def box_for_label(self, label: str) -> Box:
         """The axis-aligned box represented by a label prefix (MIRA's pruning key)."""
+        cached = self._box_cache.get(label)
+        if cached is not None:
+            return cached
         ks.validate_kautz_string(label, base=self._base, allow_empty=True)
         if len(label) > self._length:
             raise NamingError(f"label {label!r} deeper than the tree depth {self._length}")
@@ -165,9 +173,12 @@ class MultiAttributeNamer:
             choices = ks.allowed_symbols(previous, base=self._base)
             position = choices.index(symbol)
             attribute = depth % self.dimensions
-            pieces = box.intervals[attribute].subdivide(len(choices))
-            box = box.replace(attribute, pieces[position])
+            interval = box.intervals[attribute]
+            box = box.replace(attribute, interval.child(position, len(choices)))
             previous = symbol
+        if len(self._box_cache) >= 65536:
+            self._box_cache.clear()
+        self._box_cache[label] = box
         return box
 
     # ------------------------------------------------------------------ #
@@ -241,10 +252,3 @@ def multiple_hash(
     namer = MultiAttributeNamer(intervals=intervals, length=length, base=base)
     return namer.name(values)
 
-
-def _locate(pieces: List[Interval], value: float) -> int:
-    """Index of the subinterval containing ``value`` (boundaries go right)."""
-    for index, piece in enumerate(pieces[:-1]):
-        if value < piece.high:
-            return index
-    return len(pieces) - 1

@@ -59,6 +59,32 @@ class Interval:
         bounds = [self.low + step * index for index in range(pieces)] + [self.high]
         return [Interval(bounds[index], bounds[index + 1]) for index in range(pieces)]
 
+    def child(self, position: int, pieces: int) -> "Interval":
+        """``subdivide(pieces)[position]`` without building the list.
+
+        Uses the exact float expressions :meth:`subdivide` uses, so the
+        resulting interval is bit-identical — the naming layer's hot paths
+        (``Single_hash``/``Multiple_hash`` descents, MIRA box pruning)
+        call this once per level instead of allocating every sibling.
+        """
+        step = self.width / pieces
+        low = self.low + step * position
+        high = self.high if position == pieces - 1 else self.low + step * (position + 1)
+        return Interval(low, high)
+
+    def locate(self, value: float, pieces: int) -> int:
+        """Index of the subinterval of ``pieces`` containing ``value``.
+
+        Boundary semantics are identical to running :func:`_locate` over
+        :meth:`subdivide` output (boundaries go right, the global maximum
+        goes last), with the same float comparisons and no allocation.
+        """
+        step = self.width / pieces
+        for index in range(pieces - 1):
+            if value < self.low + step * (index + 1):
+                return index
+        return pieces - 1
+
     def clamp(self, value: float) -> float:
         """Clamp ``value`` into the interval."""
         return min(self.high, max(self.low, value))
@@ -121,7 +147,7 @@ class PartitionTree:
         for symbol in label:
             choices = ks.allowed_symbols(previous, base=self._base)
             position = choices.index(symbol)
-            current = current.subdivide(len(choices))[position]
+            current = current.child(position, len(choices))
             previous = symbol
         return current
 
@@ -145,11 +171,10 @@ class PartitionTree:
         previous = None
         for _ in range(target_depth):
             choices = ks.allowed_symbols(previous, base=self._base)
-            pieces = current.subdivide(len(choices))
-            position = _locate(pieces, value)
+            position = current.locate(value, len(choices))
             symbol = choices[position]
             label.append(symbol)
-            current = pieces[position]
+            current = current.child(position, len(choices))
             previous = symbol
         return "".join(label)
 
@@ -165,17 +190,3 @@ class PartitionTree:
             f"PartitionTree(low={self._interval.low}, high={self._interval.high}, "
             f"depth={self._depth}, base={self._base})"
         )
-
-
-def _locate(pieces: List[Interval], value: float) -> int:
-    """Index of the subinterval containing ``value``.
-
-    Boundary values belong to the right-hand piece (half-open semantics),
-    except the global maximum which belongs to the last piece.  Zero-width
-    pieces (possible when the tree depth exceeds float resolution) resolve to
-    the first piece containing the value.
-    """
-    for index, piece in enumerate(pieces[:-1]):
-        if value < piece.high:
-            return index
-    return len(pieces) - 1

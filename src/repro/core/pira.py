@@ -225,6 +225,7 @@ class PiraExecutor(ResumableExecutor):
         high_value: float,
         query_id: Optional[int] = None,
         on_complete: Optional[Callable[[RangeQueryResult], None]] = None,
+        on_destination: Optional[Callable[[str, int, List[StoredObject]], None]] = None,
     ) -> RangeQueryResult:
         """Start a query without running the simulator.
 
@@ -232,6 +233,9 @@ class PiraExecutor(ResumableExecutor):
         delivers the query's messages; once the last outstanding message is
         processed the query is deregistered and ``on_complete`` (if given)
         fires.  Many started queries interleave on one simulator clock.
+        ``on_destination`` streams ``(peer_id, hop, new_matches)`` as each
+        destination peer is first reached — partial results before the
+        query completes.
         """
         if high_value < low_value:
             raise QueryError(f"range low bound {low_value} exceeds high bound {high_value}")
@@ -252,6 +256,7 @@ class PiraExecutor(ResumableExecutor):
             high_value=high_value,
             started_at=self.transport.now,
             on_complete=on_complete,
+            on_destination=on_destination,
         )
         for subregion in region.split_by_first_symbol():
             state.branches.append(
@@ -335,6 +340,12 @@ class PiraExecutor(ResumableExecutor):
         if previous is None or hop < previous:
             result.destinations[peer.peer_id] = hop
         if previous is None:
-            for stored in peer.objects():
-                if isinstance(stored.key, (int, float)) and state.low_value <= stored.key <= state.high_value:
-                    result.matches.append(stored)
+            new_matches = [
+                stored
+                for stored in peer.objects()
+                if isinstance(stored.key, (int, float))
+                and state.low_value <= stored.key <= state.high_value
+            ]
+            result.matches.extend(new_matches)
+            if state.on_destination is not None:
+                state.on_destination(peer.peer_id, hop, new_matches)

@@ -111,6 +111,11 @@ class QueryState:
     #: the query while its origin is still fanning out)
     processing: bool = False
     on_complete: Optional[Callable[[Any], None]] = None
+    #: streaming hook: fired as ``(peer_id, hop, new_matches)`` each time a
+    #: destination peer is reached for the first time — the gateway's
+    #: protocol-v2 partial-reply chunks and the API layer's ``on_chunk``
+    #: callbacks are both fed from here
+    on_destination: Optional[Callable[[str, int, List[Any]], None]] = None
 
     @property
     def outstanding(self) -> int:

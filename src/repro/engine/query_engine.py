@@ -120,6 +120,25 @@ class QueryEngine:
 
     # -- execution ----------------------------------------------------------
 
+    def run_jobs(
+        self,
+        jobs: Sequence[QueryJob],
+        mode: str = "open",
+        concurrency: int = 8,
+        churn: Optional[Sequence[ChurnEvent]] = None,
+    ) -> EngineReport:
+        """One entry point for both loop disciplines (the session API's
+        workload vocabulary): ``mode="open"`` fires jobs at their arrival
+        times, ``mode="closed"`` maintains ``concurrency`` outstanding
+        queries, and ``churn`` events (if any) interleave with either."""
+        if churn:
+            self.schedule_churn(churn)
+        if mode == "open":
+            return self.run_open_loop(jobs)
+        if mode == "closed":
+            return self.run_closed_loop(jobs, concurrency=concurrency)
+        raise ValueError(f"unknown workload mode {mode!r} (use 'open' or 'closed')")
+
     def run_open_loop(self, jobs: Sequence[QueryJob], until: Optional[float] = None) -> EngineReport:
         """Submit all jobs at their arrival times and drain the simulator.
 

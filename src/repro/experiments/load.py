@@ -15,12 +15,14 @@ simulator events.
 
 from __future__ import annotations
 
+import asyncio
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.figures import ascii_chart, series_to_csv
 from repro.analysis.tables import format_table
-from repro.engine import QueryEngine, QueryJob
+from repro.api.sim import SimSession
+from repro.engine import QueryJob
 from repro.experiments.common import ExperimentConfig, build_and_load, make_values
 from repro.rangequery.armada_scheme import ArmadaScheme
 from repro.rangequery.dcf_can import DcfCanScheme
@@ -155,55 +157,65 @@ def run(
         log_n=armada.log_size(),
     )
     base_rng = DeterministicRNG(config.seed)
-    for rate in rates:
-        count = config.queries_per_point
-        queries = zipf_range_queries(
-            base_rng.substream("load-ranges", rate),
-            count,
-            config.fixed_range_size,
-            low=config.attribute_low,
-            high=config.attribute_high,
-        )
-        gaps = poisson_arrival_times(base_rng.substream("load-arrivals", rate), rate, count)
-        origin_rng = base_rng.substream("load-origins", rate)
-        origins = [system.network.random_peer(origin_rng).peer_id for _ in range(count)]
+    # The sweep goes through the same Session surface the live load
+    # generator uses — one driver vocabulary for both backends.  One
+    # session, one event loop for the whole sweep (the sim binding has no
+    # real awaits; the loop exists only to satisfy the async contract).
+    session = SimSession(system)
 
-        now = system.overlay.simulator.now
-        jobs = [
-            QueryJob(arrival=now + gaps[index], origin=origins[index], low=low, high=high)
-            for index, (low, high) in enumerate(queries)
-        ]
-        engine = QueryEngine(system)
-        if churn:
-            window = max(gaps) if gaps else 1.0
-            schedule = periodic_churn(
-                period=max(window / 10.0, 1.0),
-                until=window,
-                joins=max(1, config.peers // 200),
-                leaves=max(1, config.peers // 200),
-                start=0.0,
+    async def sweep() -> None:
+        for rate in rates:
+            count = config.queries_per_point
+            queries = zipf_range_queries(
+                base_rng.substream("load-ranges", rate),
+                count,
+                config.fixed_range_size,
+                low=config.attribute_low,
+                high=config.attribute_high,
             )
-            engine.schedule_churn(
-                [ChurnEvent(time=now + event.time, kind=event.kind, count=event.count)
-                 for event in schedule]
+            gaps = poisson_arrival_times(
+                base_rng.substream("load-arrivals", rate), rate, count
             )
-        report = engine.run_open_loop(jobs)
-        row = report.as_dict()
-        row["rate"] = rate
-        result.rates.append(float(rate))
-        result.armada_rows.append(row)
+            origin_rng = base_rng.substream("load-origins", rate)
+            origins = [system.network.random_peer(origin_rng).peer_id for _ in range(count)]
 
-        if dcf is not None:
-            flow = dcf.run_workload(queries, arrivals=gaps)
-            base_row: Dict[str, float] = {
-                "queries": float(flow.queries),
-                "throughput": flow.throughput(),
-                "mean_latency": flow.mean_latency(),
-                "messages": float(flow.messages),
-            }
-            for key, value in flow.latency_percentiles().items():
-                base_row[f"latency_{key}"] = value
-            for key, value in flow.delay_percentiles().items():
-                base_row[f"delay_{key}"] = value
-            result.baseline_rows.append(base_row)
+            now = system.overlay.simulator.now
+            jobs = [
+                QueryJob(arrival=now + gaps[index], origin=origins[index], low=low, high=high)
+                for index, (low, high) in enumerate(queries)
+            ]
+            schedule = None
+            if churn:
+                window = max(gaps) if gaps else 1.0
+                schedule = [
+                    ChurnEvent(time=now + event.time, kind=event.kind, count=event.count)
+                    for event in periodic_churn(
+                        period=max(window / 10.0, 1.0),
+                        until=window,
+                        joins=max(1, config.peers // 200),
+                        leaves=max(1, config.peers // 200),
+                        start=0.0,
+                    )
+                ]
+            report = await session.run_jobs(jobs, mode="open", churn=schedule)
+            row = report.as_dict()
+            row["rate"] = rate
+            result.rates.append(float(rate))
+            result.armada_rows.append(row)
+
+            if dcf is not None:
+                flow = dcf.run_workload(queries, arrivals=gaps)
+                base_row: Dict[str, float] = {
+                    "queries": float(flow.queries),
+                    "throughput": flow.throughput(),
+                    "mean_latency": flow.mean_latency(),
+                    "messages": float(flow.messages),
+                }
+                for key, value in flow.latency_percentiles().items():
+                    base_row[f"latency_{key}"] = value
+                for key, value in flow.delay_percentiles().items():
+                    base_row[f"delay_{key}"] = value
+                result.baseline_rows.append(base_row)
+
+    asyncio.run(sweep())
     return result

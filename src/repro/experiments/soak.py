@@ -2,17 +2,25 @@
 
 ``repro soak`` is the live counterpart of ``repro load``: it boots an
 N-peer asyncio cluster behind a gateway on localhost, publishes a seeded
-object population, replays a deterministic mixed PIRA/MIRA workload
-through real gateway connections (closed loop, a fixed population of
-synchronous clients), and reports wall-clock throughput and latency
-percentiles through the same :class:`~repro.engine.reporting.EngineReport`
-pipeline the simulator uses.  Results persist through
+object population, and replays a deterministic mixed PIRA/MIRA workload
+through a pooled :class:`~repro.api.LiveSession` (closed loop, a fixed
+population of synchronous clients), reporting wall-clock throughput and
+latency percentiles through the same
+:class:`~repro.engine.reporting.EngineReport` pipeline the simulator
+uses.  Results persist through
 :class:`~repro.analysis.store.ResultStore` records and the
 ``BENCH_runtime.json`` benchmark artifact.
 
+``protocol`` selects the wire dialect: **2** (default) multiplexes every
+worker over ``pool`` handshaken connections — many requests in flight per
+connection, replies out of order; **1** replays the deprecated line
+protocol (one FIFO connection per worker) so a before/after throughput
+comparison runs on otherwise identical code paths.
+
 The run asserts nothing by itself; the CLI's ``--require-success`` turns
-the success ratio into an exit code, which is how the CI smoke job fails
-loudly when the live path regresses.
+the success ratio into an exit code (and ``--require-pipelined`` does the
+same for the gateway's observed multiplexing depth), which is how the CI
+smoke job fails loudly when the live path regresses.
 """
 
 from __future__ import annotations
@@ -24,13 +32,14 @@ import platform
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.api.live import LiveSession
+from repro.api.requests import Insert, MultiInsert, Request
 from repro.engine.reporting import EngineReport
-from repro.runtime.client import RuntimeClient
 from repro.runtime.cluster import LiveCluster
 from repro.runtime.gateway import Gateway
-from repro.runtime.loadgen import make_mixed_jobs, run_closed_loop
+from repro.runtime.loadgen import make_mixed_jobs
 from repro.sim.rng import DeterministicRNG
 from repro.workloads.values import uniform_values
 
@@ -49,6 +58,10 @@ class SoakSpec:
     mira_fraction: float = 0.2
     deadline: float = 5.0
     attribute_interval: Tuple[float, float] = (0.0, 1000.0)
+    #: gateway wire dialect: 2 = multiplexed frames, 1 = deprecated lines
+    protocol: int = 2
+    #: session connection-pool size (protocol 1 pools one per worker)
+    pool: int = 4
 
     def __post_init__(self) -> None:
         if self.peers < 3:
@@ -68,6 +81,16 @@ class SoakSpec:
         low, high = self.attribute_interval
         if high <= low:
             raise ValueError("attribute interval must have positive width")
+        if self.protocol not in (1, 2):
+            raise ValueError("protocol must be 1 or 2")
+        if self.pool < 1:
+            raise ValueError("pool must be at least 1")
+
+    @property
+    def pool_size(self) -> int:
+        """Connections the session opens: ``pool`` under v2 multiplexing,
+        one per closed-loop worker under FIFO v1 (its only concurrency)."""
+        return self.pool if self.protocol == 2 else self.concurrency
 
 
 @dataclass
@@ -94,6 +117,9 @@ class SoakResult:
             "nodes": self.stats.get("nodes", self.spec.nodes or self.spec.peers),
             "queries": self.report.queries,
             "concurrency": self.spec.concurrency,
+            "protocol": self.spec.protocol,
+            "pool": self.spec.pool_size,
+            "peak_in_flight": self.stats.get("peak_in_flight", 0),
             "success_ratio": self.report.success_ratio,
             "wall_seconds": self.wall_seconds,
             "queries_per_sec": self.queries_per_second,
@@ -124,7 +150,10 @@ class SoakResult:
             f"cluster           : {self.spec.peers} peers on "
             f"{self.stats.get('nodes', '?')} nodes, seed {self.spec.seed}",
             f"workload          : {self.spec.queries} queries "
-            f"({self.spec.mira_fraction:.0%} MIRA), closed loop x{self.spec.concurrency}",
+            f"({self.spec.mira_fraction:.0%} MIRA), closed loop x{self.spec.concurrency} "
+            f"over protocol v{self.spec.protocol} "
+            f"({self.spec.pool_size} connections, "
+            f"gateway peak in-flight {self.stats.get('peak_in_flight', 0)})",
             f"wall time         : {self.wall_seconds:.2f}s "
             f"({self.queries_per_second:,.0f} queries/sec)",
             self.report.format(clock="wall"),
@@ -175,17 +204,28 @@ async def run_async(spec: SoakSpec) -> SoakResult:
     try:
         low, high = spec.attribute_interval
         rng = DeterministicRNG(spec.seed)
-        client = await RuntimeClient.connect(*gateway.address)
+        session = await LiveSession.connect(
+            *gateway.address, pool=spec.pool_size, version=spec.protocol
+        )
         try:
-            for value in uniform_values(rng.substream("soak-values"), spec.objects, low, high):
-                await client.insert(value)
+            # Publish in batches: under protocol v2 each batch is posted
+            # back-to-back on the pooled connections and the replies stream
+            # in concurrently, so the seeding phase pipelines too.
+            inserts: List[Request] = [
+                Insert(value=value)
+                for value in uniform_values(
+                    rng.substream("soak-values"), spec.objects, low, high
+                )
+            ]
             # A smaller multi-attribute population so MIRA queries have
             # something to match.
             mrng = rng.substream("soak-mvalues")
-            for _ in range(spec.objects // 4):
-                await client.insert_multi(
-                    [mrng.uniform(low, high), mrng.uniform(low, high)]
-                )
+            inserts.extend(
+                MultiInsert(values=(mrng.uniform(low, high), mrng.uniform(low, high)))
+                for _ in range(spec.objects // 4)
+            )
+            for index in range(0, len(inserts), 256):
+                await session.batch(inserts[index : index + 256])
             jobs = make_mixed_jobs(
                 seed=spec.seed,
                 count=spec.queries,
@@ -195,13 +235,13 @@ async def run_async(spec: SoakSpec) -> SoakResult:
                 mira_fraction=spec.mira_fraction,
             )
             started = time.perf_counter()
-            report = await run_closed_loop(
-                gateway.host, gateway.port, jobs, concurrency=spec.concurrency
+            report = await session.run_jobs(
+                jobs, mode="closed", concurrency=spec.concurrency
             )
             wall = time.perf_counter() - started
-            stats = await client.stats()
+            stats = await session.stats()
         finally:
-            await client.close()
+            await session.close()
     finally:
         await gateway.shutdown(drain=True)
         await cluster.stop()

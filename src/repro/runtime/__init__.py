@@ -3,10 +3,13 @@
 Everything below :mod:`repro.runtime` runs the *same* resumable PIRA/MIRA
 handlers as the discrete-event simulator — the transport seam
 (:mod:`repro.core.transport`) is what lets one handler codebase serve both
-worlds.  The pieces:
+worlds.  Client-facing code should not import this package directly but go
+through :mod:`repro.api` (``LiveSession`` for a gateway, ``SimSession``
+for the simulator).  The pieces:
 
 * :mod:`~repro.runtime.protocol` — length-prefixed JSON frames, the
-  message↔wire mapping, and a small RPC channel;
+  message↔wire mapping, the gateway protocol-version vocabulary
+  (``hello``/``welcome``/``error`` frames) and a small RPC channel;
 * :mod:`~repro.runtime.transport` — :class:`AsyncioTransport`, the live
   :class:`~repro.core.transport.Transport`: peer→address routing, per-node
   TCP links, ``loop.call_later`` timers;
@@ -17,11 +20,15 @@ worlds.  The pieces:
   sequence the simulator's builder performs, so a live cluster and an
   :class:`~repro.core.armada.ArmadaSystem` with the same seed are
   topologically identical);
-* :mod:`~repro.runtime.gateway` / :mod:`~repro.runtime.client` — the
-  line-oriented client API (``range``/``mrange``/``insert``/``stats``) and
-  :class:`RuntimeClient`;
+* :mod:`~repro.runtime.gateway` — the TCP front door, speaking the
+  multiplexed **protocol v2** (rid-tagged frames, batch submission,
+  streamed partial replies) with the deprecated v1 line protocol behind
+  the handshake fallback;
+* :mod:`~repro.runtime.client` — :class:`RuntimeClient`, the deprecated
+  v1 line-protocol client (one FIFO request at a time; use
+  :class:`repro.api.LiveSession` instead);
 * :mod:`~repro.runtime.loadgen` — open/closed-loop load generation over
-  gateway connections, reporting through the shared
+  any :class:`~repro.api.session.Session`, reporting through the shared
   :class:`~repro.engine.reporting.RunReporter`;
 * :mod:`~repro.runtime.server` — the ``repro serve`` runner with
   SIGINT/SIGTERM draining.

@@ -1,11 +1,28 @@
-"""RuntimeClient: the programmatic face of the gateway's line protocol.
+"""RuntimeClient: the programmatic face of the **deprecated** v1 protocol.
 
-One client owns one TCP connection and issues commands strictly
-request-by-request (the gateway answers every command line with exactly
-one JSON line, so a connection is a clean FIFO channel).  Query replies
-are decoded back into real :class:`~repro.core.pira.RangeQueryResult`
-objects — the same type the simulator returns — which is what the
-sim≡live equivalence test compares.
+.. deprecated::
+    Protocol v1 is the gateway's legacy line protocol: one newline-
+    terminated text command, one JSON reply line, strictly FIFO.  A v1
+    connection can therefore never pipeline — every request waits in line
+    behind the previous one (head-of-line blocking).  New code should use
+    :class:`repro.api.LiveSession`, which speaks the multiplexed protocol
+    v2; this client is kept for old scripts and as the v1 leg of the
+    before/after soak comparison.
+
+The FIFO discipline is enforced with a lock (overlapping callers used to
+interleave their reads and decode each other's replies), and the two
+failure modes that used to hang or crash a caller now surface as clear
+errors:
+
+* a connection that drops **mid-reply** (partial line, no newline) raises
+  :class:`ConnectionError` naming the command that lost its reply;
+* an **unparseable reply line** raises
+  :class:`~repro.runtime.protocol.ProtocolError` carrying the offending
+  bytes, instead of a bare ``json.JSONDecodeError``.
+
+Query replies are decoded back into real
+:class:`~repro.core.pira.RangeQueryResult` objects — the same type the
+simulator returns — which is what the sim≡live equivalence test compares.
 """
 
 from __future__ import annotations
@@ -15,11 +32,22 @@ import json
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Sequence, Tuple
 
+from repro.api.requests import (
+    ApiError,
+    Insert,
+    MultiInsert,
+    MultiRangeQuery,
+    Ping,
+    RangeQuery,
+    Request,
+    Stats,
+)
 from repro.core.pira import RangeQueryResult
 from repro.engine.reporting import QueryJob
+from repro.runtime.protocol import ProtocolError
 
 
-class GatewayError(RuntimeError):
+class GatewayError(ApiError):
     """An ``{"ok": false}`` reply from the gateway."""
 
 
@@ -37,12 +65,35 @@ class QueryReply:
         return self.status == "ok"
 
 
+def _v1_command(request: Request) -> str:
+    """The v1 text line for one API request object."""
+    origin = request.options.origin
+    suffix = f" origin={origin}" if origin is not None else ""
+    if isinstance(request, RangeQuery):
+        return f"range {request.low!r} {request.high!r}{suffix}"
+    if isinstance(request, MultiRangeQuery):
+        bounds = " ".join(f"{low!r} {high!r}" for low, high in request.ranges)
+        return f"mrange {bounds}{suffix}"
+    if isinstance(request, Insert):
+        return f"insert {request.value!r}"
+    if isinstance(request, MultiInsert):
+        return "minsert " + " ".join(repr(value) for value in request.values)
+    if isinstance(request, Stats):
+        return "stats"
+    if isinstance(request, Ping):
+        return "ping"
+    raise ApiError(f"protocol v1 cannot express request op {request.op!r}")
+
+
 class RuntimeClient:
-    """A line-protocol client for one gateway connection."""
+    """A line-protocol client for one gateway connection (v1, deprecated)."""
 
     def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         self._reader = reader
         self._writer = writer
+        # One in-flight command at a time: the line protocol has no request
+        # ids, so replies can only be matched to commands by FIFO order.
+        self._lock = asyncio.Lock()
 
     @classmethod
     async def connect(cls, host: str, port: int) -> "RuntimeClient":
@@ -51,15 +102,42 @@ class RuntimeClient:
         return cls(reader, writer)
 
     async def _command(self, line: str) -> Dict[str, Any]:
-        self._writer.write((line + "\n").encode("utf-8"))
-        await self._writer.drain()
-        raw = await self._reader.readline()
+        async with self._lock:
+            self._writer.write((line + "\n").encode("utf-8"))
+            await self._writer.drain()
+            raw = await self._reader.readline()
         if not raw:
-            raise ConnectionError("gateway closed the connection")
-        reply = json.loads(raw.decode("utf-8"))
+            raise ConnectionError(
+                f"gateway closed the connection before replying to {line.split()[0]!r}"
+            )
+        if not raw.endswith(b"\n"):
+            raise ConnectionError(
+                f"connection dropped mid-reply to {line.split()[0]!r} "
+                f"({len(raw)} bytes of a partial reply line received)"
+            )
+        try:
+            reply = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ProtocolError(
+                f"unparseable gateway reply to {line.split()[0]!r}: {raw[:120]!r} ({exc})"
+            ) from exc
+        if not isinstance(reply, dict):
+            raise ProtocolError(f"gateway reply is not a JSON object: {raw[:120]!r}")
         if not reply.get("ok", False):
             raise GatewayError(reply.get("error", "unknown gateway error"))
         return reply
+
+    # -- request objects -----------------------------------------------------
+
+    async def execute(self, request: Request) -> Dict[str, Any]:
+        """Run one :class:`repro.api.requests.Request`, returning the raw
+        reply payload (the v1 leg of :class:`repro.api.LiveSession`).
+
+        Per-request ``deadline`` and ``stream`` options are silently
+        unsupported here — the v1 grammar cannot express them, which is
+        half the reason the protocol is deprecated.
+        """
+        return await self._command(_v1_command(request))
 
     # -- commands ------------------------------------------------------------
 

@@ -1,7 +1,50 @@
-"""The gateway: a line-oriented client API in front of a live cluster.
+"""The gateway: the TCP front door of a live cluster, speaking v1 and v2.
 
-Clients speak newline-terminated text commands; every command gets exactly
-one newline-terminated JSON reply:
+Every client connection is version-sniffed on its first byte: a v2
+connection opens with a length-prefixed ``hello`` frame (whose 4-byte
+big-endian length prefix always starts ``0x00`` — no v1 text command can),
+anything else falls back to the **deprecated** v1 line protocol.
+
+**Protocol v2** (framed JSON, multiplexed — see
+:mod:`repro.runtime.protocol` for the framing):
+
+=========================================  ========================================
+client frame                                gateway frames
+=========================================  ========================================
+``{"type":"hello","versions":[2,...]}``     ``{"type":"welcome","version":2,...}``
+                                            or a fatal ``error`` frame on version
+                                            mismatch (never a silent close)
+``{"type":"request","rid":N,                one ``{"type":"reply","rid":N,...}``
+  "request":{"op":...}}``                   frame, **in completion order** — many
+                                            requests multiplex on one connection
+``{"type":"batch","requests":[...]}``       one ``reply`` frame per entry
+                                            (a convenience for thin clients;
+                                            ``LiveSession.batch`` pipelines
+                                            individual ``request`` frames
+                                            across its pool instead)
+request with ``"options":{"stream":true}``  ``{"type":"chunk","rid":N,"peer":..,``
+                                            ``"hop":..,"values":[..]}`` per
+                                            destination peer as it reports, then
+                                            the summary ``reply`` frame
+``{"type":"quit"}``                         closes the connection
+=========================================  ========================================
+
+Request objects are the :mod:`repro.api.requests` wire forms —
+``range`` / ``mrange`` / ``insert`` / ``minsert`` / ``stats`` / ``ping``
+ops with per-request options (``origin``, ``deadline``, ``stream``).
+Malformed frames get structured ``error`` frames: with a ``rid`` when the
+failure kills exactly that request (unknown op, malformed fields, an
+unrecognised frame type carrying a rid — the connection survives), without
+one for a duplicate rid (the *original* request still owns it and will get
+its reply — tagging would make clients drop that reply), and with
+``"fatal":true`` when the connection cannot
+continue (oversized frame, broken handshake) — written *before* the close,
+so clients always learn why.
+
+**Protocol v1** (deprecated: newline-terminated text commands, exactly one
+JSON reply line per command, strictly FIFO — a single connection cannot
+pipeline.  Kept behind the handshake fallback for old scripts; new code
+should use :class:`repro.api.LiveSession`):
 
 =====================================  ==========================================
 command                                 reply (always has ``"ok"``)
@@ -15,32 +58,57 @@ command                                 reply (always has ``"ok"``)
 ``quit``                                closes the connection
 =====================================  ==========================================
 
-Query replies carry the complete
+Query replies (both versions) carry the complete
 :meth:`~repro.core.pira.RangeQueryResult.to_wire` payload plus the
 gateway-measured wall-clock latency, so a client can rebuild the exact
 result object the simulator would have produced.
 
-Every in-flight query is guarded by a **deadline** (wall-clock seconds):
-on expiry the executor force-completes it as failed with partial results,
-exactly like the engine's simulated deadline.  The same bound is what
-makes :meth:`Gateway.shutdown` safe — draining waits for the in-flight
-set, and the deadline caps how long that can take.
+Every in-flight query is guarded by a **deadline** (wall-clock seconds,
+per-request option or the gateway default): on expiry the executor
+force-completes it as failed with partial results, exactly like the
+engine's simulated deadline.  The same bound is what makes
+:meth:`Gateway.shutdown` safe — draining waits for the in-flight set, and
+the deadline caps how long that can take.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.api.requests import (
+    ApiError,
+    Insert,
+    MultiInsert,
+    MultiRangeQuery,
+    Ping,
+    RangeQuery,
+    Request,
+    RequestOptions,
+    Stats,
+    request_from_wire,
+)
 from repro.core.errors import ArmadaError
 from repro.core.pira import RangeQueryResult
 from repro.runtime.cluster import ClusterError, LiveCluster
+from repro.runtime.protocol import (
+    GATEWAY_PROTOCOL_V2,
+    GATEWAY_PROTOCOL_VERSIONS,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    read_frame,
+    welcome_frame,
+)
 from repro.sim.rng import DeterministicRNG
+from repro.wire import encode_value
 
 
 class Gateway:
-    """TCP front door: parses client commands, drives the executors."""
+    """TCP front door: negotiates the protocol, drives the executors."""
 
     def __init__(
         self,
@@ -60,9 +128,12 @@ class Gateway:
         self._origin_rng = DeterministicRNG(cluster.seed).substream("gateway-origins")
         self._server: Optional[asyncio.base_events.Server] = None
         self._inflight: Set[asyncio.Future] = set()
+        self._peak_inflight = 0
         self._connections: Set[asyncio.StreamWriter] = set()
         self._closing = False
         self._started_at: Optional[float] = None
+        #: total connections accepted, per negotiated protocol version
+        self.connections_by_version: Dict[int, int] = {1: 0, 2: 0}
 
     # ------------------------------------------------------------------ #
     # lifecycle                                                            #
@@ -86,6 +157,12 @@ class Gateway:
     def in_flight(self) -> int:
         """Queries accepted but not yet answered."""
         return len(self._inflight)
+
+    @property
+    def peak_in_flight(self) -> int:
+        """High-water mark of concurrently in-flight queries — the
+        observable proof that connections actually multiplex."""
+        return self._peak_inflight
 
     async def shutdown(self, drain: bool = True) -> int:
         """Stop accepting work, optionally drain, then report what drained.
@@ -125,20 +202,24 @@ class Gateway:
     # ------------------------------------------------------------------ #
 
     async def _serve(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        """Sniff the protocol version from the first byte and dispatch.
+
+        A v2 frame's 4-byte length prefix always begins ``0x00`` (frames
+        are capped far below 2**24 bytes); v1 text commands start with a
+        printable character.  One byte decides the connection's dialect.
+        """
         self._connections.add(writer)
         try:
-            while True:
-                line = await reader.readline()
-                if not line:
-                    break
-                command = line.decode("utf-8", errors="replace").strip()
-                if not command:
-                    continue
-                if command in ("quit", "exit"):
-                    break
-                response = await self._dispatch(command)
-                writer.write((json.dumps(response, separators=(",", ":")) + "\n").encode("utf-8"))
-                await writer.drain()
+            try:
+                first = await reader.readexactly(1)
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                return
+            if first == b"\x00":
+                self.connections_by_version[2] += 1
+                await self._serve_v2(reader, writer)
+            else:
+                self.connections_by_version[1] += 1
+                await self._serve_v1(first, reader, writer)
         except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
             pass
         finally:
@@ -149,65 +230,49 @@ class Gateway:
             except (OSError, asyncio.CancelledError):
                 pass
 
-    async def _dispatch(self, command: str) -> Dict[str, Any]:
+    # -- v1: the deprecated line protocol ------------------------------------
+
+    async def _serve_v1(
+        self, first: bytes, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """The legacy FIFO loop: one text command, one JSON reply line."""
+        pending = first
+        while True:
+            line = pending + await reader.readline()
+            pending = b""
+            if not line.strip() and not line:
+                break
+            command = line.decode("utf-8", errors="replace").strip()
+            if not command:
+                if not line.endswith(b"\n"):
+                    break  # EOF mid-line
+                continue
+            if command in ("quit", "exit"):
+                break
+            response = await self._dispatch_v1(command)
+            writer.write((json.dumps(response, separators=(",", ":")) + "\n").encode("utf-8"))
+            await writer.drain()
+            if not line.endswith(b"\n"):
+                break  # the command was cut short by EOF; answer it, then stop
+
+    async def _dispatch_v1(self, command: str) -> Dict[str, Any]:
+        """Parse one v1 text command into a request and execute it."""
         tokens = command.split()
         verb, args = tokens[0], tokens[1:]
         try:
-            if verb == "ping":
-                return {"ok": True, "type": "pong"}
-            if verb == "stats":
-                return self._stats()
-            if verb == "insert":
-                return await self._insert(args)
-            if verb == "minsert":
-                return await self._minsert(args)
-            if verb == "range":
-                return await self._range(args)
-            if verb == "mrange":
-                return await self._mrange(args)
-        except (ValueError, ClusterError, ArmadaError) as exc:
+            request = self._parse_v1(verb, args)
+            if request is None:
+                return {
+                    "ok": False,
+                    "error": f"unknown command {verb!r} (try: ping, stats, insert, minsert, range, mrange, quit)",
+                }
+            return await self._execute(request)
+        except (ValueError, ClusterError, ArmadaError, ApiError) as exc:
             # ArmadaError covers QueryError/NamingError from the executors
             # and namers (e.g. an mrange with the wrong dimension count, an
             # insert outside the attribute interval): the client must get a
             # JSON error line, never a dead connection.
             return {"ok": False, "error": str(exc)}
-        return {"ok": False, "error": f"unknown command {verb!r} (try: ping, stats, insert, minsert, range, mrange, quit)"}
-
-    # ------------------------------------------------------------------ #
-    # commands                                                             #
-    # ------------------------------------------------------------------ #
-
-    def _stats(self) -> Dict[str, Any]:
-        stats = self.cluster.stats()
-        now = asyncio.get_running_loop().time()
-        stats.update(
-            {
-                "queries_served": self.queries_served,
-                "in_flight": len(self._inflight),
-                "uptime_seconds": (now - self._started_at) if self._started_at is not None else 0.0,
-            }
-        )
-        return {"ok": True, "type": "stats", "stats": stats}
-
-    async def _insert(self, args: List[str]) -> Dict[str, Any]:
-        if len(args) != 1:
-            raise ValueError("usage: insert <value>")
-        value = float(args[0])
-        object_id = self.cluster.single_namer.name(value)
-        owner = await self.cluster.store(object_id, key=value, value=value)
-        return {"ok": True, "type": "inserted", "object_id": object_id, "owner": owner}
-
-    async def _minsert(self, args: List[str]) -> Dict[str, Any]:
-        if self.cluster.multi_namer is None:
-            raise ValueError("this cluster was not configured with attribute_intervals")
-        values = [float(token) for token in args]
-        if len(values) != self.cluster.multi_namer.dimensions:
-            raise ValueError(
-                f"minsert needs {self.cluster.multi_namer.dimensions} values, got {len(values)}"
-            )
-        object_id = self.cluster.multi_namer.name(values)
-        owner = await self.cluster.store(object_id, key=tuple(values), value=None)
-        return {"ok": True, "type": "inserted", "object_id": object_id, "owner": owner}
 
     @staticmethod
     def _split_origin(args: List[str]) -> Tuple[List[str], Optional[str]]:
@@ -216,29 +281,297 @@ class Gateway:
             return args[:-1], args[-1].split("=", 1)[1]
         return args, None
 
-    async def _range(self, args: List[str]) -> Dict[str, Any]:
-        args, origin = self._split_origin(args)
-        if len(args) != 2:
-            raise ValueError("usage: range <low> <high> [origin=<peer>]")
-        low, high = float(args[0]), float(args[1])
-        if high < low:
-            raise ValueError(f"range low bound {low} exceeds high bound {high}")
-        return await self._run_query("pira", origin, low=low, high=high)
+    def _parse_v1(self, verb: str, args: List[str]) -> Optional[Request]:
+        """The v1 text grammar, mapped onto the shared request objects."""
+        if verb == "ping":
+            return Ping()
+        if verb == "stats":
+            return Stats()
+        if verb == "insert":
+            if len(args) != 1:
+                raise ValueError("usage: insert <value>")
+            return Insert(value=float(args[0]))
+        if verb == "minsert":
+            if not args:
+                raise ValueError("usage: minsert <v1> <v2> ...")
+            return MultiInsert(values=tuple(float(token) for token in args))
+        if verb == "range":
+            args, origin = self._split_origin(args)
+            if len(args) != 2:
+                raise ValueError("usage: range <low> <high> [origin=<peer>]")
+            return RangeQuery(
+                low=float(args[0]),
+                high=float(args[1]),
+                options=RequestOptions(origin=origin),
+            )
+        if verb == "mrange":
+            args, origin = self._split_origin(args)
+            if not args or len(args) % 2 != 0:
+                raise ValueError("usage: mrange <l1> <u1> [<l2> <u2> ...] [origin=<peer>]")
+            bounds = [float(token) for token in args]
+            ranges = tuple(
+                (bounds[index], bounds[index + 1]) for index in range(0, len(bounds), 2)
+            )
+            return MultiRangeQuery(ranges=ranges, options=RequestOptions(origin=origin))
+        return None
 
-    async def _mrange(self, args: List[str]) -> Dict[str, Any]:
-        if self.cluster.mira is None:
-            raise ValueError("this cluster was not configured with attribute_intervals")
-        args, origin = self._split_origin(args)
-        if not args or len(args) % 2 != 0:
-            raise ValueError("usage: mrange <l1> <u1> [<l2> <u2> ...] [origin=<peer>]")
-        bounds = [float(token) for token in args]
-        ranges = tuple(
-            (bounds[index], bounds[index + 1]) for index in range(0, len(bounds), 2)
+    # -- v2: the multiplexed frame protocol ----------------------------------
+
+    @staticmethod
+    def _write_frame(writer: asyncio.StreamWriter, frame: Dict[str, Any]) -> None:
+        """Buffer one frame (a single ``write`` call, so frames never
+        interleave even when several reply tasks share the connection)."""
+        if not writer.is_closing():
+            writer.write(encode_frame(frame))
+
+    async def _read_handshake_frame(self, reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+        """Read the first v2 frame, whose leading length byte (``0x00``)
+        the protocol sniffer already consumed."""
+        try:
+            rest = await reader.readexactly(3)
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            return None
+        length = int.from_bytes(b"\x00" + rest, "big")
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(f"frame length {length} exceeds the {MAX_FRAME_BYTES} limit")
+        try:
+            body = await reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            return None
+        return decode_frame(body)
+
+    async def _serve_v2(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        """Handshake, then the multiplexed request loop."""
+        try:
+            hello = await self._read_handshake_frame(reader)
+        except ProtocolError as exc:
+            self._write_frame(writer, error_frame(str(exc), fatal=True))
+            await self._safe_drain(writer)
+            return
+        if hello is None:
+            return
+        if hello.get("type") != "hello":
+            self._write_frame(
+                writer,
+                error_frame(
+                    f"a v2 connection must open with a hello frame, got {hello.get('type')!r}",
+                    fatal=True,
+                ),
+            )
+            await self._safe_drain(writer)
+            return
+        versions = hello.get("versions") or []
+        if GATEWAY_PROTOCOL_V2 not in versions:
+            self._write_frame(
+                writer,
+                error_frame(
+                    f"unsupported protocol versions {versions}; this gateway speaks "
+                    f"{list(GATEWAY_PROTOCOL_VERSIONS)} (1 is the legacy line protocol)",
+                    fatal=True,
+                ),
+            )
+            await self._safe_drain(writer)
+            return
+        self._write_frame(writer, welcome_frame())
+        await self._safe_drain(writer)
+
+        pending_rids: Set[int] = set()
+        tasks: Set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except ProtocolError as exc:
+                    # An unframeable stream (oversized/corrupt length) cannot
+                    # be resynchronised — but the client still gets a
+                    # structured error before the close, never silence.
+                    self._write_frame(writer, error_frame(str(exc), fatal=True))
+                    await self._safe_drain(writer)
+                    break
+                if frame is None:
+                    break
+                kind = frame.get("type")
+                if kind == "request":
+                    # No await here: the answering task owns the reply, and
+                    # the loop goes straight back to reading — that is the
+                    # multiplexing (frame intake never waits on execution).
+                    self._start_request(frame, writer, pending_rids, tasks)
+                elif kind == "batch":
+                    entries = frame.get("requests")
+                    if not isinstance(entries, list):
+                        self._write_frame(
+                            writer,
+                            error_frame("batch frame needs a 'requests' list", rid=frame.get("rid")),
+                        )
+                        await self._safe_drain(writer)
+                        continue
+                    for entry in entries:
+                        if not isinstance(entry, dict):
+                            self._write_frame(
+                                writer, error_frame("batch entries must be request objects")
+                            )
+                            await self._safe_drain(writer)
+                            continue
+                        self._start_request(entry, writer, pending_rids, tasks)
+                elif kind == "quit":
+                    break
+                else:
+                    self._write_frame(
+                        writer,
+                        error_frame(
+                            f"unknown frame type {kind!r} (known: request, batch, quit)",
+                            rid=frame.get("rid") if isinstance(frame.get("rid"), int) else None,
+                        ),
+                    )
+                    await self._safe_drain(writer)
+        finally:
+            if tasks:
+                # The client is gone (or quitting): let in-flight replies
+                # finish against the closing writer rather than cancelling
+                # queries that the cluster has already paid for.
+                await asyncio.gather(*tasks, return_exceptions=True)
+
+    def _start_request(
+        self,
+        entry: Dict[str, Any],
+        writer: asyncio.StreamWriter,
+        pending_rids: Set[int],
+        tasks: Set[asyncio.Task],
+    ) -> None:
+        """Validate the rid and launch the request (no await: this is what
+        lets many requests run concurrently on one connection).
+
+        Query requests are fully event-driven — the executor's completion
+        callback writes the reply frame directly, so a pipelined query
+        costs no asyncio task at the gateway.  The other ops (insert needs
+        an RPC round trip to the owner's node) run as small tasks.
+        """
+        rid = entry.get("rid")
+        if not isinstance(rid, int) or isinstance(rid, bool):
+            self._write_frame(writer, error_frame("request frame needs an integer 'rid'"))
+            return
+        if rid in pending_rids:
+            # Deliberately NOT rid-tagged: a rid-tagged error frame means
+            # "request <rid> is dead", and clients respond by failing that
+            # rid's future — but the rid belongs to the *original* request,
+            # which is still running and will get its real reply.  Tagging
+            # would make a conforming client drop that reply on the floor.
+            self._write_frame(
+                writer,
+                error_frame(
+                    f"duplicate request id {rid}: its reply is still outstanding; "
+                    "this frame was ignored"
+                ),
+            )
+            return
+        pending_rids.add(rid)
+        try:
+            request = request_from_wire(entry.get("request"))
+        except ApiError as exc:
+            pending_rids.discard(rid)
+            self._write_frame(writer, error_frame(str(exc), rid=rid))
+            return
+
+        if isinstance(request, (RangeQuery, MultiRangeQuery)):
+            on_chunk: Optional[Callable[[Dict[str, Any]], None]] = None
+            if request.options.stream:
+
+                def on_chunk(chunk: Dict[str, Any], rid: int = rid) -> None:
+                    self._write_frame(writer, {"type": "chunk", "rid": rid, **chunk})
+
+            def finish(payload: Dict[str, Any], rid: int = rid) -> None:
+                pending_rids.discard(rid)
+                # The payload (shared with v1) nests under the envelope so
+                # the frame's own "type" stays "reply" for the client.
+                self._write_frame(writer, {"type": "reply", "rid": rid, "payload": payload})
+
+            try:
+                self._start_query(request, on_chunk, finish)
+            except (ValueError, ClusterError, ArmadaError, ApiError) as exc:
+                finish({"ok": False, "error": str(exc)})
+            return
+
+        task = asyncio.get_running_loop().create_task(
+            self._answer_simple(rid, request, writer)
         )
-        for low, high in ranges:
-            if high < low:
-                raise ValueError(f"range low bound {low} exceeds high bound {high}")
-        return await self._run_query("mira", origin, ranges=ranges)
+        tasks.add(task)
+
+        def _finished(done: asyncio.Task, rid: int = rid) -> None:
+            pending_rids.discard(rid)
+            tasks.discard(done)
+
+        task.add_done_callback(_finished)
+
+    async def _answer_simple(
+        self, rid: int, request: Request, writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer a non-query request (ping/stats/insert) as its own task."""
+        try:
+            payload = await self._execute(request)
+        except (ValueError, ClusterError, ArmadaError, ApiError) as exc:
+            payload = {"ok": False, "error": str(exc)}
+        self._write_frame(writer, {"type": "reply", "rid": rid, "payload": payload})
+        await self._safe_drain(writer)
+
+    @staticmethod
+    async def _safe_drain(writer: asyncio.StreamWriter) -> None:
+        try:
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    # ------------------------------------------------------------------ #
+    # shared command execution                                             #
+    # ------------------------------------------------------------------ #
+
+    async def _execute(
+        self, request: Request, on_chunk: Optional[Callable[[Dict[str, Any]], None]] = None
+    ) -> Dict[str, Any]:
+        """Run one request object; both protocol loops end up here."""
+        if isinstance(request, Ping):
+            return {"ok": True, "type": "pong"}
+        if isinstance(request, Stats):
+            return self._stats()
+        if isinstance(request, Insert):
+            return await self._insert(request.value)
+        if isinstance(request, MultiInsert):
+            return await self._minsert(request.values)
+        if isinstance(request, (RangeQuery, MultiRangeQuery)):
+            return await self._run_query(request, on_chunk)
+        raise ValueError(f"the gateway cannot execute request op {request.op!r}")
+
+    def _stats(self) -> Dict[str, Any]:
+        stats = self.cluster.stats()
+        now = asyncio.get_running_loop().time()
+        stats.update(
+            {
+                "queries_served": self.queries_served,
+                "in_flight": len(self._inflight),
+                "peak_in_flight": self._peak_inflight,
+                "protocol_versions": list(GATEWAY_PROTOCOL_VERSIONS),
+                "connections": len(self._connections),
+                "v1_connections": self.connections_by_version[1],
+                "v2_connections": self.connections_by_version[2],
+                "uptime_seconds": (now - self._started_at) if self._started_at is not None else 0.0,
+            }
+        )
+        return {"ok": True, "type": "stats", "stats": stats}
+
+    async def _insert(self, value: float) -> Dict[str, Any]:
+        object_id = self.cluster.single_namer.name(value)
+        owner = await self.cluster.store(object_id, key=float(value), value=float(value))
+        return {"ok": True, "type": "inserted", "object_id": object_id, "owner": owner}
+
+    async def _minsert(self, values: Tuple[float, ...]) -> Dict[str, Any]:
+        if self.cluster.multi_namer is None:
+            raise ValueError("this cluster was not configured with attribute_intervals")
+        if len(values) != self.cluster.multi_namer.dimensions:
+            raise ValueError(
+                f"minsert needs {self.cluster.multi_namer.dimensions} values, got {len(values)}"
+            )
+        object_id = self.cluster.multi_namer.name(values)
+        owner = await self.cluster.store(object_id, key=tuple(values), value=None)
+        return {"ok": True, "type": "inserted", "object_id": object_id, "owner": owner}
 
     # ------------------------------------------------------------------ #
     # query execution                                                      #
@@ -248,58 +581,111 @@ class Gateway:
         """A deterministic (seeded) origin for clients that name none."""
         return self._origin_rng.choice(self.cluster.network.peer_ids())
 
-    async def _run_query(
+    def _start_query(
         self,
-        kind: str,
-        origin: Optional[str],
-        low: float = 0.0,
-        high: float = 0.0,
-        ranges: Optional[Tuple[Tuple[float, float], ...]] = None,
-    ) -> Dict[str, Any]:
+        request: Request,
+        on_chunk: Optional[Callable[[Dict[str, Any]], None]],
+        finish: Callable[[Dict[str, Any]], None],
+    ) -> None:
+        """Start one query; ``finish(payload)`` fires exactly once with the
+        reply payload — synchronously when the query completes at its
+        origin, from the executor's completion callback otherwise.
+
+        This is the event-driven core: no task, no future await — the v2
+        loop pipelines queries at the cost of one ``call_later`` handle
+        each.  Validation failures raise before anything is registered.
+        """
         if self._closing:
-            return {"ok": False, "error": "shutting down"}
-        executor = self.cluster.pira if kind == "pira" else self.cluster.mira
+            finish({"ok": False, "error": "shutting down"})
+            return
+        is_mira = isinstance(request, MultiRangeQuery)
+        if is_mira and self.cluster.mira is None:
+            raise ValueError("this cluster was not configured with attribute_intervals")
+        executor = self.cluster.mira if is_mira else self.cluster.pira
         assert executor is not None
+        origin = request.options.origin
         if origin is None:
             origin = self._pick_origin()
         elif not self.cluster.network.has_peer(origin):
             raise ValueError(f"unknown origin peer {origin!r}")
+        deadline = request.options.deadline if request.options.deadline is not None else self.deadline
 
         loop = asyncio.get_running_loop()
         started = loop.time()
-        future: asyncio.Future = loop.create_future()
-        self._inflight.add(future)
+        #: resolves at completion — what the shutdown drain gathers on
+        marker: asyncio.Future = loop.create_future()
+        self._inflight.add(marker)
+        self._peak_inflight = max(self._peak_inflight, len(self._inflight))
+        deadline_handle: List[Any] = [None]
 
         def complete(result: RangeQueryResult) -> None:
-            if not future.done():
-                future.set_result(result)
+            if marker.done():
+                return
+            marker.set_result(None)
+            self._inflight.discard(marker)
+            if deadline_handle[0] is not None:
+                deadline_handle[0].cancel()
+            self.queries_served += 1
+            status = "deadline" if result.resilience.deadline_expired else (
+                "ok" if result.complete else "partial"
+            )
+            finish(
+                {
+                    "ok": True,
+                    "type": "result",
+                    "status": status,
+                    "latency": loop.time() - started,
+                    "result": result.to_wire(),
+                }
+            )
+
+        on_destination = None
+        if on_chunk is not None:
+
+            def on_destination(peer_id: str, hop: int, new_matches: list) -> None:
+                on_chunk(
+                    {
+                        "peer": peer_id,
+                        "hop": hop,
+                        "values": [encode_value(stored.key) for stored in new_matches],
+                    }
+                )
 
         try:
-            if kind == "pira":
-                result = executor.start(origin, low, high, on_complete=complete)
-            else:
-                result = executor.start(origin, ranges, on_complete=complete)
-            deadline_handle = None
-            if executor.is_active(result.query_id):
-                deadline_handle = loop.call_later(
-                    self.deadline,
-                    lambda query_id=result.query_id: executor.cancel(query_id),
+            if is_mira:
+                result = executor.start(
+                    origin, request.ranges, on_complete=complete, on_destination=on_destination
                 )
-            final = await future
-            if deadline_handle is not None:
-                deadline_handle.cancel()
-        finally:
-            self._inflight.discard(future)
+            else:
+                result = executor.start(
+                    origin,
+                    request.low,
+                    request.high,
+                    on_complete=complete,
+                    on_destination=on_destination,
+                )
+        except BaseException:
+            self._inflight.discard(marker)
+            if not marker.done():
+                marker.set_result(None)
+            raise
+        if executor.is_active(result.query_id):
+            deadline_handle[0] = loop.call_later(
+                deadline,
+                lambda query_id=result.query_id: executor.cancel(query_id),
+            )
 
-        self.queries_served += 1
-        latency = loop.time() - started
-        status = "deadline" if final.resilience.deadline_expired else (
-            "ok" if final.complete else "partial"
-        )
-        return {
-            "ok": True,
-            "type": "result",
-            "status": status,
-            "latency": latency,
-            "result": final.to_wire(),
-        }
+    async def _run_query(
+        self,
+        request: Request,
+        on_chunk: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        """Awaitable wrapper over :meth:`_start_query` (the v1 FIFO path)."""
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+
+        def finish(payload: Dict[str, Any]) -> None:
+            if not future.done():
+                future.set_result(payload)
+
+        self._start_query(request, on_chunk, finish)
+        return await future

@@ -1,22 +1,29 @@
-"""Load generation against a live gateway.
+"""Load generation through the unified session API.
 
 The generator replays the same deterministic workloads the simulated
 engine consumes — Poisson/uniform arrivals from
 :mod:`repro.workloads.arrivals`, Zipf-skewed range positions, a seeded
-PIRA/MIRA mix — but drives them through real gateway connections and
-measures wall-clock latencies, reporting through the shared
-:class:`~repro.engine.reporting.RunReporter` so the output is the same
-:class:`~repro.engine.reporting.EngineReport` the simulator produces.
+PIRA/MIRA mix — but drives them through a
+:class:`~repro.api.session.Session`, so the *same* driver code pushes
+load at a live gateway (:class:`~repro.api.LiveSession`, wall-clock
+latencies) or the simulator (:class:`~repro.api.SimSession` exposes the
+engine path through :meth:`~repro.api.session.Session.run_jobs` instead,
+where the simulator itself is the clock).  Reporting goes through the
+shared :class:`~repro.engine.reporting.RunReporter`, producing the same
+:class:`~repro.engine.reporting.EngineReport` everywhere.
 
 Two loops, mirroring :class:`~repro.engine.query_engine.QueryEngine`:
 
-* **closed loop** (:func:`run_closed_loop`) — ``concurrency`` workers,
-  each with its own gateway connection, issue queries back-to-back: a
-  fixed population of synchronous clients, the natural shape for soak
-  tests and throughput ceilings;
+* **closed loop** (:func:`run_closed_loop`) — ``concurrency`` workers
+  issue queries back-to-back through the shared session: a fixed
+  population of synchronous clients, the natural shape for soak tests
+  and throughput ceilings.  On protocol v2 the workers multiplex over
+  the session's pooled connections — ``concurrency`` no longer costs one
+  TCP connection each, which is exactly the head-of-line fix the v2
+  redesign exists for;
 * **open loop** (:func:`run_open_loop`) — jobs fire at their workload
-  arrival times (scaled by ``time_scale`` seconds per workload unit) on a
-  bounded connection pool, modelling offered load.
+  arrival times (scaled by ``time_scale`` seconds per workload unit),
+  optionally bounded by ``max_in_flight``, modelling offered load.
 """
 
 from __future__ import annotations
@@ -24,9 +31,11 @@ from __future__ import annotations
 import asyncio
 from typing import List, Optional, Sequence, Tuple
 
+from repro.api.requests import ApiError
+from repro.api.session import Session
 from repro.core.pira import RangeQueryResult
 from repro.engine.reporting import EngineReport, QueryJob, RunReporter
-from repro.runtime.client import GatewayError, RuntimeClient
+from repro.runtime.protocol import ProtocolError
 from repro.sim.rng import DeterministicRNG
 from repro.workloads.arrivals import poisson_arrival_times, zipf_range_queries
 
@@ -83,13 +92,13 @@ def make_mixed_jobs(
 
 
 async def run_closed_loop(
-    host: str,
-    port: int,
+    session: Session,
     jobs: Sequence[QueryJob],
     concurrency: int = 8,
     reporter: Optional[RunReporter] = None,
 ) -> EngineReport:
-    """Drive ``jobs`` through ``concurrency`` synchronous gateway clients."""
+    """Drive ``jobs`` through ``concurrency`` synchronous workers on one
+    session."""
     if concurrency < 1:
         raise ValueError("concurrency must be at least 1")
     reporter = reporter if reporter is not None else RunReporter()
@@ -99,16 +108,12 @@ async def run_closed_loop(
     loop = asyncio.get_running_loop()
 
     async def worker() -> None:
-        client = await RuntimeClient.connect(host, port)
-        try:
-            while True:
-                try:
-                    job = queue.get_nowait()
-                except asyncio.QueueEmpty:
-                    break
-                await _run_one(client, job, reporter, loop)
-        finally:
-            await client.close()
+        while True:
+            try:
+                job = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            await _run_one(session, job, reporter, loop)
 
     workers = [worker() for _ in range(min(concurrency, max(1, len(jobs))))]
     await asyncio.gather(*workers)
@@ -117,30 +122,28 @@ async def run_closed_loop(
 
 
 async def run_open_loop(
-    host: str,
-    port: int,
+    session: Session,
     jobs: Sequence[QueryJob],
     time_scale: float = 0.001,
-    pool_size: int = 32,
+    max_in_flight: Optional[int] = None,
     reporter: Optional[RunReporter] = None,
 ) -> EngineReport:
-    """Fire ``jobs`` at their arrival times over a bounded connection pool.
+    """Fire ``jobs`` at their arrival times through one session.
 
     ``time_scale`` converts workload time units to seconds (the default
-    compresses one workload unit to a millisecond).  When every pooled
-    connection is busy an arrival waits for one — offered load degrades
-    into queueing, which is exactly what the latency percentiles should
-    show.
+    compresses one workload unit to a millisecond).  ``max_in_flight``
+    caps concurrent submissions; when the cap is hit an arrival waits —
+    offered load degrades into queueing, which is exactly what the
+    latency percentiles should show.  ``None`` leaves admission to the
+    session's own multiplexing (protocol v2 has no hard cap).
     """
     if time_scale <= 0:
         raise ValueError("time_scale must be positive")
-    if pool_size < 1:
-        raise ValueError("pool_size must be at least 1")
+    if max_in_flight is not None and max_in_flight < 1:
+        raise ValueError("max_in_flight must be at least 1")
     reporter = reporter if reporter is not None else RunReporter()
     loop = asyncio.get_running_loop()
-    pool: "asyncio.Queue[RuntimeClient]" = asyncio.Queue()
-    for _ in range(min(pool_size, max(1, len(jobs)))):
-        pool.put_nowait(await RuntimeClient.connect(host, port))
+    gate = asyncio.Semaphore(max_in_flight) if max_in_flight is not None else None
 
     start = loop.time()
     first_arrival = min((job.arrival for job in jobs), default=0.0)
@@ -149,21 +152,19 @@ async def run_open_loop(
         delay = start + (job.arrival - first_arrival) * time_scale - loop.time()
         if delay > 0:
             await asyncio.sleep(delay)
-        client = await pool.get()
-        try:
-            await _run_one(client, job, reporter, loop)
-        finally:
-            pool.put_nowait(client)
+        if gate is not None:
+            async with gate:
+                await _run_one(session, job, reporter, loop)
+        else:
+            await _run_one(session, job, reporter, loop)
 
     await asyncio.gather(*(fire(job) for job in jobs))
-    while not pool.empty():
-        await (pool.get_nowait()).close()
     messages = sum(record.result.messages for record in reporter.completed)
     return reporter.report(messages=messages)
 
 
 async def _run_one(
-    client: RuntimeClient,
+    session: Session,
     job: QueryJob,
     reporter: RunReporter,
     loop: asyncio.AbstractEventLoop,
@@ -171,10 +172,11 @@ async def _run_one(
     """Issue one job, recording its wall-clock sojourn in the reporter."""
     key = reporter.begin(loop.time())
     try:
-        reply = await client.run_job(job)
-    except (GatewayError, ConnectionError):
-        # The gateway refused (shutdown) or the link died: account the
-        # query as failed rather than losing it from the report.
+        reply = await session.run_job(job)
+    except (ApiError, ProtocolError, ConnectionError, asyncio.TimeoutError):
+        # The gateway refused (shutdown), the link died or the reply never
+        # came: account the query as failed rather than losing it from the
+        # report.
         placeholder = RangeQueryResult(origin=job.origin or "", query_id=-1)
         placeholder.resilience.deadline_expired = True
         reporter.finish(key, job, placeholder, loop.time())

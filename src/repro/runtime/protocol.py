@@ -37,6 +37,53 @@ MAX_FRAME_BYTES = 16 * 1024 * 1024
 #: message-metadata keys that cross the wire (all JSON scalars)
 WIRE_METADATA_KEYS = ("level", "branch", "send", "latency")
 
+#: gateway protocol versions this codebase speaks.  v1 is the legacy
+#: newline-terminated line protocol (one strictly-ordered reply per
+#: command — deprecated, kept behind the handshake fallback); v2 is the
+#: multiplexed frame protocol below.
+GATEWAY_PROTOCOL_VERSIONS = (1, 2)
+
+#: the version a v2 handshake negotiates today
+GATEWAY_PROTOCOL_V2 = 2
+
+
+def hello_frame(versions: tuple = (GATEWAY_PROTOCOL_V2,), client: str = "repro.api") -> Dict[str, Any]:
+    """The client's opening frame of a v2 gateway connection.
+
+    Because every frame starts with a 4-byte big-endian length and
+    ``MAX_FRAME_BYTES`` < 2**24, the first byte on the wire is always
+    ``0x00`` — which no v1 text command can start with.  That single byte
+    is the whole version negotiation: the gateway peeks it and routes the
+    connection to the framed v2 loop or the legacy v1 line loop.
+    """
+    return {"type": "hello", "versions": list(versions), "client": client}
+
+
+def welcome_frame(version: int = GATEWAY_PROTOCOL_V2, server: str = "armada-gateway") -> Dict[str, Any]:
+    """The gateway's handshake acceptance."""
+    return {
+        "type": "welcome",
+        "version": version,
+        "server": server,
+        "features": ["batch", "stream"],
+    }
+
+
+def error_frame(error: str, rid: Optional[int] = None, fatal: bool = False) -> Dict[str, Any]:
+    """A structured v2 error frame.
+
+    ``rid`` ties the error to one request (the connection survives);
+    ``fatal=True`` marks connection-level failures (unparseable framing,
+    handshake rejection) after which the sender closes — but the frame is
+    always written first, so a client never sees a silent close.
+    """
+    frame: Dict[str, Any] = {"type": "error", "ok": False, "error": error}
+    if rid is not None:
+        frame["rid"] = rid
+    if fatal:
+        frame["fatal"] = True
+    return frame
+
 
 class ProtocolError(RuntimeError):
     """Raised on malformed frames or replies."""

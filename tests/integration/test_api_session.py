@@ -1,0 +1,314 @@
+"""The acceptance bar of the API-redesign PR: one ``Session`` surface.
+
+Everything here runs through :mod:`repro.api` only — no direct executor,
+engine or client calls — because that is the redesign's contract:
+
+* the N=32 sim≡live equivalence holds when *both* sides are driven
+  through the session API (``SimSession`` vs a pooled v2 ``LiveSession``,
+  including the object publication);
+* a single protocol-v2 connection really pipelines: ≥ 4 requests
+  concurrently in flight, replies completing out of order;
+* streaming (``chunk`` frames / sim callbacks), ``batch`` submission and
+  the ``replicas`` option behave identically on both backends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.api import RangeQuery
+from repro.api.live import LiveSession
+from repro.api.requests import Chunk, InsertReply, PongReply, QueryReply
+from repro.api.sim import SimSession
+from repro.core.armada import ArmadaSystem
+from repro.runtime.cluster import LiveCluster
+from repro.runtime.gateway import Gateway
+from repro.runtime.protocol import encode_frame, hello_frame, read_frame
+from repro.sim.rng import DeterministicRNG
+
+SEED = 7
+INTERVALS = ((0.0, 1000.0), (0.0, 1000.0))
+VALUES = [float(v) for v in range(0, 1000, 25)]
+MULTI_VALUES = [(float(v), float(1000 - v)) for v in range(0, 1000, 100)]
+
+
+async def seed_through_session(session) -> None:
+    """Publish the reference population through the session API itself."""
+    for value in VALUES:
+        reply = await session.insert(value)
+        assert isinstance(reply, InsertReply) and reply.object_id
+    for pair in MULTI_VALUES:
+        reply = await session.insert_multi(pair)
+        assert isinstance(reply, InsertReply) and reply.object_id
+
+
+async def boot_live(num_peers: int, pool: int = 2):
+    cluster = LiveCluster(num_peers=num_peers, seed=SEED, attribute_intervals=INTERVALS)
+    await cluster.start()
+    gateway = await Gateway(cluster).start()
+    session = await LiveSession.connect(*gateway.address, pool=pool)
+    return cluster, gateway, session
+
+
+def make_sim_session(num_peers: int) -> SimSession:
+    return SimSession(
+        ArmadaSystem(num_peers=num_peers, seed=SEED, attribute_intervals=INTERVALS)
+    )
+
+
+class TestSimLiveEquivalenceThroughSession:
+    def test_n32_identical_results_via_session_api(self):
+        """Both backends behind ``Session``; same queries, identical results."""
+
+        async def scenario():
+            sim = make_sim_session(32)
+            cluster, gateway, live = await boot_live(32)
+            try:
+                assert sorted(cluster.network.peer_ids()) == sorted(
+                    sim.system.network.peer_ids()
+                ), "bootstrap must replay the simulator's topology"
+                await seed_through_session(sim)
+                await seed_through_session(live)
+
+                rng = DeterministicRNG(1234)
+                origins = sorted(cluster.network.peer_ids())
+                for index, origin in enumerate(origins):
+                    low = rng.uniform(0.0, 800.0)
+                    high = low + rng.uniform(1.0, 150.0)
+                    sim_reply = await sim.range(low, high, origin=origin)
+                    live_reply = await live.range(low, high, origin=origin)
+                    for reply in (sim_reply, live_reply):
+                        assert isinstance(reply, QueryReply)
+                        assert reply.status == "ok" and reply.ok
+                    assert live_reply.result.destinations == sim_reply.result.destinations
+                    assert sorted(live_reply.result.matching_values()) == sorted(
+                        sim_reply.result.matching_values()
+                    )
+                    assert live_reply.result.messages == sim_reply.result.messages
+                    assert live_reply.result.delay_hops == sim_reply.result.delay_hops
+
+                    if index % 4 == 0:  # interleave MIRA boxes
+                        box = ((low, high), (100.0, 900.0))
+                        sim_m = await sim.multi_range(box, origin=origin)
+                        live_m = await live.multi_range(box, origin=origin)
+                        assert live_m.result.destinations == sim_m.result.destinations
+                        assert sorted(live_m.result.matching_values()) == sorted(
+                            sim_m.result.matching_values()
+                        )
+                        assert live_m.result.messages == sim_m.result.messages
+                        assert live_m.result.delay_hops == sim_m.result.delay_hops
+            finally:
+                await live.close()
+                await gateway.shutdown()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_streaming_chunks_agree_between_backends(self):
+        """``stream=True``: per-destination chunks, identical on both sides."""
+
+        async def scenario():
+            sim = make_sim_session(16)
+            cluster, gateway, live = await boot_live(16, pool=1)
+            try:
+                await seed_through_session(sim)
+                await seed_through_session(live)
+                sim_chunks: list = []
+                live_chunks: list = []
+                origin = sorted(cluster.network.peer_ids())[0]
+                sim_reply = await sim.range(
+                    100.0, 700.0, origin=origin, on_chunk=sim_chunks.append
+                )
+                live_reply = await live.range(
+                    100.0, 700.0, origin=origin, on_chunk=live_chunks.append
+                )
+
+                assert sim_reply.chunks == len(sim_chunks) > 0
+                assert live_reply.chunks == len(live_chunks) > 0
+                for chunk in sim_chunks + live_chunks:
+                    assert isinstance(chunk, Chunk)
+                # One chunk per destination peer, carrying that peer's new
+                # matches — summing them reassembles the full result set.
+                assert {c.peer for c in live_chunks} == set(
+                    live_reply.result.destinations
+                )
+                assert sorted((c.peer, c.hop) for c in live_chunks) == sorted(
+                    (c.peer, c.hop) for c in sim_chunks
+                )
+                assert sorted(
+                    value for c in live_chunks for value in c.values
+                ) == sorted(live_reply.result.matching_values())
+            finally:
+                await live.close()
+                await gateway.shutdown()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_replicas_option_on_both_backends(self):
+        """``replicas=3`` returns the best of three executions on either side."""
+
+        async def scenario():
+            sim = make_sim_session(16)
+            cluster, gateway, live = await boot_live(16)
+            try:
+                await seed_through_session(sim)
+                await seed_through_session(live)
+                baseline = await sim.range(200.0, 600.0)
+                for session in (sim, live):
+                    reply = await session.range(200.0, 600.0, replicas=3)
+                    assert reply.status == "ok"
+                    assert sorted(reply.result.matching_values()) == sorted(
+                        baseline.result.matching_values()
+                    )
+            finally:
+                await live.close()
+                await gateway.shutdown()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+
+class TestPipelining:
+    def test_four_plus_in_flight_out_of_order_on_one_connection(self):
+        """The multiplexing proof: one v2 connection, ≥ 4 concurrent
+        requests, replies completing out of submission order."""
+
+        async def scenario():
+            cluster, gateway, session = await boot_live(16, pool=1)
+            try:
+                assert session.pool_size == 1
+                await seed_through_session(session)
+
+                completion_order: list = []
+
+                async def tracked(tag: str, coroutine) -> None:
+                    await coroutine
+                    completion_order.append(tag)
+
+                # Eight broad queries (multi-hop, real socket round trips)
+                # submitted before one ping, all on the same connection.  The
+                # gateway answers the ping immediately while every query is
+                # still waiting on the cluster — so the last-submitted
+                # request completes first: out-of-order by construction.
+                queries = [
+                    tracked(f"q{i}", session.range(50.0 + i, 950.0 - i))
+                    for i in range(8)
+                ]
+                await asyncio.gather(*queries, tracked("ping", session.ping()))
+
+                assert len(completion_order) == 9
+                assert completion_order.index("ping") < 5, (
+                    "the ping was submitted last; completing it before the "
+                    "earlier-submitted queries is the out-of-order proof, got "
+                    f"{completion_order}"
+                )
+                # the client saw ≥ 4 requests concurrently awaiting replies
+                assert session.peak_in_flight >= 4
+                # ... and so did the gateway, on that single connection
+                stats = await session.stats()
+                assert stats["peak_in_flight"] >= 4
+                assert stats["v2_connections"] == 1
+            finally:
+                await session.close()
+                await gateway.shutdown()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_raw_frames_reply_out_of_order(self):
+        """Frame-level version of the same proof, with no client machinery:
+        a ping posted after four queries is answered before them."""
+
+        async def scenario():
+            cluster = LiveCluster(
+                num_peers=16, seed=SEED, attribute_intervals=INTERVALS
+            )
+            await cluster.start()
+            gateway = await Gateway(cluster).start()
+            try:
+                reader, writer = await asyncio.open_connection(*gateway.address)
+                writer.write(encode_frame(hello_frame()))
+                await writer.drain()
+                welcome = await read_frame(reader)
+                assert welcome["type"] == "welcome"
+
+                for rid in range(1, 5):
+                    writer.write(
+                        encode_frame(
+                            {
+                                "type": "request",
+                                "rid": rid,
+                                "request": {"op": "range", "low": 0.0, "high": 900.0},
+                            }
+                        )
+                    )
+                writer.write(
+                    encode_frame(
+                        {"type": "request", "rid": 99, "request": {"op": "ping"}}
+                    )
+                )
+                await writer.drain()
+
+                received = []
+                while len(received) < 5:
+                    frame = await read_frame(reader)
+                    assert frame["type"] == "reply"
+                    assert frame["payload"]["ok"] is True
+                    received.append(frame["rid"])
+                assert sorted(received) == [1, 2, 3, 4, 99]
+                assert received[-1] != 99, (
+                    f"rid 99 (ping) was submitted last but must not finish "
+                    f"last on a multiplexed connection, got order {received}"
+                )
+                writer.close()
+            finally:
+                await gateway.shutdown()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+
+class TestBatch:
+    def test_batch_mixes_ops_and_preserves_request_order(self):
+        """One ``batch`` call: replies come back typed, in request order."""
+        from repro.api.requests import Insert, MultiRangeQuery, Ping
+
+        async def scenario():
+            cluster, gateway, session = await boot_live(8, pool=2)
+            try:
+                requests: list = [Insert(value=250.0), Insert(value=750.0)]
+                requests += [
+                    RangeQuery(low=0.0, high=500.0),
+                    MultiRangeQuery(ranges=((0.0, 1000.0), (0.0, 1000.0))),
+                    Ping(),
+                ]
+                replies = await session.batch(requests)
+                assert len(replies) == len(requests)
+                assert isinstance(replies[0], InsertReply)
+                assert isinstance(replies[1], InsertReply)
+                assert isinstance(replies[2], QueryReply)
+                assert replies[2].result.matching_values() == [250.0]
+                assert isinstance(replies[3], QueryReply)
+                assert isinstance(replies[4], PongReply)
+            finally:
+                await session.close()
+                await gateway.shutdown()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_batch_on_sim_session_matches_live(self):
+        """The generic (sim) batch path returns the same typed replies."""
+        from repro.api.requests import Insert
+
+        async def scenario():
+            sim = make_sim_session(8)
+            replies = await sim.batch(
+                [Insert(value=100.0), RangeQuery(low=0.0, high=500.0)]
+            )
+            assert isinstance(replies[0], InsertReply)
+            assert isinstance(replies[1], QueryReply)
+            assert replies[1].result.matching_values() == [100.0]
+
+        asyncio.run(scenario())

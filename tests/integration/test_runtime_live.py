@@ -13,6 +13,7 @@ import asyncio
 
 import pytest
 
+from repro.api.live import LiveSession
 from repro.core.armada import ArmadaSystem
 from repro.engine.reporting import QueryJob
 from repro.runtime.client import GatewayError, RuntimeClient
@@ -128,7 +129,11 @@ class TestGatewaySmoke:
                     peer_ids=cluster.network.peer_ids(),
                     mira_fraction=0.3,
                 )
-                report = await run_closed_loop(*gateway.address, jobs, concurrency=8)
+                session = await LiveSession.connect(*gateway.address, pool=2)
+                try:
+                    report = await run_closed_loop(session, jobs, concurrency=8)
+                finally:
+                    await session.close()
                 assert report.queries == 50
                 assert report.succeeded == 50
                 assert report.success_ratio == 1.0
@@ -137,6 +142,11 @@ class TestGatewaySmoke:
                 stats = await client.stats()
                 assert stats["peers"] == 8
                 assert stats["queries_served"] >= 50
+                # protocol v2 multiplexing really happened: more requests
+                # were concurrently in flight than pooled connections
+                assert stats["peak_in_flight"] > 2
+                assert stats["protocol_versions"] == [1, 2]
+                assert stats["v2_connections"] >= 2
             finally:
                 await client.close()
                 await gateway.shutdown()
@@ -151,9 +161,11 @@ class TestGatewaySmoke:
                 jobs = make_mixed_jobs(
                     seed=3, count=20, peer_ids=cluster.network.peer_ids(), rate=100.0
                 )
-                report = await run_open_loop(
-                    *gateway.address, jobs, time_scale=0.001, pool_size=4
-                )
+                session = await LiveSession.connect(*gateway.address, pool=4)
+                try:
+                    report = await run_open_loop(session, jobs, time_scale=0.001)
+                finally:
+                    await session.close()
                 assert report.queries == 20
                 assert report.succeeded == 20
             finally:

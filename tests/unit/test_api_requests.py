@@ -1,0 +1,147 @@
+"""Unit tests for the ``repro.api`` request/reply model."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.requests import (
+    ApiError,
+    Insert,
+    MultiInsert,
+    MultiRangeQuery,
+    Ping,
+    QueryReply,
+    RangeQuery,
+    RequestOptions,
+    Stats,
+    better_query_reply,
+    reply_from_payload,
+    request_from_job,
+    request_from_wire,
+)
+from repro.core.pira import RangeQueryResult
+from repro.engine.reporting import QueryJob
+
+
+class TestRequestWire:
+    def test_round_trip_every_op(self):
+        requests = [
+            RangeQuery(low=1.0, high=2.0),
+            RangeQuery(low=1.0, high=2.0, options=RequestOptions(origin="010", deadline=3.0)),
+            MultiRangeQuery(ranges=((0.0, 1.0), (2.0, 3.0))),
+            Insert(value=42.0),
+            MultiInsert(values=(1.0, 2.0)),
+            Stats(),
+            Ping(),
+        ]
+        for request in requests:
+            wire = json.loads(json.dumps(request.to_wire()))
+            assert request_from_wire(wire) == request
+
+    def test_default_options_omitted_from_wire(self):
+        wire = RangeQuery(low=0.0, high=1.0).to_wire()
+        assert "options" not in wire
+
+    def test_non_default_options_round_trip(self):
+        for options in (
+            RequestOptions(origin="010", deadline=2.5, replicas=3, retries=1),
+            RequestOptions(origin="012", deadline=0.5, retries=2, stream=True),
+        ):
+            rebuilt = RequestOptions.from_wire(json.loads(json.dumps(options.to_wire())))
+            assert rebuilt == options
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ApiError, match="unknown request op"):
+            request_from_wire({"op": "frobnicate"})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ApiError, match="JSON object"):
+            request_from_wire([1, 2, 3])
+
+    def test_malformed_fields_rejected(self):
+        with pytest.raises(ApiError, match="malformed"):
+            request_from_wire({"op": "range", "low": "abc", "high": 2.0})
+        with pytest.raises(ApiError, match="malformed"):
+            request_from_wire({"op": "range"})  # missing bounds
+
+    def test_validation(self):
+        with pytest.raises(ApiError, match="exceeds"):
+            RangeQuery(low=2.0, high=1.0)
+        with pytest.raises(ApiError, match="at least one range"):
+            MultiRangeQuery(ranges=())
+        with pytest.raises(ApiError, match="deadline"):
+            RequestOptions(deadline=0.0)
+        with pytest.raises(ApiError, match="replicas"):
+            RequestOptions(replicas=0)
+        with pytest.raises(ApiError, match="retries"):
+            RequestOptions(retries=-1)
+        with pytest.raises(ApiError, match="stream and replicas"):
+            RequestOptions(stream=True, replicas=2)
+
+    def test_with_options(self):
+        request = RangeQuery(low=0.0, high=1.0).with_options(deadline=9.0)
+        assert request.options.deadline == 9.0
+        assert request.low == 0.0
+
+
+class TestJobConversion:
+    def test_pira_job(self):
+        job = QueryJob(arrival=1.0, origin="010", low=5.0, high=9.0)
+        request = request_from_job(job)
+        assert isinstance(request, RangeQuery)
+        assert (request.low, request.high) == (5.0, 9.0)
+        assert request.options.origin == "010"
+
+    def test_mira_job_with_option_changes(self):
+        job = QueryJob(arrival=0.0, origin="010", ranges=((0.0, 1.0), (2.0, 3.0)))
+        request = request_from_job(job, deadline=2.0)
+        assert isinstance(request, MultiRangeQuery)
+        assert request.options.deadline == 2.0
+        assert request.options.origin == "010"
+
+
+class TestReplies:
+    def make_result(self, complete=True, matches=0):
+        result = RangeQueryResult(origin="010", query_id=1)
+        result.destinations = {"012": 2}
+        for index in range(matches):
+            result.matches.append(None)
+        if not complete:
+            result.resilience.subtrees_lost = 1
+        return result
+
+    def test_query_reply_status_drives_ok(self):
+        ok = QueryReply(status="ok", latency=0.1, result=self.make_result())
+        partial = QueryReply(status="partial", latency=0.1, result=self.make_result(False))
+        assert ok.ok and not partial.ok
+
+    def test_decode_result_payload(self):
+        payload = {
+            "ok": True,
+            "type": "result",
+            "status": "ok",
+            "latency": 0.25,
+            "result": self.make_result().to_wire(),
+        }
+        reply = reply_from_payload(RangeQuery(low=0.0, high=1.0), payload, chunks=3)
+        assert isinstance(reply, QueryReply)
+        assert reply.chunks == 3
+        assert reply.result.destinations == {"012": 2}
+
+    def test_decode_error_payload(self):
+        with pytest.raises(ApiError, match="boom"):
+            reply_from_payload(Ping(), {"ok": False, "error": "boom"})
+
+    def test_decode_unknown_type(self):
+        with pytest.raises(ApiError, match="undecodable"):
+            reply_from_payload(Ping(), {"ok": True, "type": "mystery"})
+
+    def test_better_query_reply_prefers_completeness_then_matches(self):
+        complete = QueryReply(status="ok", latency=9.0, result=self.make_result(True, 1))
+        partial = QueryReply(status="partial", latency=0.1, result=self.make_result(False, 5))
+        assert better_query_reply(complete, partial) is complete
+        assert better_query_reply(partial, complete) is complete
+        fuller = QueryReply(status="partial", latency=0.1, result=self.make_result(False, 9))
+        assert better_query_reply(partial, fuller) is fuller
