@@ -4,15 +4,22 @@ Benchmarks that want their numbers tracked across PRs call
 :func:`write_bench_json` with a flat metrics dictionary; the file lands as
 ``BENCH_<name>.json`` next to this module (i.e. under ``benchmarks/``) so the
 perf trajectory of the repository can be diffed commit to commit.
+
+Every artifact is stamped with the environment it was measured in
+(python version, platform, ``cpu_count``, git SHA, timestamp) via the
+shared :mod:`repro.envinfo` block — the regression gate
+(``tools/bench_check.py`` / ``repro bench``) relies on ``cpu_count`` to
+avoid comparing wall-clock throughput across machines of different size
+(the CI container has a single CPU; a developer laptop does not).
 """
 
 from __future__ import annotations
 
 import json
 import os
-import platform
-import sys
 from typing import Dict, Optional
+
+from repro.envinfo import environment_stamp
 
 _BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 
@@ -21,17 +28,22 @@ def write_bench_json(name: str, metrics: Dict[str, float], directory: Optional[s
     """Write ``BENCH_<name>.json`` and return its path.
 
     The payload carries the metrics plus enough environment context
-    (python version, platform) to interpret them.  Integer metrics (counts:
-    peers, messages, queries, ...) are kept as ints and everything else is
-    coerced to float, so the JSON diffs cleanly across runs without
-    ``512.0``-style noise on values that are semantically integers.
+    (python version, platform, cpu_count, git SHA, timestamp) to interpret
+    them.  Integer metrics (counts: peers, messages, queries, ...) are kept
+    as ints and everything else is coerced to float, so the JSON diffs
+    cleanly across runs without ``512.0``-style noise on values that are
+    semantically integers.
     """
     payload = {
         "name": name,
-        "python": sys.version.split()[0],
-        "platform": platform.platform(),
+        **environment_stamp(_BENCH_DIR),
         "metrics": {
-            key: value if isinstance(value, int) and not isinstance(value, bool) else float(value)
+            key: (
+                value
+                if isinstance(value, str)
+                or (isinstance(value, int) and not isinstance(value, bool))
+                else float(value)
+            )
             for key, value in metrics.items()
         },
     }

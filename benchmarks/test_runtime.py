@@ -1,18 +1,23 @@
-"""Benchmark: the live serving runtime under soak load, v1 vs v2.
+"""Benchmark: the live serving runtime under soak load, v1 vs v2 vs binary.
 
 Boots a 32-peer asyncio cluster (8 nodes) behind a gateway on localhost,
 publishes a seeded object population, and replays a 1000-query mixed
 PIRA/MIRA workload through the session API — every forwarding message
-crossing a real TCP socket.  The workload runs **twice on identical
-clusters**: once over the deprecated v1 line protocol (one FIFO request
-per connection — the PR-4 baseline) and once over the multiplexed
-protocol v2 (a pooled :class:`~repro.api.LiveSession`, many requests in
-flight per connection).  ``benchmarks/BENCH_runtime.json`` records both
-throughputs side by side — the before/after of the API-redesign PR.
+crossing a real TCP socket.  The workload runs **three times on identical
+clusters**: over the deprecated v1 line protocol (one FIFO request per
+connection — the PR-4 baseline), over multiplexed protocol v2 with JSON
+frame bodies (a pooled :class:`~repro.api.LiveSession`, many requests in
+flight per connection), and over v2 with the negotiated **binary** frame
+bodies (:mod:`repro.runtime.binframe`).
+``benchmarks/BENCH_runtime.json`` records all three throughputs side by
+side — the before/after of the API-redesign PR plus the binary-hot-path
+one.
 
-The assertions double as the acceptance bar: both runs must complete all
-queries with success ≥ 0.99, and the v2 run must actually multiplex
-(gateway peak in-flight beyond the connection-pool size).
+The assertions double as the acceptance bar: all runs must complete all
+queries with success ≥ 0.99, both v2 runs must actually multiplex
+(gateway peak in-flight beyond the connection-pool size), and the binary
+run must produce results identical to JSON's (same success, same message
+counts — the encoding changes bytes, never semantics).
 """
 
 from __future__ import annotations
@@ -31,7 +36,7 @@ CONCURRENCY = 16
 POOL = 4
 
 
-def make_spec(protocol: int) -> SoakSpec:
+def make_spec(protocol: int, encoding: str = "json") -> SoakSpec:
     return SoakSpec(
         peers=PEERS,
         nodes=NODES,
@@ -42,22 +47,32 @@ def make_spec(protocol: int) -> SoakSpec:
         mira_fraction=0.2,
         protocol=protocol,
         pool=POOL,
+        encoding=encoding,
     )
 
 
 def test_live_soak_throughput(benchmark):
     started = time.perf_counter()
     before = run_soak(make_spec(protocol=1))  # the PR-4 baseline dialect
-    after = run_soak(make_spec(protocol=2))  # multiplexed + pooled
+    after = run_soak(make_spec(protocol=2))  # multiplexed + pooled, JSON
+    binary = run_soak(make_spec(protocol=2, encoding="binary"))
     elapsed = time.perf_counter() - started
 
-    for result in (before, after):
+    for result in (before, after, binary):
         assert result.report.queries == QUERIES
         assert result.report.stalled == 0
         assert result.report.success_ratio >= 0.99
-    # v2 really multiplexed: more queries concurrently in flight at the
-    # gateway than the session's pooled connections could carry under v1.
+    # Both v2 runs really multiplexed: more queries concurrently in flight
+    # at the gateway than the session's pooled connections could carry
+    # under v1.
     assert after.stats.get("peak_in_flight", 0) > POOL
+    assert binary.stats.get("peak_in_flight", 0) > POOL
+    # The binary encoding is a byte-level change only: the deterministic
+    # workload must produce identical query semantics over both bodies.
+    assert binary.report.success_ratio == after.report.success_ratio
+    assert binary.report.messages == after.report.messages
+    # And the gateway really negotiated it (every pooled connection).
+    assert binary.stats.get("binary_connections", 0) >= POOL
 
     # A small rerun through pytest-benchmark for its statistics.
     small = SoakSpec(
@@ -73,13 +88,22 @@ def test_live_soak_throughput(benchmark):
         if before.queries_per_second
         else 0.0
     )
+    metrics["binary_queries_per_sec"] = binary.queries_per_second
+    metrics["binary_wall_seconds"] = binary.wall_seconds
+    metrics["binary_speedup_over_json"] = (
+        binary.queries_per_second / after.queries_per_second
+        if after.queries_per_second
+        else 0.0
+    )
     path = write_bench_json("runtime", metrics)
     emit(
-        "Live runtime soak benchmark (protocol v1 baseline vs v2)",
+        "Live runtime soak benchmark (protocol v1 vs v2-JSON vs v2-binary)",
         after.format()
         + f"\nv1 baseline       : {before.queries_per_second:,.0f} queries/sec"
         f" ({before.wall_seconds:.2f}s wall)"
         + f"\nv2 over v1        : {metrics['v2_speedup_over_v1']:.2f}x"
+        + f"\nv2 binary         : {binary.queries_per_second:,.0f} queries/sec"
+        f" ({metrics['binary_speedup_over_json']:.2f}x over JSON)"
         + f"\ntotal wall (incl. boot + publish): {elapsed:.2f}s"
         + f"\nwrote {path}",
     )

@@ -36,9 +36,13 @@ from repro.api.requests import (
 from repro.api.session import ChunkCallback, Session, SessionError
 from repro.engine.reporting import EngineReport, QueryJob
 from repro.runtime.protocol import (
+    ENCODING_BINARY,
+    ENCODING_JSON,
     GATEWAY_PROTOCOL_V2,
+    SUPPORTED_ENCODINGS,
     ProtocolError,
     encode_frame,
+    encode_frame_binary,
     hello_frame,
     read_frame,
 )
@@ -64,19 +68,31 @@ class _V2Connection:
     this path.
     """
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        encoding: str = ENCODING_JSON,
+    ) -> None:
         self._reader = reader
         self._writer = writer
         self._pending: Dict[int, _Pending] = {}
         self._rids = itertools.count(1)
         self._reader_task: Optional[asyncio.Task] = None
         self.closed = False
+        #: the encoding the welcome frame actually granted
+        self.encoding = encoding
+        self._encode = (
+            encode_frame_binary if encoding == ENCODING_BINARY else encode_frame
+        )
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "_V2Connection":
-        """Open the socket and perform the version handshake."""
+    async def connect(
+        cls, host: str, port: int, encoding: str = ENCODING_JSON
+    ) -> "_V2Connection":
+        """Open the socket and perform the version + encoding handshake."""
         reader, writer = await asyncio.open_connection(host, port)
-        writer.write(encode_frame(hello_frame()))
+        writer.write(encode_frame(hello_frame(encoding=encoding)))
         await writer.drain()
         first = await read_frame(reader)
         if first is None:
@@ -85,7 +101,10 @@ class _V2Connection:
             raise ApiError(f"handshake rejected: {first.get('error', 'unknown error')}")
         if first.get("type") != "welcome" or first.get("version") != GATEWAY_PROTOCOL_V2:
             raise ProtocolError(f"unexpected handshake reply {first!r}")
-        connection = cls(reader, writer)
+        # Old gateways never send the key: absent means JSON, and asking
+        # for binary from one of them degrades to JSON rather than failing.
+        granted = first.get("encoding", ENCODING_JSON)
+        connection = cls(reader, writer, encoding=granted)
         connection._reader_task = asyncio.get_running_loop().create_task(
             connection._read_replies()
         )
@@ -110,7 +129,7 @@ class _V2Connection:
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[rid] = _Pending(request=request, future=future, on_chunk=on_chunk)
         self._writer.write(
-            encode_frame({"type": "request", "rid": rid, "request": request.to_wire()})
+            self._encode({"type": "request", "rid": rid, "request": request.to_wire()})
         )
         return future
 
@@ -121,9 +140,10 @@ class _V2Connection:
 
     async def _read_replies(self) -> None:
         error: Optional[Exception] = None
+        allow_binary = self.encoding == ENCODING_BINARY
         try:
             while True:
-                frame = await read_frame(self._reader)
+                frame = await read_frame(self._reader, allow_binary=allow_binary)
                 if frame is None:
                     break
                 kind = frame.get("type")
@@ -198,9 +218,10 @@ class LiveSession(Session):
 
     backend = "live"
 
-    def __init__(self, version: int, timeout: float) -> None:
+    def __init__(self, version: int, timeout: float, encoding: str = ENCODING_JSON) -> None:
         self.version = version
         self.timeout = timeout
+        self.encoding = encoding
         self._address: Tuple[str, int] = ("", 0)
         self._v2: List[_V2Connection] = []
         self._v1: Optional[asyncio.Queue] = None
@@ -218,12 +239,15 @@ class LiveSession(Session):
         pool: int = 4,
         version: int = GATEWAY_PROTOCOL_V2,
         timeout: float = 30.0,
+        encoding: str = ENCODING_JSON,
     ) -> "LiveSession":
         """Open ``pool`` gateway connections (handshaken for v2).
 
         ``timeout`` bounds how long a reply may take when the request
         carries no deadline option (requests with a deadline get that
-        deadline plus grace).
+        deadline plus grace).  ``encoding="binary"`` asks the gateway to
+        carry the high-volume frames in the compact binary bodies (v2
+        only: the v1 line protocol has no frames to re-encode).
         """
         if pool < 1:
             raise SessionError("pool must be at least 1")
@@ -231,12 +255,20 @@ class LiveSession(Session):
             raise SessionError(f"unknown protocol version {version} (use 1 or 2)")
         if timeout <= 0:
             raise SessionError("timeout must be positive")
-        session = cls(version=version, timeout=timeout)
+        if encoding not in SUPPORTED_ENCODINGS:
+            raise SessionError(
+                f"unknown encoding {encoding!r} (use {' or '.join(SUPPORTED_ENCODINGS)})"
+            )
+        if version != GATEWAY_PROTOCOL_V2 and encoding != ENCODING_JSON:
+            raise SessionError("binary encoding requires protocol v2")
+        session = cls(version=version, timeout=timeout, encoding=encoding)
         session._address = (host, port)
         try:
             if version == GATEWAY_PROTOCOL_V2:
                 for _ in range(pool):
-                    session._v2.append(await _V2Connection.connect(host, port))
+                    session._v2.append(
+                        await _V2Connection.connect(host, port, encoding=encoding)
+                    )
             else:
                 from repro.runtime.client import RuntimeClient
 

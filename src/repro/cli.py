@@ -46,6 +46,7 @@ _COMMANDS = (
     "faults",
     "serve",
     "soak",
+    "bench",
     "all",
 )
 
@@ -220,6 +221,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="soak only: session connection-pool size (protocol 2)",
     )
     parser.add_argument(
+        "--encoding",
+        choices=("json", "binary"),
+        default="json",
+        help=(
+            "soak only: v2 frame-body encoding — json (default, what every "
+            "client speaks) or binary (the compact negotiated bodies for the "
+            "high-volume request/reply/chunk/batch frames)"
+        ),
+    )
+    parser.add_argument(
+        "--cprofile",
+        default=None,
+        metavar="PATH",
+        help=(
+            "soak/load: run the experiment under cProfile, dump the pstats "
+            "file to PATH and print the top-20 functions by cumulative time "
+            "(named --cprofile because --profile selects the experiment size)"
+        ),
+    )
+    parser.add_argument(
         "--require-pipelined",
         type=int,
         default=None,
@@ -232,13 +253,38 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--bench-dir",
         default=None,
-        help="soak only: directory to write BENCH_runtime.json into",
+        help=(
+            "soak: directory to write BENCH_runtime.json into; "
+            "bench: directory holding the BENCH_*.json artifacts "
+            "(default ./benchmarks)"
+        ),
     )
     parser.add_argument(
         "--require-success",
         type=float,
         default=None,
         help="soak only: exit non-zero unless the success ratio reaches this bound",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "bench only: exit non-zero when a gated metric regresses by more "
+            "than the threshold vs the committed baselines (the CI gate)"
+        ),
+    )
+    parser.add_argument(
+        "--skip-run",
+        action="store_true",
+        help="bench only: gate the on-disk BENCH_*.json without rerunning the suite",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=None,
+        help=(
+            "bench only: read baseline BENCH_*.json from this directory "
+            "instead of the files committed at git HEAD"
+        ),
     )
     return parser
 
@@ -358,6 +404,7 @@ def make_soak_spec(args: argparse.Namespace, config: ExperimentConfig):
             attribute_interval=(config.attribute_low, config.attribute_high),
             protocol=args.protocol,
             pool=args.pool,
+            encoding=args.encoding,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -512,6 +559,20 @@ def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     config = make_config(args)
+    if args.command == "bench":
+        # The perf-regression gate: run the benchmark suite, append to
+        # benchmarks/history.jsonl, and diff the gated metrics against
+        # the committed baselines (see tools/bench_check.py for the
+        # standalone CI wrapper).
+        from repro.benchgate import run_gate
+
+        return run_gate(
+            repo_root=os.getcwd(),
+            bench_dir=args.bench_dir,
+            baseline_dir=args.baseline_dir,
+            check=args.check,
+            skip_run=args.skip_run,
+        )
     if args.command == "serve":
         # Blocking: boots the live cluster and runs until SIGINT/SIGTERM.
         return serve_runtime(make_serve_settings(args, config))
@@ -523,20 +584,41 @@ def main(argv=None) -> int:
         spec = make_faults_spec(args, config)
     elif args.command == "soak":
         soak_spec = make_soak_spec(args, config)
-    output = run_command(
-        args.command,
-        config,
-        csv_dir=args.csv_dir,
-        rates=parse_rates(args.rates),
-        churn=args.churn,
-        sweep_spec=spec,
-        workers=args.workers,
-        store_path=args.store,
-        soak_spec=soak_spec,
-        bench_dir=args.bench_dir,
-        require_success=args.require_success,
-        require_pipelined=args.require_pipelined,
-    )
+
+    def _run() -> str:
+        return run_command(
+            args.command,
+            config,
+            csv_dir=args.csv_dir,
+            rates=parse_rates(args.rates),
+            churn=args.churn,
+            sweep_spec=spec,
+            workers=args.workers,
+            store_path=args.store,
+            soak_spec=soak_spec,
+            bench_dir=args.bench_dir,
+            require_success=args.require_success,
+            require_pipelined=args.require_pipelined,
+        )
+
+    if args.cprofile is not None:
+        if args.command not in ("soak", "load"):
+            raise SystemExit("--cprofile is only supported for the soak and load commands")
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        try:
+            output = profiler.runcall(_run)
+        finally:
+            # Dump even when the run fails a --require-* gate: a failing
+            # run's profile is exactly the one worth reading.
+            profiler.dump_stats(args.cprofile)
+            stats = pstats.Stats(profiler)
+            stats.sort_stats("cumulative").print_stats(20)
+            print(f"wrote cProfile stats to {args.cprofile}")
+    else:
+        output = _run()
     print(output)
     return 0
 

@@ -27,7 +27,7 @@ from repro.core.errors import NamingError
 from repro.kautz import strings as ks
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Interval:
     """A closed real interval ``[low, high]``."""
 
@@ -166,17 +166,31 @@ class PartitionTree:
         target_depth = depth if depth > 0 else self._depth
         if target_depth > self._depth:
             raise NamingError(f"requested depth {target_depth} exceeds tree depth {self._depth}")
+        # Allocation-free descent: the per-level float expressions are exactly
+        # the ones Interval.locate / Interval.child use, so the resulting
+        # label is bit-identical to the historical Interval-based descent —
+        # it just skips building one Interval (and one symbol list) per level.
+        base = self._base
+        low = self._interval.low
+        high = self._interval.high
         label: List[str] = []
-        current = self._interval
         previous = None
         for _ in range(target_depth):
-            choices = ks.allowed_symbols(previous, base=self._base)
-            position = current.locate(value, len(choices))
+            choices = ks.allowed_symbols_tuple(previous, base=base)
+            pieces = len(choices)
+            step = (high - low) / pieces
+            position = pieces - 1
+            for index in range(pieces - 1):
+                if value < low + step * (index + 1):
+                    position = index
+                    break
             symbol = choices[position]
             label.append(symbol)
-            current = current.child(position, len(choices))
+            if position != pieces - 1:
+                high = low + step * (position + 1)
+            low = low + step * position
             previous = symbol
-        return "".join(label)
+        return ks.intern_label("".join(label))
 
     def leaf_labels(self) -> List[str]:
         """All leaf labels in lexicographic (left-to-right) order.

@@ -39,18 +39,21 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.errors import QueryError
-from repro.core.frt import descendant_prefix, destination_level
+from repro.core.frt import destination_level
 from repro.core.resumable import QueryState, ResumableExecutor
 from repro.core.single_hash import SingleAttributeNamer
 from repro.core.transport import Transport
 from repro.faults.resilience import ResilienceStats
 from repro.fissione.network import FissioneNetwork
 from repro.fissione.peer import FissionePeer, StoredObject
-from repro.kautz.region import KautzRegion
+# The memoised pruning predicate is called directly (hoisting the region's
+# endpoint reads out of the per-neighbour loop); same verdicts as
+# KautzRegion.contains_prefix.
+from repro.kautz.region import KautzRegion, _contains_prefix_memo
 from repro.sim.network import OverlayNetwork
 
 
-@dataclass
+@dataclass(slots=True)
 class RangeQueryResult:
     """Outcome of one range query (single- or multi-attribute)."""
 
@@ -141,26 +144,30 @@ class RangeQueryResult:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class _SubQuery:
     """Per-sub-region forwarding state.
 
-    ``visited`` is keyed by ``(peer_id, level)``: the forward routing tree is
-    a tree of peer *occurrences*, and the same peer can legitimately occur at
+    ``visited`` de-duplicates peer *occurrences*: the forward routing tree is
+    a tree of occurrences, and the same peer can legitimately occur at
     several levels (whenever one suffix of the origin's PeerID is a prefix of
     a longer one).  Each occurrence forwards with its own level arithmetic, so
     de-duplication must be per occurrence, not per peer -- otherwise peers
     that first relay the query at a shallow level would never be recognised
     as destinations when the query reaches them again at the destination
-    level.
+    level.  Levels are bounded by the PeerID length, so the seen-set is a
+    per-peer level *bitmask* (bit ``i`` set = occurrence at level ``i``
+    seen) rather than a set of ``(peer_id, level)`` tuples -- one dict probe
+    on a cached string hash instead of a tuple allocation per arrival, on
+    the hottest path of the simulator.
     """
 
     region: KautzRegion
     dest_level: int
-    visited: Set[Tuple[str, int]] = field(default_factory=set)
+    visited: Dict[str, int] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class _QueryState(QueryState):
     """PIRA query state: the shared lifecycle plus the value bounds.
 
@@ -194,6 +201,9 @@ class PiraExecutor(ResumableExecutor):
             self.overlay = getattr(transport, "overlay", None)
         self._query_ids = itertools.count(1)
         self._active: Dict[int, QueryState] = {}
+        # Bound once: the executor's network never changes, and the
+        # neighbour-view lookup runs once per forwarding occurrence.
+        self._out_view = network.out_neighbors_view
         self._init_lifecycle(transport)
         self.refresh_membership()
 
@@ -308,22 +318,34 @@ class PiraExecutor(ResumableExecutor):
     ) -> None:
         """Handle the query's arrival at ``peer`` (FRT level ``level``)."""
         subquery = state.branches[branch_index]
-        occurrence = (peer.peer_id, level)
-        if occurrence in subquery.visited:
+        peer_id = peer.peer_id
+        visited = subquery.visited
+        bit = 1 << level
+        mask = visited.get(peer_id, 0)
+        if mask & bit:
             return
-        subquery.visited.add(occurrence)
+        visited[peer_id] = mask | bit
 
         if level >= subquery.dest_level:
             self._handle_destination(peer, hop, subquery, state)
             return
 
-        for neighbor_id in self.network.out_neighbors_view(peer.peer_id):
-            prefix = descendant_prefix(neighbor_id, level + 1, subquery.dest_level)
-            if not subquery.region.contains_prefix(prefix):
+        # Inlined ``descendant_prefix(neighbor_id, level + 1, dest_level)``:
+        # ``drop`` is non-negative here (level < dest_level), so the hot loop
+        # tests a bare suffix slice per neighbour.  This loop runs once per
+        # (peer, level) occurrence of every in-flight query.
+        #
+        next_level = level + 1
+        next_hop = hop + 1
+        drop = subquery.dest_level - next_level
+        region = subquery.region
+        low, high, rbase = region.low, region.high, region.base
+        contains = _contains_prefix_memo
+        forward = self._forward_message
+        for neighbor_id in self._out_view(peer_id):
+            if not contains(low, high, rbase, neighbor_id[drop:]):
                 continue
-            self._forward_message(
-                peer.peer_id, neighbor_id, level + 1, hop + 1, branch_index, state
-            )
+            forward(peer_id, neighbor_id, next_level, next_hop, branch_index, state)
 
     def _handle_destination(
         self,
@@ -333,19 +355,23 @@ class PiraExecutor(ResumableExecutor):
         state: _QueryState,
     ) -> None:
         """Destination-level processing: record the peer and filter its store."""
-        if not subquery.region.contains_prefix(peer.peer_id):
+        region = subquery.region
+        peer_id = peer.peer_id
+        if not _contains_prefix_memo(region.low, region.high, region.base, peer_id):
             return
         result = state.result
-        previous = result.destinations.get(peer.peer_id)
+        previous = result.destinations.get(peer_id)
         if previous is None or hop < previous:
-            result.destinations[peer.peer_id] = hop
+            result.destinations[peer_id] = hop
         if previous is None:
-            new_matches = [
-                stored
-                for stored in peer.objects()
-                if isinstance(stored.key, (int, float))
-                and state.low_value <= stored.key <= state.high_value
-            ]
+            low, high = state.low_value, state.high_value
+            new_matches = []
+            append = new_matches.append
+            for bucket in peer.store.values():
+                for stored in bucket:
+                    key = stored.key
+                    if isinstance(key, (int, float)) and low <= key <= high:
+                        append(stored)
             result.matches.extend(new_matches)
             if state.on_destination is not None:
-                state.on_destination(peer.peer_id, hop, new_matches)
+                state.on_destination(peer_id, hop, new_matches)

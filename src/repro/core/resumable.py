@@ -90,12 +90,14 @@ class _PendingSend:
     detour: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class QueryState:
     """Everything one in-flight query needs to resume on any message.
 
     ``branches`` holds the per-branch pruning state (PIRA sub-regions, MIRA
-    subtrees); subclasses may add query-specific fields.
+    subtrees); subclasses may add query-specific fields.  Slotted (as are
+    its subclasses): one is allocated per in-flight query, and its fields
+    are read on every message of that query.
     """
 
     result: Any
@@ -144,6 +146,17 @@ class ResumableExecutor:
         if transport is None:
             transport = SimTransport(self.overlay)
         self.transport = transport
+        # Hot-path bindings: a SimTransport is pure delegation, so the
+        # per-message send / reachability probes go straight to the overlay's
+        # bound methods, skipping one Python call per message.  (Both objects
+        # live as long as the executor, so the bindings never go stale.)
+        overlay = getattr(transport, "overlay", None)
+        if overlay is not None:
+            self._send = overlay.send
+            self._has_node = overlay.has_node
+        else:
+            self._send = transport.send
+            self._has_node = transport.has_node
         self._send_ids = itertools.count(1)
         self.resilience: Optional[ResiliencePolicy] = None
 
@@ -167,11 +180,21 @@ class ResumableExecutor:
         once.  Late deliveries for finished/unknown queries — and duplicate
         copies of a send that already settled — are ignored.
         """
+        self._dispatch(None, network, message)
+
+    def _dispatch(self, peer: Any, network: OverlayNetwork, message: Message) -> None:
+        """Per-message worker, registered as the ``handler`` metadata hook.
+
+        Carries the full dispatch body (rather than delegating to
+        :meth:`handle_message`) because the overlay invokes it once per
+        delivered message; ``peer`` is ignored — receiver liveness is always
+        re-checked against the peer table, which is what churn updates.
+        """
         state = self._active.get(message.query_id)
         if state is None:
             return
-        send_id = message.metadata.get("send")
-        pending = state.pending.pop(send_id, None)
+        metadata = message.metadata
+        pending = state.pending.pop(metadata.get("send"), None)
         if pending is None:
             # A duplicate (duplication fault or retransmission race) of a
             # send that was already processed or settled: drop it here so
@@ -181,30 +204,30 @@ class ResumableExecutor:
             pending.timer.cancel()
         # A receiver that departed mid-flight (churn) silently absorbs the
         # message; the overlay already counted it as delivered/undeliverable.
-        if self.network.has_peer(message.receiver):
+        peer = self.network.get_peer(message.receiver)
+        if peer is not None:
             result = state.result
             newly_reached = pending.detour and message.receiver not in result.destinations
             state.processing = True
             try:
                 self._process(
-                    peer=self.network.peer(message.receiver),
-                    level=message.metadata["level"],
+                    peer=peer,
+                    level=metadata["level"],
                     hop=message.hop,
-                    branch_index=message.metadata["branch"],
+                    branch_index=metadata["branch"],
                     state=state,
                 )
             finally:
                 state.processing = False
             if newly_reached and message.receiver in result.destinations:
                 result.resilience.recovered_destinations += 1
-        self._maybe_complete(state)
+        # Inlined guard of _maybe_complete: on the common path (query still
+        # has sends in flight) the call is skipped entirely.
+        if not (state.done or state.pending):
+            self._maybe_complete(state)
 
     def _process(self, peer: Any, level: int, hop: int, branch_index: int, state: QueryState) -> None:
         raise NotImplementedError
-
-    def _dispatch(self, peer: Any, network: OverlayNetwork, message: Message) -> None:
-        """Adapter for :meth:`FissionePeer.handle_message`'s handler hook."""
-        self.handle_message(network, message)
 
     def _on_drop(self, message: Message) -> None:
         """Account for a forwarding message that will never be delivered."""
@@ -326,17 +349,50 @@ class ResumableExecutor:
         branch_index: int,
         state: QueryState,
     ) -> None:
-        """Send one forwarding message through the discrete-event overlay."""
+        """Send one forwarding message through the discrete-event overlay.
+
+        This runs once per edge of every forward routing tree — the hottest
+        call in the repository — so the fault-free path inlines
+        :meth:`_transmit`'s body (minus the timer branch) and allocates the
+        slotted records without their ``__init__`` frames.  Retransmissions,
+        detours and policy-guarded sends still go through :meth:`_transmit`.
+        """
         send_id = next(self._send_ids)
-        pending = _PendingSend(
-            sender=sender_id,
-            receiver=receiver_id,
-            level=level,
-            hop=hop,
-            branch_index=branch_index,
-        )
+        pending = _PendingSend.__new__(_PendingSend)
+        pending.sender = sender_id
+        pending.receiver = receiver_id
+        pending.level = level
+        pending.hop = hop
+        pending.branch_index = branch_index
+        pending.attempts = 1
+        pending.timer = None
+        pending.latency = None
+        pending.detour = False
         state.pending[send_id] = pending
-        self._transmit(state, send_id, pending)
+        if self.resilience is not None:
+            self._transmit(state, send_id, pending)
+            return
+        if not self._has_node(receiver_id):
+            self._fail_send(state, send_id, pending)
+            return
+        result = state.result
+        result.messages += 1
+        result.forwarding_steps.append((sender_id, receiver_id, hop))
+        message = Message.__new__(Message)
+        message.sender = sender_id
+        message.receiver = receiver_id
+        message.kind = self.message_kind
+        message.payload = None
+        message.hop = hop
+        message.query_id = result.query_id
+        message.metadata = {
+            "handler": self._dispatch,
+            "on_drop": self._on_drop,
+            "level": level,
+            "branch": branch_index,
+            "send": send_id,
+        }
+        self._send(message)
 
     def _fail_send(self, state: QueryState, send_id: int, pending: _PendingSend) -> None:
         """Settle a send whose receiver is gone before transmission.
@@ -360,7 +416,7 @@ class ResumableExecutor:
 
     def _transmit(self, state: QueryState, send_id: int, pending: _PendingSend) -> None:
         """Put one physical copy of a logical send on the wire."""
-        if not self.transport.has_node(pending.receiver):
+        if not self._has_node(pending.receiver):
             # The receiver departed the overlay between the neighbour-table
             # lookup and this send (abrupt churn): degrade like a drop
             # instead of crashing the whole simulation on NetworkError.
@@ -388,7 +444,7 @@ class ResumableExecutor:
         }
         if pending.latency is not None:
             metadata["latency"] = pending.latency
-        self.transport.send(
+        self._send(
             Message(
                 sender=pending.sender,
                 receiver=pending.receiver,

@@ -12,6 +12,7 @@ peers.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Optional, Tuple
 
 from repro.core.errors import QueryError
@@ -41,6 +42,13 @@ class SingleAttributeNamer:
         self._tree = PartitionTree(low=low, high=high, depth=length, base=base)
         self._length = length
         self._base = base
+        # Naming is a pure function of the value (the tree is immutable), and
+        # workloads name the same values over and over (zipf-skewed query
+        # endpoints, repeated range bounds), so both maps are memoised
+        # per-instance.  ``lru_cache`` does not cache raises, so out-of-range
+        # values still error every time.
+        self._label_memo = lru_cache(maxsize=1 << 16)(self._tree.label_for_value)
+        self._region_memo = lru_cache(maxsize=1 << 13)(self._region_uncached)
 
     @property
     def low(self) -> float:
@@ -69,7 +77,7 @@ class SingleAttributeNamer:
 
     def name(self, value: float) -> str:
         """ObjectID for an attribute value (``Single_hash``)."""
-        return self._tree.label_for_value(value)
+        return self._label_memo(value)
 
     def value_interval(self, object_id: str) -> Interval:
         """Subinterval of attribute values mapping onto ``object_id`` (inverse map)."""
@@ -81,6 +89,9 @@ class SingleAttributeNamer:
             raise QueryError(
                 f"range low bound {low_value} exceeds high bound {high_value}"
             )
+        return self._region_memo(low_value, high_value)
+
+    def _region_uncached(self, low_value: float, high_value: float) -> KautzRegion:
         low_value = self._tree.interval.clamp(low_value)
         high_value = self._tree.interval.clamp(high_value)
         low_id = self.name(low_value)

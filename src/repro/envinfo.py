@@ -1,0 +1,56 @@
+"""Environment stamping shared by every ``BENCH_*.json`` writer.
+
+A benchmark number without its environment is noise: the CI container has
+one CPU, a laptop has many, and a throughput figure from one machine must
+never be compared against a baseline from the other.  Every benchmark
+artifact (the ``benchmarks/emit.py`` suite writers and the CLI's
+``write_bench``) therefore stamps the same environment block, and the
+regression gate in :mod:`tools.bench_check` refuses to compare wall-clock
+metrics across differing ``cpu_count``.
+
+Stdlib only, and every field degrades gracefully: outside a git checkout
+``git_sha`` is ``None``, nothing raises.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Any, Dict, Optional
+
+
+def git_sha(directory: Optional[str] = None) -> Optional[str]:
+    """The current commit's full SHA, or ``None`` outside a git checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=directory,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    sha = completed.stdout.strip()
+    return sha or None
+
+
+def environment_stamp(directory: Optional[str] = None) -> Dict[str, Any]:
+    """The environment block stamped into every benchmark artifact.
+
+    ``directory`` anchors the git lookup (defaults to the process CWD —
+    benchmark writers pass their own location so the stamp describes the
+    repository the artifact lives in, not wherever pytest was launched).
+    """
+    return {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "git_sha": git_sha(directory),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime()),
+    }

@@ -15,7 +15,11 @@ uses.  Results persist through
 worker over ``pool`` handshaken connections — many requests in flight per
 connection, replies out of order; **1** replays the deprecated line
 protocol (one FIFO connection per worker) so a before/after throughput
-comparison runs on otherwise identical code paths.
+comparison runs on otherwise identical code paths.  Under v2,
+``encoding="binary"`` additionally negotiates the compact binary frame
+bodies (:mod:`repro.runtime.binframe`) for the high-volume frames, which
+is how ``BENCH_runtime.json`` gets its three-way v1 / v2-JSON / v2-binary
+comparison.
 
 The run asserts nothing by itself; the CLI's ``--require-success`` turns
 the success ratio into an exit code (and ``--require-pipelined`` does the
@@ -28,13 +32,12 @@ from __future__ import annotations
 import asyncio
 import json
 import os
-import platform
-import sys
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.api.live import LiveSession
+from repro.envinfo import environment_stamp
 from repro.api.requests import Insert, MultiInsert, Request
 from repro.engine.reporting import EngineReport
 from repro.runtime.cluster import LiveCluster
@@ -62,6 +65,8 @@ class SoakSpec:
     protocol: int = 2
     #: session connection-pool size (protocol 1 pools one per worker)
     pool: int = 4
+    #: v2 frame-body encoding: "json" (default) or "binary"
+    encoding: str = "json"
 
     def __post_init__(self) -> None:
         if self.peers < 3:
@@ -85,6 +90,10 @@ class SoakSpec:
             raise ValueError("protocol must be 1 or 2")
         if self.pool < 1:
             raise ValueError("pool must be at least 1")
+        if self.encoding not in ("json", "binary"):
+            raise ValueError("encoding must be 'json' or 'binary'")
+        if self.encoding == "binary" and self.protocol != 2:
+            raise ValueError("binary encoding requires protocol 2")
 
     @property
     def pool_size(self) -> int:
@@ -118,6 +127,7 @@ class SoakResult:
             "queries": self.report.queries,
             "concurrency": self.spec.concurrency,
             "protocol": self.spec.protocol,
+            "encoding": self.spec.encoding,
             "pool": self.spec.pool_size,
             "peak_in_flight": self.stats.get("peak_in_flight", 0),
             "success_ratio": self.report.success_ratio,
@@ -151,7 +161,7 @@ class SoakResult:
             f"{self.stats.get('nodes', '?')} nodes, seed {self.spec.seed}",
             f"workload          : {self.spec.queries} queries "
             f"({self.spec.mira_fraction:.0%} MIRA), closed loop x{self.spec.concurrency} "
-            f"over protocol v{self.spec.protocol} "
+            f"over protocol v{self.spec.protocol} [{self.spec.encoding}] "
             f"({self.spec.pool_size} connections, "
             f"gateway peak in-flight {self.stats.get('peak_in_flight', 0)})",
             f"wall time         : {self.wall_seconds:.2f}s "
@@ -170,10 +180,14 @@ def write_bench(result: SoakResult, directory: str) -> str:
     """
     payload = {
         "name": "runtime",
-        "python": sys.version.split()[0],
-        "platform": platform.platform(),
+        **environment_stamp(),
         "metrics": {
-            key: value if isinstance(value, int) and not isinstance(value, bool) else float(value)
+            key: (
+                value
+                if isinstance(value, str)
+                or (isinstance(value, int) and not isinstance(value, bool))
+                else float(value)
+            )
             for key, value in result.bench_metrics().items()
         },
     }
@@ -205,7 +219,10 @@ async def run_async(spec: SoakSpec) -> SoakResult:
         low, high = spec.attribute_interval
         rng = DeterministicRNG(spec.seed)
         session = await LiveSession.connect(
-            *gateway.address, pool=spec.pool_size, version=spec.protocol
+            *gateway.address,
+            pool=spec.pool_size,
+            version=spec.protocol,
+            encoding=spec.encoding,
         )
         try:
             # Publish in batches: under protocol v2 each batch is posted

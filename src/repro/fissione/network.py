@@ -122,6 +122,15 @@ class FissioneNetwork:
         """True when a peer with that PeerID exists."""
         return peer_id in self._peers
 
+    def get_peer(self, peer_id: str) -> Optional[FissionePeer]:
+        """Peer by PeerID, or ``None`` when absent.
+
+        Hot-path variant of :meth:`has_peer` + :meth:`peer`: the per-message
+        dispatch asks both questions about the same id, and one dictionary
+        probe answers them together.
+        """
+        return self._peers.get(peer_id)
+
     def peers(self) -> Iterable[FissionePeer]:
         """Iterate over peers in lexicographic PeerID order."""
         return (self._peers[peer_id] for peer_id in self._sorted_ids)

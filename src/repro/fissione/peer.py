@@ -16,7 +16,7 @@ from typing import Any, Dict, List
 from repro.wire import decode_value, encode_value
 
 
-@dataclass
+@dataclass(slots=True)
 class StoredObject:
     """An object published into the DHT."""
 
@@ -42,7 +42,7 @@ class StoredObject:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class FissionePeer:
     """A FISSIONE peer: a PeerID plus the local object store."""
 

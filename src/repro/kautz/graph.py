@@ -47,14 +47,20 @@ class KautzGraph:
         ks.validate_kautz_string(node, base=self._base)
         if len(node) != self._length:
             raise ks.KautzStringError(f"node {node!r} does not belong to K({self._base},{self._length})")
-        return [node[1:] + symbol for symbol in ks.allowed_symbols(node[-1], base=self._base)]
+        return [
+            ks.intern_label(node[1:] + symbol)
+            for symbol in ks.allowed_symbols_tuple(node[-1], base=self._base)
+        ]
 
     def in_neighbors(self, node: str) -> List[str]:
         """In-neighbours of ``node``: ``a u1 .. u(k-1)`` for ``a != u1``."""
         ks.validate_kautz_string(node, base=self._base)
         if len(node) != self._length:
             raise ks.KautzStringError(f"node {node!r} does not belong to K({self._base},{self._length})")
-        return [symbol + node[:-1] for symbol in ks.allowed_symbols(node[0], base=self._base)]
+        return [
+            ks.intern_label(symbol + node[:-1])
+            for symbol in ks.allowed_symbols_tuple(node[0], base=self._base)
+        ]
 
     def has_edge(self, source: str, target: str) -> bool:
         """True when the directed edge ``source -> target`` exists."""
@@ -93,7 +99,7 @@ class KautzGraph:
         spliced = ks.splice(source, target, base=self._base)
         path = []
         for start in range(len(spliced) - self._length + 1):
-            path.append(spliced[start : start + self._length])
+            path.append(ks.intern_label(spliced[start : start + self._length]))
         return path
 
     def diameter(self) -> int:

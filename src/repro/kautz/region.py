@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Iterator, List
+from typing import Iterator, List, Tuple
 
 from repro.kautz import strings as ks
 
@@ -23,9 +23,11 @@ def _contains_prefix_memo(low: str, high: str, base: int, prefix: str) -> bool:
 
     Keyed by the region's endpoints rather than the region object so that
     the many equal-but-distinct :class:`KautzRegion` instances produced per
-    query share one cache line per (region, prefix) pair.  The inputs are
-    pre-validated by the caller.
+    query share one cache line per (region, prefix) pair.  Prefix validation
+    happens inside the memo: a cache hit costs a single lookup, and invalid
+    prefixes still raise every time (``lru_cache`` does not cache raises).
     """
+    ks.validate_kautz_string(prefix, base=base, allow_empty=True)
     length = len(low)
     if len(prefix) > length:
         head = prefix[:length]
@@ -35,7 +37,7 @@ def _contains_prefix_memo(low: str, high: str, base: int, prefix: str) -> bool:
     return lowest <= high and highest >= low
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class KautzRegion:
     """A contiguous lexicographic region of fixed-length Kautz strings."""
 
@@ -92,7 +94,6 @@ class KautzRegion:
         ``[low, high]``: the smallest extension must not exceed ``high``
         and the largest extension must not fall below ``low``.
         """
-        ks.validate_kautz_string(prefix, base=self.base, allow_empty=True)
         return _contains_prefix_memo(self.low, self.high, self.base, prefix)
 
     def intersect_prefix_count(self, prefix: str) -> int:
@@ -113,7 +114,14 @@ class KautzRegion:
         region is split into at most ``base + 1`` sub-regions -- one per first
         symbol -- each of which trivially has a non-empty common prefix.  The
         paper notes at most three sub-regions are needed for base 2.
+
+        The split runs once per started query, so (like the pruning
+        predicate) it is memoised across equal regions.
         """
+        return list(_split_memo(self.low, self.high, self.base))
+
+    def _split_uncached(self) -> List["KautzRegion"]:
+        """The actual split behind :func:`_split_memo`."""
         if self.common_prefix():
             return [self]
         subregions: List[KautzRegion] = []
@@ -139,3 +147,10 @@ class KautzRegion:
 
     def __repr__(self) -> str:
         return f"KautzRegion(low={self.low!r}, high={self.high!r}, base={self.base})"
+
+
+@lru_cache(maxsize=1 << 14)
+def _split_memo(low: str, high: str, base: int) -> Tuple["KautzRegion", ...]:
+    """Memoised :meth:`KautzRegion.split_by_first_symbol` (regions are frozen,
+    so the shared sub-region instances are safe to hand out repeatedly)."""
+    return tuple(KautzRegion(low=low, high=high, base=base)._split_uncached())

@@ -25,12 +25,42 @@ so sharing them is safe.
 
 from __future__ import annotations
 
+import sys
 from functools import lru_cache
 from typing import List, Optional, Tuple
 
 
 class KautzStringError(ValueError):
     """Raised for malformed Kautz strings or invalid parameters."""
+
+
+def intern_label(label: str) -> str:
+    """Canonicalise a Kautz label to one shared ``str`` object.
+
+    Labels are produced independently at many sites (naming descents,
+    rank/unrank, prefix extensions) and then used as dict keys and set
+    members on every routing hop.  Interning makes equal labels *identical*
+    (``is``-comparable), so their hashes are computed once process-wide and
+    equality checks short-circuit on pointer comparison.
+
+    The shim stays on ``str`` rather than migrating labels to ``bytes``:
+    profiling showed the hot cost is allocation and hashing churn, which
+    interning removes, while a ``bytes`` representation would force an
+    encode/decode at every JSON boundary (protocol frames, BENCH artifacts,
+    traces).  The wire layer gets canonical UTF-8 via :func:`label_bytes`
+    instead.
+    """
+    return sys.intern(label)
+
+
+@lru_cache(maxsize=1 << 17)
+def label_bytes(label: str) -> bytes:
+    """Canonical UTF-8 encoding of a label (one shared ``bytes`` per label).
+
+    Used by the binary wire codec so repeated peer ids and object names are
+    encoded once, not per frame.
+    """
+    return label.encode("utf-8")
 
 
 @lru_cache(maxsize=16)
@@ -98,8 +128,10 @@ def is_prefix(prefix: str, value: str) -> bool:
     return value.startswith(prefix)
 
 
+@lru_cache(maxsize=1 << 16)
 def common_prefix(first: str, second: str) -> str:
-    """Longest common prefix of two strings."""
+    """Longest common prefix of two strings (memoised; inputs repeat across
+    queries on the naming and routing paths)."""
     limit = min(len(first), len(second))
     for index in range(limit):
         if first[index] != second[index]:
@@ -127,6 +159,15 @@ def allowed_symbols(previous: Optional[str], base: int = 2) -> List[str]:
     return list(_allowed_symbols_memo(previous, base))
 
 
+def allowed_symbols_tuple(previous: Optional[str], base: int = 2) -> Tuple[str, ...]:
+    """Like :func:`allowed_symbols` but returning the shared memoised tuple.
+
+    Hot paths (naming descents, rank/unrank) use this to avoid materialising
+    a fresh list per level; callers must not mutate the result.
+    """
+    return _allowed_symbols_memo(previous, base)
+
+
 @lru_cache(maxsize=1 << 17)
 def min_extension(prefix: str, length: int, base: int = 2) -> str:
     """Lexicographically smallest length-``length`` Kautz string with ``prefix``.
@@ -146,7 +187,7 @@ def min_extension(prefix: str, length: int, base: int = 2) -> str:
     while len(result) < length:
         previous = result[-1] if result else None
         result.append(_allowed_symbols_memo(previous, base)[0])
-    return "".join(result)
+    return intern_label("".join(result))
 
 
 @lru_cache(maxsize=1 << 17)
@@ -167,7 +208,7 @@ def max_extension(prefix: str, length: int, base: int = 2) -> str:
     while len(result) < length:
         previous = result[-1] if result else None
         result.append(_allowed_symbols_memo(previous, base)[-1])
-    return "".join(result)
+    return intern_label("".join(result))
 
 
 def space_size(base: int, length: int) -> int:
@@ -226,7 +267,7 @@ def unrank(index: int, length: int, base: int = 2) -> str:
         char = choices[choice_index]
         result.append(char)
         previous = char
-    return "".join(result)
+    return intern_label("".join(result))
 
 
 def successor(value: str, base: int = 2) -> Optional[str]:

@@ -29,6 +29,15 @@ request with ``"options":{"stream":true}``  ``{"type":"chunk","rid":N,"peer":..,
 ``{"type":"quit"}``                         closes the connection
 =========================================  ========================================
 
+The ``hello`` frame may also carry ``"encoding": "binary"`` to switch the
+high-volume frames (``request``/``reply``/``chunk``/``batch``) to the
+compact binary bodies of :mod:`repro.runtime.binframe`; the ``welcome``
+echoes the negotiated encoding.  Control frames (``hello``/``welcome``/
+``error``/``quit``) stay JSON on every connection, an unknown encoding in
+the hello gets a fatal structured error, and a binary body on a
+JSON-negotiated connection gets a *non-fatal* structured error (the shared
+length framing keeps the stream resynchronisable).
+
 Request objects are the :mod:`repro.api.requests` wire forms —
 ``range`` / ``mrange`` / ``insert`` / ``minsert`` / ``stats`` / ``ping``
 ops with per-request options (``origin``, ``deadline``, ``stream``).
@@ -93,12 +102,17 @@ from repro.core.errors import ArmadaError
 from repro.core.pira import RangeQueryResult
 from repro.runtime.cluster import ClusterError, LiveCluster
 from repro.runtime.protocol import (
+    ENCODING_BINARY,
+    ENCODING_JSON,
     GATEWAY_PROTOCOL_V2,
     GATEWAY_PROTOCOL_VERSIONS,
     MAX_FRAME_BYTES,
+    SUPPORTED_ENCODINGS,
+    EncodingError,
     ProtocolError,
     decode_frame,
     encode_frame,
+    encode_frame_binary,
     error_frame,
     read_frame,
     welcome_frame,
@@ -134,6 +148,14 @@ class Gateway:
         self._started_at: Optional[float] = None
         #: total connections accepted, per negotiated protocol version
         self.connections_by_version: Dict[int, int] = {1: 0, 2: 0}
+        #: total v2 connections accepted, per negotiated body encoding
+        self.connections_by_encoding: Dict[str, int] = {
+            ENCODING_JSON: 0,
+            ENCODING_BINARY: 0,
+        }
+        #: negotiated encoding of each *live* v2 connection (stats reports
+        #: the per-encoding counts so an operator can see who upgraded)
+        self._connection_encodings: Dict[asyncio.StreamWriter, str] = {}
 
     # ------------------------------------------------------------------ #
     # lifecycle                                                            #
@@ -318,11 +340,24 @@ class Gateway:
     # -- v2: the multiplexed frame protocol ----------------------------------
 
     @staticmethod
-    def _write_frame(writer: asyncio.StreamWriter, frame: Dict[str, Any]) -> None:
+    def _write_frame(
+        writer: asyncio.StreamWriter,
+        frame: Dict[str, Any],
+        encoding: str = ENCODING_JSON,
+    ) -> None:
         """Buffer one frame (a single ``write`` call, so frames never
-        interleave even when several reply tasks share the connection)."""
+        interleave even when several reply tasks share the connection).
+
+        ``encoding`` is the connection's negotiated body encoding; it only
+        applies to the high-volume frames (``reply``/``chunk``) — control
+        frames (``welcome``/``error``) are always JSON, even on a binary
+        connection, so failures stay debuggable on the wire.
+        """
         if not writer.is_closing():
-            writer.write(encode_frame(frame))
+            if encoding == ENCODING_BINARY and frame.get("type") in ("reply", "chunk"):
+                writer.write(encode_frame_binary(frame))
+            else:
+                writer.write(encode_frame(frame))
 
     async def _read_handshake_frame(self, reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
         """Read the first v2 frame, whose leading length byte (``0x00``)
@@ -372,7 +407,22 @@ class Gateway:
             )
             await self._safe_drain(writer)
             return
-        self._write_frame(writer, welcome_frame())
+        encoding = hello.get("encoding", ENCODING_JSON)
+        if encoding not in SUPPORTED_ENCODINGS:
+            self._write_frame(
+                writer,
+                error_frame(
+                    f"unsupported encoding {encoding!r}; this gateway speaks "
+                    f"{list(SUPPORTED_ENCODINGS)}",
+                    fatal=True,
+                ),
+            )
+            await self._safe_drain(writer)
+            return
+        self.connections_by_encoding[encoding] += 1
+        self._connection_encodings[writer] = encoding
+        allow_binary = encoding == ENCODING_BINARY
+        self._write_frame(writer, welcome_frame(encoding=encoding))
         await self._safe_drain(writer)
 
         pending_rids: Set[int] = set()
@@ -380,7 +430,14 @@ class Gateway:
         try:
             while True:
                 try:
-                    frame = await read_frame(reader)
+                    frame = await read_frame(reader, allow_binary=allow_binary)
+                except EncodingError as exc:
+                    # A binary body on a JSON-negotiated connection: the
+                    # length framing is intact, so the stream resynchronises
+                    # on the next frame — error the offender, keep serving.
+                    self._write_frame(writer, error_frame(str(exc)))
+                    await self._safe_drain(writer)
+                    continue
                 except ProtocolError as exc:
                     # An unframeable stream (oversized/corrupt length) cannot
                     # be resynchronised — but the client still gets a
@@ -395,7 +452,7 @@ class Gateway:
                     # No await here: the answering task owns the reply, and
                     # the loop goes straight back to reading — that is the
                     # multiplexing (frame intake never waits on execution).
-                    self._start_request(frame, writer, pending_rids, tasks)
+                    self._start_request(frame, writer, pending_rids, tasks, encoding)
                 elif kind == "batch":
                     entries = frame.get("requests")
                     if not isinstance(entries, list):
@@ -412,7 +469,7 @@ class Gateway:
                             )
                             await self._safe_drain(writer)
                             continue
-                        self._start_request(entry, writer, pending_rids, tasks)
+                        self._start_request(entry, writer, pending_rids, tasks, encoding)
                 elif kind == "quit":
                     break
                 else:
@@ -425,6 +482,7 @@ class Gateway:
                     )
                     await self._safe_drain(writer)
         finally:
+            self._connection_encodings.pop(writer, None)
             if tasks:
                 # The client is gone (or quitting): let in-flight replies
                 # finish against the closing writer rather than cancelling
@@ -437,6 +495,7 @@ class Gateway:
         writer: asyncio.StreamWriter,
         pending_rids: Set[int],
         tasks: Set[asyncio.Task],
+        encoding: str = ENCODING_JSON,
     ) -> None:
         """Validate the rid and launch the request (no await: this is what
         lets many requests run concurrently on one connection).
@@ -477,13 +536,17 @@ class Gateway:
             if request.options.stream:
 
                 def on_chunk(chunk: Dict[str, Any], rid: int = rid) -> None:
-                    self._write_frame(writer, {"type": "chunk", "rid": rid, **chunk})
+                    self._write_frame(
+                        writer, {"type": "chunk", "rid": rid, **chunk}, encoding
+                    )
 
             def finish(payload: Dict[str, Any], rid: int = rid) -> None:
                 pending_rids.discard(rid)
                 # The payload (shared with v1) nests under the envelope so
                 # the frame's own "type" stays "reply" for the client.
-                self._write_frame(writer, {"type": "reply", "rid": rid, "payload": payload})
+                self._write_frame(
+                    writer, {"type": "reply", "rid": rid, "payload": payload}, encoding
+                )
 
             try:
                 self._start_query(request, on_chunk, finish)
@@ -492,7 +555,7 @@ class Gateway:
             return
 
         task = asyncio.get_running_loop().create_task(
-            self._answer_simple(rid, request, writer)
+            self._answer_simple(rid, request, writer, encoding)
         )
         tasks.add(task)
 
@@ -503,14 +566,18 @@ class Gateway:
         task.add_done_callback(_finished)
 
     async def _answer_simple(
-        self, rid: int, request: Request, writer: asyncio.StreamWriter
+        self,
+        rid: int,
+        request: Request,
+        writer: asyncio.StreamWriter,
+        encoding: str = ENCODING_JSON,
     ) -> None:
         """Answer a non-query request (ping/stats/insert) as its own task."""
         try:
             payload = await self._execute(request)
         except (ValueError, ClusterError, ArmadaError, ApiError) as exc:
             payload = {"ok": False, "error": str(exc)}
-        self._write_frame(writer, {"type": "reply", "rid": rid, "payload": payload})
+        self._write_frame(writer, {"type": "reply", "rid": rid, "payload": payload}, encoding)
         await self._safe_drain(writer)
 
     @staticmethod
@@ -552,6 +619,15 @@ class Gateway:
                 "connections": len(self._connections),
                 "v1_connections": self.connections_by_version[1],
                 "v2_connections": self.connections_by_version[2],
+                "encodings": list(SUPPORTED_ENCODINGS),
+                "json_connections": self.connections_by_encoding[ENCODING_JSON],
+                "binary_connections": self.connections_by_encoding[ENCODING_BINARY],
+                "active_encodings": {
+                    name: sum(
+                        1 for enc in self._connection_encodings.values() if enc == name
+                    )
+                    for name in SUPPORTED_ENCODINGS
+                },
                 "uptime_seconds": (now - self._started_at) if self._started_at is not None else 0.0,
             }
         )

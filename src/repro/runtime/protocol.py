@@ -29,10 +29,26 @@ import itertools
 import json
 from typing import Any, Dict, Optional
 
+from repro.runtime.binframe import (
+    BINARY_MAGIC,
+    BinaryCodecError,
+    decode_binary,
+    encode_binary,
+)
 from repro.sim.network import Message
 
 #: frames above this size are protocol errors (corrupt length prefix)
 MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: frame-body encodings a v2 connection can negotiate.  ``"json"`` is the
+#: default (and the only encoding old clients know); ``"binary"`` switches
+#: the high-volume frames (``request``/``reply``/``chunk``/``batch``) to
+#: the compact codec in :mod:`repro.runtime.binframe`.  Control frames
+#: (``hello``/``welcome``/``error``/``quit``) are *always* JSON so the
+#: handshake and every failure stay debuggable with a hex dump.
+ENCODING_JSON = "json"
+ENCODING_BINARY = "binary"
+SUPPORTED_ENCODINGS = (ENCODING_JSON, ENCODING_BINARY)
 
 #: message-metadata keys that cross the wire (all JSON scalars)
 WIRE_METADATA_KEYS = ("level", "branch", "send", "latency")
@@ -47,7 +63,11 @@ GATEWAY_PROTOCOL_VERSIONS = (1, 2)
 GATEWAY_PROTOCOL_V2 = 2
 
 
-def hello_frame(versions: tuple = (GATEWAY_PROTOCOL_V2,), client: str = "repro.api") -> Dict[str, Any]:
+def hello_frame(
+    versions: tuple = (GATEWAY_PROTOCOL_V2,),
+    client: str = "repro.api",
+    encoding: str = ENCODING_JSON,
+) -> Dict[str, Any]:
     """The client's opening frame of a v2 gateway connection.
 
     Because every frame starts with a 4-byte big-endian length and
@@ -55,17 +75,34 @@ def hello_frame(versions: tuple = (GATEWAY_PROTOCOL_V2,), client: str = "repro.a
     ``0x00`` — which no v1 text command can start with.  That single byte
     is the whole version negotiation: the gateway peeks it and routes the
     connection to the framed v2 loop or the legacy v1 line loop.
+
+    ``encoding`` asks the gateway to carry the high-volume frames in that
+    body encoding.  Old clients (which never send the key) and old
+    gateways (which ignore it) both degrade to JSON, so the negotiation
+    is backwards- and forwards-compatible.
     """
-    return {"type": "hello", "versions": list(versions), "client": client}
+    frame = {"type": "hello", "versions": list(versions), "client": client}
+    if encoding != ENCODING_JSON:
+        frame["encoding"] = encoding
+    return frame
 
 
-def welcome_frame(version: int = GATEWAY_PROTOCOL_V2, server: str = "armada-gateway") -> Dict[str, Any]:
-    """The gateway's handshake acceptance."""
+def welcome_frame(
+    version: int = GATEWAY_PROTOCOL_V2,
+    server: str = "armada-gateway",
+    encoding: str = ENCODING_JSON,
+) -> Dict[str, Any]:
+    """The gateway's handshake acceptance.
+
+    ``encoding`` echoes what the gateway actually negotiated; clients
+    treat an absent key as ``"json"`` (pre-binary gateways never send it).
+    """
     return {
         "type": "welcome",
         "version": version,
         "server": server,
         "features": ["batch", "stream"],
+        "encoding": encoding,
     }
 
 
@@ -89,6 +126,15 @@ class ProtocolError(RuntimeError):
     """Raised on malformed frames or replies."""
 
 
+class EncodingError(ProtocolError):
+    """A well-framed body in an encoding this connection did not negotiate.
+
+    Distinct from :class:`ProtocolError` because it is *recoverable*: the
+    4-byte length framing is intact, so the receiver can answer with a
+    structured (non-fatal) error frame and keep reading the stream.
+    """
+
+
 def encode_frame(payload: Dict[str, Any]) -> bytes:
     """One frame: 4-byte big-endian length + compact JSON."""
     body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
@@ -97,15 +143,46 @@ def encode_frame(payload: Dict[str, Any]) -> bytes:
     return len(body).to_bytes(4, "big") + body
 
 
-def decode_frame(body: bytes) -> Dict[str, Any]:
-    """Decode a frame payload (the bytes after the length prefix)."""
-    payload = json.loads(body.decode("utf-8"))
+def encode_frame_binary(payload: Dict[str, Any]) -> bytes:
+    """One frame with a binary body: 4-byte big-endian length + 0xC1 + value.
+
+    Shares the length framing (and the size limit) with JSON frames; only
+    the body bytes differ, so a connection can interleave both encodings.
+    """
+    body = encode_binary(payload)
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES} limit")
+    return len(body).to_bytes(4, "big") + body
+
+
+def decode_frame(body: bytes, allow_binary: bool = False) -> Dict[str, Any]:
+    """Decode a frame payload (the bytes after the length prefix).
+
+    Binary bodies are self-identifying (leading ``0xC1``; JSON objects
+    start with ``{``).  A binary body arriving where ``allow_binary`` is
+    False raises :class:`EncodingError` — the framing survived, so the
+    caller can reply with a structured error instead of dropping the
+    connection.
+    """
+    if body and body[0] == BINARY_MAGIC:
+        if not allow_binary:
+            raise EncodingError(
+                "binary frame on a connection that negotiated JSON encoding"
+            )
+        try:
+            payload = decode_binary(body)
+        except BinaryCodecError as exc:
+            raise ProtocolError(f"malformed binary frame: {exc}") from exc
+    else:
+        payload = json.loads(body.decode("utf-8"))
     if not isinstance(payload, dict):
         raise ProtocolError("frame payload must be a JSON object")
     return payload
 
 
-async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+async def read_frame(
+    reader: asyncio.StreamReader, allow_binary: bool = False
+) -> Optional[Dict[str, Any]]:
     """Read one frame from ``reader``; ``None`` on clean EOF."""
     try:
         prefix = await reader.readexactly(4)
@@ -118,7 +195,7 @@ async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
         body = await reader.readexactly(length)
     except (asyncio.IncompleteReadError, ConnectionResetError):
         return None
-    return decode_frame(body)
+    return decode_frame(body, allow_binary=allow_binary)
 
 
 def message_to_wire(message: Message) -> Dict[str, Any]:

@@ -10,10 +10,12 @@ than raw speed.
 
 from __future__ import annotations
 
+import gc
 import heapq
-from typing import Callable, List, Optional, Tuple
+from heapq import heappop, heappush
+from typing import Any, Callable, List, Optional, Tuple
 
-from repro.sim.events import CancellableHandle, Event
+from repro.sim.events import CancellableHandle
 
 
 class SimulationError(RuntimeError):
@@ -44,7 +46,9 @@ class Simulator:
     def __init__(self) -> None:
         self._now: float = 0.0
         self._sequence: int = 0
-        self._heap: List[Tuple[float, int, int, CancellableHandle]] = []
+        # Payload is a CancellableHandle (schedule_at/schedule_after) or a
+        # plain (callback, arg) tuple (schedule_call).
+        self._heap: List[Tuple[float, int, int, Any]] = []
         self._processed: int = 0
         self._running: bool = False
         self._cancelled_pending: int = 0
@@ -87,11 +91,40 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at {time} before current time {self._now}"
             )
-        event = Event(time=time, callback=callback, priority=priority, label=label)
-        handle = CancellableHandle(event=event, on_cancel=self._note_cancellation)
+        # Inline allocation (no __init__ frame): one handle per event on the
+        # hottest path in the repository.
+        handle = CancellableHandle.__new__(CancellableHandle)
+        handle.time = time
+        handle.callback = callback
+        handle.priority = priority
+        handle.label = label
+        handle.cancelled = False
+        handle.on_cancel = self._note_cancellation
         self._sequence += 1
-        heapq.heappush(self._heap, (time, priority, self._sequence, handle))
+        heappush(self._heap, (time, priority, self._sequence, handle))
         return handle
+
+    def schedule_call(
+        self,
+        time: float,
+        callback: Callable[[Any], None],
+        arg: Any,
+        priority: int = 0,
+    ) -> None:
+        """Schedule ``callback(arg)`` at ``time`` — the non-cancellable fast path.
+
+        Message deliveries (the overwhelming majority of events in every
+        experiment) are never cancelled, so they skip the
+        :class:`CancellableHandle` and the closure entirely: the heap entry is
+        ``(time, priority, seq, (callback, arg))``.  Sequence numbers are
+        unique, so the payload element is never compared by the heap.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        self._sequence += 1
+        heappush(self._heap, (time, priority, self._sequence, (callback, arg)))
 
     def _note_cancellation(self) -> None:
         """Bookkeeping hook fired by :meth:`CancellableHandle.cancel`.
@@ -109,7 +142,12 @@ class Simulator:
 
     def _compact(self) -> None:
         """Rebuild the heap without cancelled entries (O(live) time)."""
-        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        # Tuple payloads (schedule_call) are never cancellable; keep them all.
+        self._heap = [
+            entry
+            for entry in self._heap
+            if entry[3].__class__ is tuple or not entry[3].cancelled
+        ]
         heapq.heapify(self._heap)
         self._cancelled_pending = 0
         self._compactions += 1
@@ -129,14 +167,19 @@ class Simulator:
     def step(self) -> bool:
         """Execute the next non-cancelled event.  Returns ``False`` if none remain."""
         while self._heap:
-            time, _priority, _seq, handle = heapq.heappop(self._heap)
+            time, _priority, _seq, handle = heappop(self._heap)
+            if handle.__class__ is tuple:
+                self._now = time
+                handle[0](handle[1])
+                self._processed += 1
+                return True
             if handle.cancelled:
                 self._cancelled_pending -= 1
                 continue
             # A cancel() after the event fired must not skew the live count.
             handle.on_cancel = None
             self._now = time
-            handle.event.fire()
+            handle.callback()
             self._processed += 1
             return True
         return False
@@ -160,27 +203,59 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         executed = 0
+        # The event loop allocates heavily (messages, handles, heap tuples)
+        # but creates no reference cycles of its own, so the generational GC
+        # only burns time scanning survivors.  Pause it for the duration and
+        # restore on the way out; anything cyclic is collected afterwards.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
-            while self._heap:
-                if max_events is not None and executed >= max_events:
-                    break
-                if until is not None:
-                    next_time = self._peek_time()
-                    if next_time is None or next_time > until:
-                        self._now = max(self._now, until)
+            if until is None and max_events is None:
+                # Fast path (the common drain-to-quiescence call): the step()
+                # body is inlined to avoid one Python call per event.  The
+                # heap attribute is re-read every iteration because callbacks
+                # may trigger a compaction, which replaces the list.
+                while self._heap:
+                    time, _priority, _seq, handle = heappop(self._heap)
+                    if handle.__class__ is tuple:
+                        # schedule_call payload: (callback, arg), uncancellable.
+                        self._now = time
+                        handle[0](handle[1])
+                        self._processed += 1
+                        executed += 1
+                        continue
+                    if handle.cancelled:
+                        self._cancelled_pending -= 1
+                        continue
+                    handle.on_cancel = None
+                    self._now = time
+                    handle.callback()
+                    self._processed += 1
+                    executed += 1
+            else:
+                while self._heap:
+                    if max_events is not None and executed >= max_events:
                         break
-                if not self.step():
-                    break
-                executed += 1
+                    if until is not None:
+                        next_time = self._peek_time()
+                        if next_time is None or next_time > until:
+                            self._now = max(self._now, until)
+                            break
+                    if not self.step():
+                        break
+                    executed += 1
         finally:
             self._running = False
+            if gc_was_enabled:
+                gc.enable()
         return executed
 
     def _peek_time(self) -> Optional[float]:
         """Time of the next non-cancelled event, or ``None``."""
         while self._heap:
             time, _priority, _seq, handle = self._heap[0]
-            if handle.cancelled:
+            if handle.__class__ is not tuple and handle.cancelled:
                 heapq.heappop(self._heap)
                 self._cancelled_pending -= 1
                 continue
@@ -192,7 +267,8 @@ class Simulator:
         # Sever the cancel-notification links first: cancelling a handle from
         # a previous epoch must not skew the new epoch's live-event count.
         for _time, _priority, _seq, handle in self._heap:
-            handle.on_cancel = None
+            if handle.__class__ is not tuple:
+                handle.on_cancel = None
         self._heap.clear()
         self._now = 0.0
         self._sequence = 0

@@ -3,15 +3,22 @@
 Events are small immutable records.  The scheduler orders them by
 ``(time, priority, sequence)`` so that simultaneous events are processed in a
 deterministic order: first by explicit priority, then by insertion order.
+
+Everything in this module is slotted: one :class:`CancellableHandle` is
+allocated per scheduled event on the simulator's hottest path (hundreds of
+thousands per load run), so instance dicts would be pure overhead.  The
+handle carries the callback directly — the richer :class:`Event` record is
+materialised lazily, only when someone actually asks for it (traces, error
+messages, tests).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """A generic scheduled callback.
 
@@ -37,21 +44,20 @@ class Event:
         self.callback()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MessageDelivery(Event):
     """Delivery of an overlay message to its destination node."""
 
     message: Any = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TimerFired(Event):
     """A timer set by a node (e.g. for stabilization rounds)."""
 
     owner: Optional[Any] = None
 
 
-@dataclass
 class CancellableHandle:
     """Handle returned by :meth:`Simulator.schedule` that allows cancellation.
 
@@ -59,11 +65,43 @@ class CancellableHandle:
     reaches the front.  This keeps the scheduler O(log n) per operation.  The
     scheduler installs ``on_cancel`` so it can keep an exact count of live
     events (and compact the heap when cancellations dominate).
+
+    A hand-rolled slotted class rather than a dataclass: one handle is
+    allocated per scheduled event, and the scheduler reads ``callback`` off
+    it directly when the event fires.
     """
 
-    event: Event
-    cancelled: bool = field(default=False)
-    on_cancel: Optional[Callable[[], None]] = field(default=None, repr=False, compare=False)
+    __slots__ = ("time", "callback", "priority", "label", "cancelled", "on_cancel")
+
+    def __init__(
+        self,
+        time: float = 0.0,
+        callback: Optional[Callable[[], None]] = None,
+        priority: int = 0,
+        label: str = "",
+        on_cancel: Optional[Callable[[], None]] = None,
+        event: Optional[Event] = None,
+    ) -> None:
+        if event is not None:
+            # Legacy construction from a pre-built Event record.
+            time, callback = event.time, event.callback
+            priority, label = event.priority, event.label
+        self.time = time
+        self.callback = callback
+        self.priority = priority
+        self.label = label
+        self.cancelled = False
+        self.on_cancel = on_cancel
+
+    @property
+    def event(self) -> Event:
+        """The full :class:`Event` record (materialised on demand)."""
+        return Event(
+            time=self.time,
+            callback=self.callback,
+            priority=self.priority,
+            label=self.label,
+        )
 
     def cancel(self) -> None:
         """Mark the underlying event so the scheduler skips it (idempotent)."""
@@ -72,3 +110,9 @@ class CancellableHandle:
         self.cancelled = True
         if self.on_cancel is not None:
             self.on_cancel()
+
+    def __repr__(self) -> str:
+        return (
+            f"CancellableHandle(time={self.time}, priority={self.priority}, "
+            f"label={self.label!r}, cancelled={self.cancelled})"
+        )

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class Counter:
     """A monotonically increasing named counter."""
 

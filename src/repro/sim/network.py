@@ -23,7 +23,7 @@ from repro.sim.metrics import MetricsRegistry
 from repro.sim.trace import TraceRecorder
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A message travelling through the overlay.
 
@@ -107,7 +107,7 @@ class FaultInjectorProtocol(Protocol):
         """Reason the delivery must be suppressed, or ``None`` to deliver."""
 
 
-@dataclass
+@dataclass(slots=True)
 class FaultDecision:
     """Composable outcome of consulting the fault models for one message."""
 
@@ -155,11 +155,10 @@ class OverlayNetwork:
         # installed an ``on_drop`` callback (satellite of the faults work —
         # a query whose messages vanish must be visible, not silently short).
         self._query_drops: Dict[Tuple[str, Any], int] = {}
-        # Hot-path caches: counter objects and interned per-kind labels, so
-        # sending a message costs no registry lookups or string formatting.
+        # Hot-path caches: per-kind counter objects, so sending a message
+        # costs no registry lookups or string formatting.
         self._total_counter = self.metrics.counter("messages.total")
-        self._kind_counters: Dict[str, Any] = {}
-        self._kind_labels: Dict[str, str] = {}
+        self._kind_cache: Dict[str, Any] = {}
 
     # -- node management ---------------------------------------------------
 
@@ -235,14 +234,17 @@ class OverlayNetwork:
 
     def send(self, message: Message) -> None:
         """Send a message: count it and schedule its delivery."""
+        kind = message.kind
         if message.receiver not in self._nodes:
             raise NetworkError(f"message to unknown node {message.receiver!r}")
-        self._total_counter.increment()
-        kind_counter = self._kind_counters.get(message.kind)
+        # Counters are incremented in place (they are plain slotted records
+        # owned by this overlay) — two method calls per message saved.
+        self._total_counter.value += 1
+        kind_counter = self._kind_cache.get(kind)
         if kind_counter is None:
-            kind_counter = self.metrics.counter(f"messages.{message.kind}")
-            self._kind_counters[message.kind] = kind_counter
-        kind_counter.increment()
+            kind_counter = self.metrics.counter(f"messages.{kind}")
+            self._kind_cache[kind] = kind_counter
+        kind_counter.value += 1
         if self.trace is not None:
             self.trace.record(
                 self.simulator.now,
@@ -270,26 +272,30 @@ class OverlayNetwork:
             extra_delay = decision.extra_delay
             copies = decision.copies
         override = message.metadata.get("latency")
-        latency = (
-            float(override) if override is not None else self.latency_model.latency(message)
-        ) + extra_delay
-        label = self._kind_labels.get(message.kind)
-        if label is None:
-            label = f"deliver:{message.kind}"
-            self._kind_labels[message.kind] = label
-        self.simulator.schedule_after(
-            latency,
-            lambda msg=message: self._deliver(msg),
-            label=label,
-        )
+        if override is not None:
+            latency = float(override) + extra_delay
+        else:
+            # Exact-class fast path for the default hop-latency model: its
+            # answer is the constant 1.0, not worth a Python call per message.
+            model = self.latency_model
+            latency = (
+                1.0 if model.__class__ is HopLatencyModel else model.latency(message)
+            ) + extra_delay
+        # Deliveries are never cancelled, so they go through the scheduler's
+        # handle-free fast path (schedule_call); a negative latency still
+        # raises the same SimulationError through its past-time check.
+        simulator = self.simulator
+        # Direct clock read (same subsystem): the `now` property costs a
+        # Python call per message for no added safety here.
+        simulator.schedule_call(simulator._now + latency, self._deliver, message)
         # Duplication faults: extra copies arrive one latency unit apart so
         # they are strictly ordered after the original (deterministically).
         for copy_index in range(copies):
             self.metrics.counter("messages.duplicated").increment()
-            self.simulator.schedule_after(
-                latency + float(copy_index + 1),
-                lambda msg=message: self._deliver(msg),
-                label=label,
+            simulator.schedule_call(
+                simulator.now + latency + float(copy_index + 1),
+                self._deliver,
+                message,
             )
 
     def _notify_drop(self, message: Message) -> None:
@@ -334,7 +340,14 @@ class OverlayNetwork:
                 hop=message.hop,
                 query_id=message.query_id,
             )
-        node.handle_message(self, message)
+        # Messages carrying a ``handler`` metadata hook (the query executors'
+        # per-message dispatch) are routed to it directly — same contract as
+        # FissionePeer.handle_message's shim, minus one call per message.
+        handler = message.metadata.get("handler")
+        if handler is not None:
+            handler(node, self, message)
+        else:
+            node.handle_message(self, message)
 
     def run(self, until: Optional[float] = None) -> int:
         """Run the underlying scheduler until quiescence (or ``until``)."""

@@ -19,9 +19,11 @@ from repro.runtime.client import RuntimeClient
 from repro.runtime.cluster import LiveCluster
 from repro.runtime.gateway import Gateway
 from repro.runtime.protocol import (
+    ENCODING_BINARY,
     MAX_FRAME_BYTES,
     ProtocolError,
     encode_frame,
+    encode_frame_binary,
     hello_frame,
     read_frame,
 )
@@ -42,10 +44,10 @@ async def teardown(cluster, gateway):
     await cluster.stop()
 
 
-async def raw_v2(gateway, versions=(2,)):
+async def raw_v2(gateway, versions=(2,), encoding="json"):
     """A raw handshaken v2 connection (reader, writer)."""
     reader, writer = await asyncio.open_connection(*gateway.address)
-    writer.write(encode_frame(hello_frame(versions=versions)))
+    writer.write(encode_frame(hello_frame(versions=versions, encoding=encoding)))
     await writer.drain()
     return reader, writer
 
@@ -257,6 +259,182 @@ class TestFrameErrors:
                 assert error["type"] == "error"
                 assert error["rid"] == 3
                 writer.close()
+            finally:
+                await teardown(cluster, gateway)
+
+        asyncio.run(scenario())
+
+
+class TestEncodingNegotiation:
+    """Satellite of the binary-hot-path PR: the ``encoding`` handshake key
+    and the per-connection rules it creates."""
+
+    def test_welcome_defaults_to_json_for_old_clients(self):
+        async def scenario():
+            cluster, gateway = await boot()
+            try:
+                reader, writer = await raw_v2(gateway)
+                welcome = await read_frame(reader)
+                assert welcome["type"] == "welcome"
+                assert welcome["encoding"] == "json"
+                writer.close()
+            finally:
+                await teardown(cluster, gateway)
+
+        asyncio.run(scenario())
+
+    def test_binary_negotiation_round_trip(self):
+        async def scenario():
+            cluster, gateway = await boot()
+            try:
+                reader, writer = await raw_v2(gateway, encoding=ENCODING_BINARY)
+                welcome = await read_frame(reader)  # control frames stay JSON
+                assert welcome["type"] == "welcome"
+                assert welcome["encoding"] == "binary"
+                writer.write(
+                    encode_frame_binary(
+                        {"type": "request", "rid": 1, "request": {"op": "ping"}}
+                    )
+                )
+                await writer.drain()
+                # Peek the raw reply body: it must be a binary frame.
+                prefix = await reader.readexactly(4)
+                body = await reader.readexactly(int.from_bytes(prefix, "big"))
+                assert body[0] == 0xC1
+                from repro.runtime.binframe import decode_binary
+
+                reply = decode_binary(body)
+                assert reply["type"] == "reply"
+                assert reply["rid"] == 1
+                assert reply["payload"]["type"] == "pong"
+                # And the gateway's stats report the negotiation.
+                reader2, writer2 = await raw_v2(gateway)
+                await read_frame(reader2)
+                writer2.write(
+                    encode_frame(
+                        {"type": "request", "rid": 1, "request": {"op": "stats"}}
+                    )
+                )
+                await writer2.drain()
+                stats = (await read_frame(reader2))["payload"]["stats"]
+                assert stats["binary_connections"] >= 1
+                assert stats["active_encodings"]["binary"] >= 1
+                assert stats["active_encodings"]["json"] >= 1
+                writer.close()
+                writer2.close()
+            finally:
+                await teardown(cluster, gateway)
+
+        asyncio.run(scenario())
+
+    def test_unknown_encoding_gets_fatal_structured_error(self):
+        async def scenario():
+            cluster, gateway = await boot()
+            try:
+                reader, writer = await raw_v2(gateway, encoding="zstd")
+                error = await read_frame(reader)
+                assert error["type"] == "error"
+                assert error["fatal"] is True
+                assert "zstd" in error["error"]
+                # tells the client what would have worked
+                assert "json" in error["error"] and "binary" in error["error"]
+                assert await read_frame(reader) is None  # then the close
+                writer.close()
+            finally:
+                await teardown(cluster, gateway)
+
+        asyncio.run(scenario())
+
+    def test_binary_frame_on_json_connection_errors_but_survives(self):
+        """Length framing is intact, so an unexpected binary body is
+        recoverable: structured error, then the connection keeps working."""
+
+        async def scenario():
+            cluster, gateway = await boot()
+            try:
+                reader, writer = await raw_v2(gateway)  # negotiated JSON
+                await read_frame(reader)  # welcome
+                writer.write(
+                    encode_frame_binary(
+                        {"type": "request", "rid": 9, "request": {"op": "ping"}}
+                    )
+                )
+                writer.write(
+                    encode_frame(
+                        {"type": "request", "rid": 10, "request": {"op": "ping"}}
+                    )
+                )
+                await writer.drain()
+                error = await read_frame(reader)
+                assert error["type"] == "error"
+                assert error.get("fatal") is not True
+                assert "binary" in error["error"]
+                reply = await read_frame(reader)  # the JSON ping still answers
+                assert reply["type"] == "reply"
+                assert reply["rid"] == 10
+                writer.close()
+            finally:
+                await teardown(cluster, gateway)
+
+        asyncio.run(scenario())
+
+    def test_oversized_binary_frame_fatal_like_oversized_json(self):
+        async def scenario():
+            cluster, gateway = await boot()
+            try:
+                reader, writer = await raw_v2(gateway, encoding=ENCODING_BINARY)
+                await read_frame(reader)  # welcome
+                writer.write((MAX_FRAME_BYTES + 1).to_bytes(4, "big") + b"\xc1")
+                await writer.drain()
+                error = await read_frame(reader)
+                assert error["type"] == "error"
+                assert error["fatal"] is True
+                assert "exceeds" in error["error"]
+                assert await read_frame(reader) is None
+                writer.close()
+            finally:
+                await teardown(cluster, gateway)
+
+        asyncio.run(scenario())
+
+    def test_client_side_oversized_binary_encode_rejected(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame_binary({"type": "reply", "rid": 1, "blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+    def test_mixed_encoding_clients_pipeline_on_one_gateway(self):
+        """One JSON session and one binary session, interleaved requests —
+        every reply re-associates on the right connection with identical
+        results (the encoding changes bytes, never semantics)."""
+
+        async def scenario():
+            cluster, gateway = await boot()
+            try:
+                json_session = await LiveSession.connect(*gateway.address, pool=2)
+                bin_session = await LiveSession.connect(
+                    *gateway.address, pool=2, encoding=ENCODING_BINARY
+                )
+                assert bin_session.encoding == ENCODING_BINARY
+                await json_session.insert(123.0)
+                origin = sorted(cluster.network.peer_ids())[0]
+                json_replies, bin_replies = await asyncio.gather(
+                    asyncio.gather(
+                        *(json_session.range(0.0, 500.0, origin=origin) for _ in range(6))
+                    ),
+                    asyncio.gather(
+                        *(bin_session.range(0.0, 500.0, origin=origin) for _ in range(6))
+                    ),
+                )
+                for json_reply, bin_reply in zip(json_replies, bin_replies):
+                    assert json_reply.result.matching_values() == [123.0]
+                    assert (
+                        bin_reply.result.matching_values()
+                        == json_reply.result.matching_values()
+                    )
+                    assert bin_reply.result.messages == json_reply.result.messages
+                stats = await json_session.stats()
+                assert stats["active_encodings"] == {"json": 2, "binary": 2}
+                await json_session.close()
+                await bin_session.close()
             finally:
                 await teardown(cluster, gateway)
 

@@ -51,12 +51,18 @@ async def boot_cluster(num_peers: int, **kwargs):
 
 
 class TestSimLiveEquivalence:
-    def test_n32_identical_results(self):
-        """Same seed, same queries → byte-equal result sets, sim vs live."""
+    @pytest.mark.parametrize("encoding", ["json", "binary"])
+    def test_n32_identical_results(self, encoding):
+        """Same seed, same queries → byte-equal result sets, sim vs live —
+        over both negotiated frame encodings (the binary bodies change
+        bytes on the wire, never the deterministic query semantics)."""
         system = build_reference(32)
 
         async def scenario():
             cluster, gateway, client = await boot_cluster(32)
+            session = await LiveSession.connect(
+                *gateway.address, pool=2, encoding=encoding
+            )
             try:
                 assert sorted(cluster.network.peer_ids()) == sorted(
                     system.network.peer_ids()
@@ -69,7 +75,7 @@ class TestSimLiveEquivalence:
                     low = rng.uniform(0.0, 800.0)
                     high = low + rng.uniform(1.0, 150.0)
                     sim = system.range_query(low, high, origin=origin)
-                    live = (await client.range(low, high, origin=origin)).result
+                    live = (await session.range(low, high, origin=origin)).result
                     assert live.destinations == sim.destinations
                     assert sorted(live.matching_values()) == sorted(sim.matching_values())
                     assert live.messages == sim.messages
@@ -80,7 +86,7 @@ class TestSimLiveEquivalence:
                     if index % 4 == 0:  # interleave MIRA boxes
                         box = ((low, high), (100.0, 900.0))
                         sim_m = system.multi_range_query(box, origin=origin)
-                        live_m = (await client.multi_range(box, origin=origin)).result
+                        live_m = (await session.multi_range(box, origin=origin)).result
                         assert live_m.destinations == sim_m.destinations
                         assert sorted(live_m.matching_values()) == sorted(
                             sim_m.matching_values()
@@ -89,6 +95,7 @@ class TestSimLiveEquivalence:
                         assert live_m.delay_hops == sim_m.delay_hops
                 assert checked == 32
             finally:
+                await session.close()
                 await client.close()
                 await gateway.shutdown()
                 await cluster.stop()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate: run the benchmark suite and diff the numbers.
+
+Standalone wrapper over :mod:`repro.benchgate` (the ``repro bench``
+subcommand is the same flow).  Typical CI invocation, from the repo root::
+
+    python tools/bench_check.py --check
+
+which (1) runs the ``benchmarks/`` pytest suite, regenerating the
+``BENCH_*.json`` artifacts, (2) appends a timestamped, environment-stamped
+record to ``benchmarks/history.jsonl``, (3) prints a delta table of every
+gated metric against the baselines committed at git HEAD, and (4) exits
+non-zero if any gated metric regressed by more than the threshold.
+
+Wall-clock throughput metrics are only gated when the baseline was
+recorded on a machine with the same ``cpu_count`` — ratios (success
+ratios, speedups, deterministic counts) are gated unconditionally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro.benchgate import DEFAULT_THRESHOLD, run_gate  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when a gated metric regresses beyond the threshold",
+    )
+    parser.add_argument(
+        "--skip-run",
+        action="store_true",
+        help="compare the on-disk BENCH_*.json without rerunning the suite",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help=f"relative drop that fails the gate (default {DEFAULT_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--bench-dir",
+        default=None,
+        help="directory holding BENCH_*.json (default: <repo>/benchmarks)",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=None,
+        help="baseline BENCH_*.json directory (default: the files committed at git HEAD)",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append this run to benchmarks/history.jsonl",
+    )
+    args = parser.parse_args(argv)
+    return run_gate(
+        repo_root=_REPO_ROOT,
+        bench_dir=args.bench_dir,
+        baseline_dir=args.baseline_dir,
+        check=args.check,
+        skip_run=args.skip_run,
+        threshold=args.threshold,
+        history=not args.no_history,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())
