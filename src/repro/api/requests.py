@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.pira import RangeQueryResult
 from repro.engine.reporting import QueryJob
+from repro.wire import decode_value
 
 
 class ApiError(RuntimeError):
@@ -48,9 +49,12 @@ class RequestOptions:
     * ``deadline`` — per-query bound on the *backend's* clock: wall-clock
       seconds live, simulated units in the simulator; ``None`` uses the
       backend default;
-    * ``replicas`` — independent executions of the same query; the best
-      reply (complete beats partial, more matches beat fewer) wins, a
-      cheap robustness knob under faults;
+    * ``replicas`` — for queries: independent executions of the same
+      query; the best reply (complete beats partial, more matches beat
+      fewer) wins, a cheap robustness knob under faults.  For inserts:
+      real write replication — the object is durably appended on the
+      owner plus ``replicas - 1`` prefix-sibling peers, and the insert is
+      acknowledged only after every copy synced;
     * ``retries`` — resubmissions after a *transport* failure (connection
       drop, gateway restart); meaningless in the simulator;
     * ``stream`` — ask for per-destination partial results (protocol v2
@@ -198,6 +202,24 @@ class MultiInsert(Request):
 
 
 @dataclass(frozen=True)
+class Get(Request):
+    """Exact read of one single-attribute value, with replica failover.
+
+    The backend resolves the value's ObjectID and reads from the first
+    live copy holder in replica-placement order: the owner's primary
+    copy, then prefix siblings' replica copies.  This is how a client
+    observes that an acknowledged ``replicas=k`` insert survives the
+    owner's crash.
+    """
+
+    op = "get"
+    value: float = 0.0
+
+    def payload(self) -> Dict[str, Any]:
+        return {"value": float(self.value)}
+
+
+@dataclass(frozen=True)
 class Stats(Request):
     """Backend statistics (cluster + gateway counters live, system stats sim)."""
 
@@ -213,7 +235,8 @@ class Ping(Request):
 
 #: every concrete request type, keyed by its wire ``op``
 REQUEST_TYPES: Dict[str, type] = {
-    cls.op: cls for cls in (RangeQuery, MultiRangeQuery, Insert, MultiInsert, Stats, Ping)
+    cls.op: cls
+    for cls in (RangeQuery, MultiRangeQuery, Insert, MultiInsert, Get, Stats, Ping)
 }
 
 QueryRequest = Union[RangeQuery, MultiRangeQuery]
@@ -247,6 +270,8 @@ def request_from_wire(wire: Dict[str, Any]) -> Request:
             return MultiInsert(
                 values=tuple(float(value) for value in wire["values"]), options=options
             )
+        if cls is Get:
+            return Get(value=float(wire["value"]), options=options)
     except (KeyError, TypeError, ValueError) as exc:
         raise ApiError(f"malformed {op!r} request: {exc}") from exc
     return cls(options=options)
@@ -305,10 +330,34 @@ class Chunk:
 
 @dataclass(frozen=True)
 class InsertReply(Reply):
-    """Publication acknowledged: the ObjectID and its owning peer."""
+    """Publication acknowledged: the ObjectID and its owning peer.
+
+    ``replicas`` lists every peer whose store durably appended the object
+    before the ack (owner first); empty means the pre-replication wire
+    form (a single-copy write on the owner).
+    """
 
     object_id: str = ""
     owner: str = ""
+    replicas: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class GetReply(Reply):
+    """Exact-read result: which peer served it and the matching objects.
+
+    ``peer`` is ``None`` (and ``found`` False) when no live peer holds a
+    copy; ``values`` are the stored payloads under the value's ObjectID.
+    """
+
+    object_id: str = ""
+    peer: Optional[str] = None
+    values: Tuple[Any, ...] = ()
+
+    @property
+    def found(self) -> bool:
+        """True when some live peer served a copy."""
+        return self.peer is not None
 
 
 @dataclass(frozen=True)
@@ -340,7 +389,17 @@ def reply_from_payload(request: Request, payload: Dict[str, Any], chunks: int = 
             chunks=chunks,
         )
     if kind == "inserted":
-        return InsertReply(object_id=payload["object_id"], owner=payload["owner"])
+        return InsertReply(
+            object_id=payload["object_id"],
+            owner=payload["owner"],
+            replicas=tuple(payload.get("replicas", ())),
+        )
+    if kind == "found":
+        return GetReply(
+            object_id=payload["object_id"],
+            peer=payload.get("peer"),
+            values=tuple(decode_value(value) for value in payload.get("values", ())),
+        )
     if kind == "stats":
         return StatsReply(stats=payload["stats"])
     if kind == "pong":

@@ -39,6 +39,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.api.requests import (
     Chunk,
+    Get,
+    GetReply,
     Insert,
     InsertReply,
     MultiInsert,
@@ -189,16 +191,36 @@ class Session:
         assert isinstance(reply, QueryReply)
         return reply
 
-    async def insert(self, value: float) -> InsertReply:
-        """Publish a single-attribute object."""
-        reply = await self.submit(Insert(value=float(value)))
+    async def insert(self, value: float, replicas: int = 1) -> InsertReply:
+        """Publish a single-attribute object.
+
+        ``replicas=k`` durably appends the object on the owner plus
+        ``k-1`` prefix-sibling peers and acknowledges only after every
+        copy is synced (the write-replication path, not query retry).
+        """
+        reply = await self.submit(
+            Insert(value=float(value), options=RequestOptions(replicas=replicas))
+        )
         assert isinstance(reply, InsertReply)
         return reply
 
-    async def insert_multi(self, values: Sequence[float]) -> InsertReply:
-        """Publish a multi-attribute object."""
-        reply = await self.submit(MultiInsert(values=tuple(values)))
+    async def insert_multi(self, values: Sequence[float], replicas: int = 1) -> InsertReply:
+        """Publish a multi-attribute object (``replicas`` as in :meth:`insert`)."""
+        reply = await self.submit(
+            MultiInsert(values=tuple(values), options=RequestOptions(replicas=replicas))
+        )
         assert isinstance(reply, InsertReply)
+        return reply
+
+    async def get(self, value: float) -> GetReply:
+        """Exact read of a single-attribute object, with replica failover.
+
+        Returns the stored copies held by the first live peer in
+        replica-placement order (owner first); ``reply.found`` is False
+        when no live peer holds the value.
+        """
+        reply = await self.submit(Get(value=float(value)))
+        assert isinstance(reply, GetReply)
         return reply
 
     async def stats(self) -> Dict[str, Any]:

@@ -20,6 +20,8 @@ from typing import Any, Dict, Optional, Sequence
 from repro.api.requests import (
     ApiError,
     Chunk,
+    Get,
+    GetReply,
     Insert,
     InsertReply,
     MultiInsert,
@@ -66,14 +68,27 @@ class SimSession(Session):
             if isinstance(request, (RangeQuery, MultiRangeQuery)):
                 return self._run_query(request, on_chunk)
             if isinstance(request, Insert):
-                object_id = self.system.insert(request.value, payload=float(request.value))
+                object_id, peers = self.system.insert_replicated(
+                    request.value,
+                    payload=float(request.value),
+                    replicas=request.options.replicas,
+                )
                 return InsertReply(
-                    object_id=object_id, owner=self.system.network.owner_id(object_id)
+                    object_id=object_id, owner=peers[0], replicas=tuple(peers)
                 )
             if isinstance(request, MultiInsert):
-                object_id = self.system.insert_multi(request.values)
+                object_id, peers = self.system.insert_multi_replicated(
+                    request.values, replicas=request.options.replicas
+                )
                 return InsertReply(
-                    object_id=object_id, owner=self.system.network.owner_id(object_id)
+                    object_id=object_id, owner=peers[0], replicas=tuple(peers)
+                )
+            if isinstance(request, Get):
+                peer_id, objects = self.system.durable_get(request.value)
+                return GetReply(
+                    object_id=self.system.single_namer.name(request.value),
+                    peer=peer_id,
+                    values=tuple(stored.value for stored in objects),
                 )
             if isinstance(request, Stats):
                 stats = dict(self.system.stats())

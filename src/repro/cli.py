@@ -125,7 +125,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--replicas",
         type=int,
         default=1,
-        help="sweep/faults: independent repetitions of every grid point",
+        help=(
+            "sweep/faults: independent repetitions of every grid point; "
+            "soak: durable copies per insert (owner + prefix siblings, "
+            "acked only after every copy is synced)"
+        ),
     )
     parser.add_argument(
         "--failed-fraction",
@@ -228,6 +232,32 @@ def build_parser() -> argparse.ArgumentParser:
             "soak only: v2 frame-body encoding — json (default, what every "
             "client speaks) or binary (the compact negotiated bodies for the "
             "high-volume request/reply/chunk/batch frames)"
+        ),
+    )
+    parser.add_argument(
+        "--storage",
+        choices=("memory", "wal", "sqlite"),
+        default="memory",
+        help=(
+            "soak only: peer storage backend — memory (default, volatile), "
+            "wal (append-only checksummed log per peer) or sqlite"
+        ),
+    )
+    parser.add_argument(
+        "--data-dir",
+        default=None,
+        help=(
+            "soak only: directory for the durable per-peer logs "
+            "(default: a fresh temp dir per run)"
+        ),
+    )
+    parser.add_argument(
+        "--kill-restart",
+        action="store_true",
+        help=(
+            "soak only: after seeding, hard-kill one peer (volatile state "
+            "and unsynced bytes dropped), restart it from its log, and fail "
+            "the run unless every acknowledged write survived"
         ),
     )
     parser.add_argument(
@@ -405,6 +435,10 @@ def make_soak_spec(args: argparse.Namespace, config: ExperimentConfig):
             protocol=args.protocol,
             pool=args.pool,
             encoding=args.encoding,
+            storage=args.storage,
+            data_dir=args.data_dir,
+            replicas=args.replicas,
+            kill_restart=args.kill_restart,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))

@@ -67,6 +67,7 @@ class ArmadaSystem:
         object_id_length: int = 32,
         network: Optional[FissioneNetwork] = None,
         overlay: Optional[OverlayNetwork] = None,
+        store_factory=None,
     ) -> None:
         self.rng = DeterministicRNG(seed)
         if network is None:
@@ -74,6 +75,7 @@ class ArmadaSystem:
                 num_peers=num_peers,
                 rng=self.rng.substream("topology"),
                 object_id_length=object_id_length,
+                store_factory=store_factory,
             )
         self.network = network
         self.overlay = overlay if overlay is not None else OverlayNetwork()
@@ -157,26 +159,79 @@ class ArmadaSystem:
     # publishing                                                           #
     # ------------------------------------------------------------------ #
 
-    def insert(self, value: float, payload: Any = None) -> str:
-        """Publish a single-attribute object; returns its ObjectID."""
-        object_id = self.single_namer.name(value)
-        self.network.publish(object_id, key=float(value), value=payload)
+    def insert(self, value: float, payload: Any = None, replicas: int = 1) -> str:
+        """Publish a single-attribute object; returns its ObjectID.
+
+        ``replicas=1`` is the pre-storage-seam write path, byte-identical
+        to every earlier release; ``replicas=k`` durably appends the
+        object on the owner plus ``k-1`` prefix siblings before returning
+        (see :meth:`insert_replicated` for the replica set).
+        """
+        object_id, _ = self.insert_replicated(value, payload=payload, replicas=replicas)
         return object_id
+
+    def insert_replicated(
+        self, value: float, payload: Any = None, replicas: int = 1
+    ) -> Tuple[str, List[str]]:
+        """Publish a single-attribute object; returns ``(object_id, peers)``."""
+        object_id = self.single_namer.name(value)
+        if replicas <= 1:
+            peer = self.network.publish(object_id, key=float(value), value=payload)
+            peer.backend.sync()
+            return object_id, [peer.peer_id]
+        targets = self.network.publish_replicated(
+            object_id, key=float(value), value=payload, replicas=replicas
+        )
+        return object_id, targets
 
     def insert_many(self, values: Sequence[float]) -> List[str]:
         """Publish many single-attribute objects (payload defaults to the value)."""
         return [self.insert(float(value), payload=float(value)) for value in values]
 
-    def insert_multi(self, values: Sequence[float], payload: Any = None) -> str:
+    def insert_multi(
+        self, values: Sequence[float], payload: Any = None, replicas: int = 1
+    ) -> str:
         """Publish a multi-attribute object; returns its ObjectID."""
+        object_id, _ = self.insert_multi_replicated(
+            values, payload=payload, replicas=replicas
+        )
+        return object_id
+
+    def insert_multi_replicated(
+        self, values: Sequence[float], payload: Any = None, replicas: int = 1
+    ) -> Tuple[str, List[str]]:
+        """Publish a multi-attribute object; returns ``(object_id, peers)``."""
         if self.multi_namer is None:
             raise ArmadaError(
                 "this ArmadaSystem was not configured with attribute_intervals; "
                 "multi-attribute publishing is unavailable"
             )
         object_id = self.multi_namer.name(values)
-        self.network.publish(object_id, key=tuple(float(v) for v in values), value=payload)
-        return object_id
+        key = tuple(float(v) for v in values)
+        if replicas <= 1:
+            peer = self.network.publish(object_id, key=key, value=payload)
+            peer.backend.sync()
+            return object_id, [peer.peer_id]
+        targets = self.network.publish_replicated(
+            object_id, key=key, value=payload, replicas=replicas
+        )
+        return object_id, targets
+
+    def durable_get(self, value: float):
+        """Exact read with replica failover, honouring crashed peers.
+
+        Returns ``(peer_id, objects)`` from the first live copy holder in
+        replica-placement order (owner first), or ``(None, [])`` when no
+        live peer holds the value.  This is the read-side counterpart of
+        ``replicas=k`` writes: after the owner crashes, an acknowledged
+        write is still served from a prefix sibling's replica copy.
+        """
+        object_id = self.single_namer.name(value)
+        injector = self.overlay.fault_injector
+        down = injector.down_ids if injector is not None else None
+        peer_id, objects = self.network.lookup_with_failover(object_id, down=down)
+        key = float(value)
+        return peer_id, [stored for stored in objects if stored.key == key]
 
     # ------------------------------------------------------------------ #
     # queries                                                              #
@@ -251,9 +306,13 @@ class ArmadaSystem:
     def stats(self) -> dict:
         """Key statistics of the system (sizes, degree, ID length, objects)."""
         report = self.topology_report()
+        peers = list(self.network.peers())
+        backend = peers[0].backend.backend_name if peers else "memory"
         return {
             "peers": self.size,
             "objects": self.network.total_objects(),
+            "storage": backend,
+            "replica_copies": sum(peer.backend.replica_count() for peer in peers),
             "log2_peers": self.log_size(),
             "average_out_degree": report.average_out_degree,
             "average_id_length": report.average_id_length,

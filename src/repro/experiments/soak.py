@@ -32,18 +32,20 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.api.live import LiveSession
 from repro.envinfo import environment_stamp
-from repro.api.requests import Insert, MultiInsert, Request
+from repro.api.requests import Insert, MultiInsert, Request, RequestOptions
 from repro.engine.reporting import EngineReport
 from repro.runtime.cluster import LiveCluster
 from repro.runtime.gateway import Gateway
 from repro.runtime.loadgen import make_mixed_jobs
 from repro.sim.rng import DeterministicRNG
+from repro.storage import BACKENDS
 from repro.workloads.values import uniform_values
 
 
@@ -67,6 +69,14 @@ class SoakSpec:
     pool: int = 4
     #: v2 frame-body encoding: "json" (default) or "binary"
     encoding: str = "json"
+    #: peer storage backend: "memory" (default), "wal" or "sqlite"
+    storage: str = "memory"
+    #: directory for durable logs (auto temp dir when unset)
+    data_dir: Optional[str] = None
+    #: copies per insert during seeding (owner + prefix siblings)
+    replicas: int = 1
+    #: kill -9 one peer after seeding and restart it from its log
+    kill_restart: bool = False
 
     def __post_init__(self) -> None:
         if self.peers < 3:
@@ -94,6 +104,15 @@ class SoakSpec:
             raise ValueError("encoding must be 'json' or 'binary'")
         if self.encoding == "binary" and self.protocol != 2:
             raise ValueError("binary encoding requires protocol 2")
+        if self.storage not in BACKENDS:
+            raise ValueError(f"storage must be one of {', '.join(BACKENDS)}")
+        if self.replicas < 1:
+            raise ValueError("replicas must be at least 1")
+        if self.kill_restart and self.storage == "memory":
+            raise ValueError(
+                "kill-restart needs a durable backend (--storage wal or sqlite); "
+                "a memory peer comes back empty and every acked write is lost"
+            )
 
     @property
     def pool_size(self) -> int:
@@ -123,6 +142,9 @@ class SoakResult:
         lat = self.report.latency_percentiles
         return {
             "peers": self.spec.peers,
+            "storage": self.spec.storage,
+            "write_replicas": self.spec.replicas,
+            "replayed_records": self.stats.get("replayed_records", 0),
             "nodes": self.stats.get("nodes", self.spec.nodes or self.spec.peers),
             "queries": self.report.queries,
             "concurrency": self.spec.concurrency,
@@ -159,6 +181,15 @@ class SoakResult:
             "Live soak (asyncio cluster on localhost TCP)",
             f"cluster           : {self.spec.peers} peers on "
             f"{self.stats.get('nodes', '?')} nodes, seed {self.spec.seed}",
+            f"storage           : {self.spec.storage}"
+            + (f", {self.spec.replicas} copies per insert" if self.spec.replicas > 1 else "")
+            + (
+                "; kill-restart {victim}: {replayed} records replayed, digest intact".format(
+                    **self.stats["kill_restart"]
+                )
+                if self.stats.get("kill_restart")
+                else ""
+            ),
             f"workload          : {self.spec.queries} queries "
             f"({self.spec.mira_fraction:.0%} MIRA), closed loop x{self.spec.concurrency} "
             f"over protocol v{self.spec.protocol} [{self.spec.encoding}] "
@@ -204,14 +235,46 @@ def run(spec: Optional[SoakSpec] = None) -> SoakResult:
     return asyncio.run(run_async(spec if spec is not None else SoakSpec()))
 
 
+def _kill_restart(cluster: LiveCluster) -> Dict[str, Any]:
+    """Hard-kill one peer and restart it from its durable log.
+
+    Picks the median peer (deterministic for a given seed), snapshots its
+    content-addressed digest, power-fails it (in-memory views and any
+    unsynced bytes are gone), replays, and asserts the digest is intact —
+    i.e. every acknowledged write survived ``kill -9``.  Raises
+    ``RuntimeError`` on any loss so ``--kill-restart`` runs fail loudly.
+    """
+    peer_ids = cluster.network.peer_ids()
+    victim = peer_ids[len(peer_ids) // 2]
+    peer = cluster.network.peer(victim)
+    objects_before = peer.object_count()
+    digest_before = peer.backend.digest()
+    cluster.crash_peer(victim)
+    if peer.object_count() != 0:
+        raise RuntimeError(f"crash of {victim!r} left volatile state behind")
+    replayed = cluster.restart_peer(victim)
+    if peer.backend.digest() != digest_before or peer.object_count() != objects_before:
+        raise RuntimeError(
+            f"kill-restart lost acknowledged writes on {victim!r}: "
+            f"{peer.object_count()}/{objects_before} objects after replaying "
+            f"{replayed} records"
+        )
+    return {"victim": victim, "replayed": replayed, "objects": objects_before}
+
+
 async def run_async(spec: SoakSpec) -> SoakResult:
     """Boot, publish, replay the workload, drain, and report."""
+    data_dir = spec.data_dir
+    if spec.storage != "memory" and data_dir is None:
+        data_dir = tempfile.mkdtemp(prefix="repro-soak-")
     cluster = LiveCluster(
         num_peers=spec.peers,
         seed=spec.seed,
         num_nodes=spec.nodes,
         attribute_interval=spec.attribute_interval,
         attribute_intervals=(spec.attribute_interval, spec.attribute_interval),
+        storage=spec.storage,
+        data_dir=data_dir,
     )
     await cluster.start()
     gateway = await Gateway(cluster, deadline=spec.deadline).start()
@@ -228,8 +291,9 @@ async def run_async(spec: SoakSpec) -> SoakResult:
             # Publish in batches: under protocol v2 each batch is posted
             # back-to-back on the pooled connections and the replies stream
             # in concurrently, so the seeding phase pipelines too.
+            write_options = RequestOptions(replicas=spec.replicas)
             inserts: List[Request] = [
-                Insert(value=value)
+                Insert(value=value, options=write_options)
                 for value in uniform_values(
                     rng.substream("soak-values"), spec.objects, low, high
                 )
@@ -238,11 +302,17 @@ async def run_async(spec: SoakSpec) -> SoakResult:
             # something to match.
             mrng = rng.substream("soak-mvalues")
             inserts.extend(
-                MultiInsert(values=(mrng.uniform(low, high), mrng.uniform(low, high)))
+                MultiInsert(
+                    values=(mrng.uniform(low, high), mrng.uniform(low, high)),
+                    options=write_options,
+                )
                 for _ in range(spec.objects // 4)
             )
             for index in range(0, len(inserts), 256):
                 await session.batch(inserts[index : index + 256])
+            # The crash-consistency probe: every insert above was acked as
+            # durable, so a peer must survive kill -9 with nothing lost.
+            kill_stats = _kill_restart(cluster) if spec.kill_restart else None
             jobs = make_mixed_jobs(
                 seed=spec.seed,
                 count=spec.queries,
@@ -257,6 +327,8 @@ async def run_async(spec: SoakSpec) -> SoakResult:
             )
             wall = time.perf_counter() - started
             stats = await session.stats()
+            if kill_stats is not None:
+                stats["kill_restart"] = kill_stats
         finally:
             await session.close()
     finally:

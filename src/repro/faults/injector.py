@@ -85,6 +85,33 @@ class FaultInjector:
         """Bring a crashed node back (crash-recover model)."""
         self._down.discard(node_id)
 
+    def power_fail(self, node_id: object) -> None:
+        """Crash ``node_id`` *and* lose its volatile storage.
+
+        On top of :meth:`crash`, nodes exposing an ``on_power_fail`` hook
+        (FISSIONE peers behind the storage seam) drop their in-memory
+        views and any unsynced log tail — what a real process kill does.
+        Nodes without the hook (plain test recorders) just crash.
+        """
+        self.crash(node_id)
+        node = self.overlay.node(node_id) if self.overlay.has_node(node_id) else None
+        hook = getattr(node, "on_power_fail", None)
+        if hook is not None:
+            hook()
+
+    def replay(self, node_id: object) -> int:
+        """Recover ``node_id`` by replaying its durable log.
+
+        The counterpart of :meth:`power_fail`: the node rejoins the
+        overlay serving only what its storage backend replays — nothing
+        for a memory backend, every synced record for a durable one.
+        Returns the number of replayed records (0 without a hook).
+        """
+        self.recover(node_id)
+        node = self.overlay.node(node_id) if self.overlay.has_node(node_id) else None
+        hook = getattr(node, "on_recover", None)
+        return hook() if hook is not None else 0
+
     def is_down(self, node_id: object) -> bool:
         """True while ``node_id`` is crashed."""
         return node_id in self._down

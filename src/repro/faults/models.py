@@ -127,9 +127,16 @@ class CrashStop(FaultModel):
 @dataclass
 class CrashRecover(FaultModel):
     """Crash-recover failures: peers go down at ``at`` and return after
-    ``downtime``.  While down they behave exactly like crash-stopped peers;
-    on recovery they resume handling messages (their stored objects were
-    never lost — the failure is a process crash, not a disk loss)."""
+    ``downtime``.  While down they behave exactly like crash-stopped peers.
+
+    The crash is a *power failure*, not a pause: the victim's in-memory
+    state and any unsynced log tail are lost at crash time
+    (:meth:`FaultInjector.power_fail`), and recovery *replays* the peer's
+    durable log (:meth:`FaultInjector.replay`).  A memory-backed peer
+    therefore comes back **empty** — it must not answer queries from
+    pre-crash state that was never durably stored — while a WAL- or
+    SQLite-backed peer comes back serving exactly the writes that were
+    synced (acknowledged) before the crash."""
 
     fraction: float = 0.0
     at: float = 0.0
@@ -162,10 +169,10 @@ class CrashRecover(FaultModel):
             else _victims(injector, self.rng, self.fraction, self.count)
         )
         for node_id in victims:
-            injector.crash(node_id)
+            injector.power_fail(node_id)
         injector.at(
             injector.simulator.now + self.downtime,
-            lambda: [injector.recover(node_id) for node_id in victims],
+            lambda: [injector.replay(node_id) for node_id in victims],
             label="fault:recover",
         )
 

@@ -28,11 +28,12 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.fissione.naming import kautz_hash
 from repro.fissione.peer import FissionePeer, StoredObject
 from repro.kautz import strings as ks
+from repro.storage.base import Store
 
 
 class FissioneError(RuntimeError):
@@ -54,12 +55,20 @@ class FissioneNetwork:
     #: owner-cache capacity; a full cache is cleared, not grown (see owner_id)
     _OWNER_CACHE_MAX = 1 << 17
 
-    def __init__(self, object_id_length: int = 100, base: int = 2) -> None:
+    def __init__(
+        self,
+        object_id_length: int = 100,
+        base: int = 2,
+        store_factory: Optional[Callable[[str], Store]] = None,
+    ) -> None:
         if object_id_length < 4:
             raise FissioneError("object_id_length must be at least 4")
         ks.alphabet(base)
         self.object_id_length = object_id_length
         self.base = base
+        #: per-peer storage backend factory; ``None`` keeps the default
+        #: (volatile) memory backend every peer had before the seam
+        self.store_factory = store_factory
         self._peers: Dict[str, FissionePeer] = {}
         self._sorted_ids: List[str] = []
         # Topology caches, invalidated wholesale on membership changes.
@@ -79,6 +88,7 @@ class FissioneNetwork:
         rng,
         object_id_length: int = 100,
         base: int = 2,
+        store_factory: Optional[Callable[[str], Store]] = None,
     ) -> "FissioneNetwork":
         """Build a network of ``num_peers`` peers via random joins.
 
@@ -89,7 +99,9 @@ class FissioneNetwork:
         minimum = base + 1
         if num_peers < minimum:
             raise FissioneError(f"need at least {minimum} peers, got {num_peers}")
-        network = cls(object_id_length=object_id_length, base=base)
+        network = cls(
+            object_id_length=object_id_length, base=base, store_factory=store_factory
+        )
         network.seed_initial()
         while network.size < num_peers:
             network.join(rng=rng)
@@ -100,7 +112,13 @@ class FissioneNetwork:
         if self._peers:
             raise FissioneError("network already seeded")
         for symbol in ks.alphabet(self.base):
-            self._add_peer(FissionePeer(peer_id=symbol))
+            self._add_peer(self._new_peer(symbol))
+
+    def _new_peer(self, peer_id: str) -> FissionePeer:
+        """Construct a peer with this network's storage backend."""
+        if self.store_factory is None:
+            return FissionePeer(peer_id=peer_id)
+        return FissionePeer(peer_id=peer_id, backend=self.store_factory(peer_id))
 
     # ------------------------------------------------------------------ #
     # basic accessors                                                      #
@@ -360,23 +378,28 @@ class FissioneNetwork:
             survivor_id = right_id if peer_id == left_id else left_id
             leaver = self._remove_peer(peer_id)
             survivor = self._remove_peer(survivor_id)
-            merged = FissionePeer(peer_id=parent)
+            merged = self._new_peer(parent)
             merged.absorb(survivor.objects())
             merged.absorb(leaver.objects())
+            leaver.backend.close()
+            survivor.backend.close()
             self._add_peer(merged)
             return
 
         leaver = self._remove_peer(peer_id)
         left = self._remove_peer(left_id)
         right = self._remove_peer(right_id)
-        merged = FissionePeer(peer_id=parent)
+        merged = self._new_peer(parent)
         merged.absorb(left.objects())
-        relocated = FissionePeer(peer_id=peer_id)
+        relocated = self._new_peer(peer_id)
         relocated.absorb(right.objects())  # the relocated peer republishes at its new zone
         # Objects from the freed sibling belong to the parent zone, not the
         # leaver's zone, so they stay with the merged peer.
         merged.absorb(relocated.take_objects_with_prefix(parent))
         relocated.absorb(leaver.objects())
+        leaver.backend.close()
+        left.backend.close()
+        right.backend.close()
         self._add_peer(merged)
         self._add_peer(relocated)
 
@@ -396,10 +419,92 @@ class FissioneNetwork:
         object_id = kautz_hash(name, length=self.object_id_length, base=self.base)
         return object_id, self.publish(object_id, name, value)
 
+    def replica_peers(self, object_id: str, replicas: int) -> List[str]:
+        """The ``replicas`` PeerIDs a write to ``object_id`` lands on.
+
+        The first entry is always the owner (the primary copy every range
+        query scans); the rest are its nearest *prefix siblings* — peers
+        found by walking the owner's PeerID prefix upward one symbol at a
+        time and collecting, in sorted order, the peers under each
+        progressively wider prefix.  Prefix siblings are exactly the peers
+        a zone merge would hand the owner's slice to, so replica placement
+        follows the same locality the topology itself uses.  The walk is a
+        pure function of the sorted PeerID list, so the simulator and the
+        live cluster (built from the same seed) pick identical replica
+        sets.
+
+        Returns fewer than ``replicas`` entries only when the whole
+        network is smaller than ``replicas``.
+        """
+        if replicas < 1:
+            raise FissioneError("replicas must be at least 1")
+        owner_id = self.owner_id(object_id)
+        chosen = [owner_id]
+        if replicas > 1:
+            for cut in range(len(owner_id) - 1, -1, -1):
+                for sibling in self.peers_with_prefix(owner_id[:cut]):
+                    if sibling not in chosen:
+                        chosen.append(sibling)
+                        if len(chosen) == replicas:
+                            return chosen
+                if len(chosen) == replicas:
+                    break
+        return chosen[:replicas]
+
+    def publish_replicated(
+        self, object_id: str, key: Any, value: Any, replicas: int = 1
+    ) -> List[str]:
+        """Durably store an object on ``replicas`` peers; returns their ids.
+
+        The owner takes the primary copy, the prefix siblings take replica
+        copies (held outside the query-scanned view), and every backend is
+        synced before this returns — the simulator's version of the
+        gateway ack rule: a write acknowledged here survives any single
+        replica's crash.
+        """
+        self._validate_object_id(object_id)
+        targets = self.replica_peers(object_id, replicas)
+        primary = self._peers[targets[0]]
+        primary.put(object_id, key, value)
+        primary.backend.sync()
+        for sibling_id in targets[1:]:
+            sibling = self._peers[sibling_id]
+            sibling.put_replica(object_id, key, value)
+            sibling.backend.sync()
+        return targets
+
     def lookup(self, object_id: str) -> List[StoredObject]:
         """Objects stored under ``object_id`` (no routing cost accounted)."""
         self._validate_object_id(object_id)
         return self.owner(object_id).get(object_id)
+
+    def lookup_with_failover(
+        self, object_id: str, down: Optional[Iterable[str]] = None
+    ) -> Tuple[Optional[str], List[StoredObject]]:
+        """Read ``object_id`` from the first live peer holding any copy.
+
+        Consults the owner's primary copy first, then walks the prefix
+        siblings (the replica placement order) reading replica copies.
+        ``down`` names peers that must be skipped (crashed in the fault
+        injector, or unreachable live nodes).  Returns ``(peer_id,
+        objects)`` for the first peer with a non-empty copy set, or
+        ``(None, [])`` when no live peer holds the object.
+        """
+        self._validate_object_id(object_id)
+        down_set = set(down) if down is not None else set()
+        # The full placement order: a copy written with any replication
+        # factor k sits on one of the first k entries, so walking in order
+        # finds the nearest live copy; a miss costs a full walk only for
+        # objects that were never stored.
+        candidates = self.replica_peers(object_id, self.size)
+        for index, peer_id in enumerate(candidates):
+            if peer_id in down_set:
+                continue
+            peer = self._peers[peer_id]
+            found = peer.get(object_id) if index == 0 else peer.get_any(object_id)
+            if found:
+                return peer_id, found
+        return None, []
 
     def total_objects(self) -> int:
         """Total number of stored objects across all peers."""
@@ -452,11 +557,12 @@ class FissioneNetwork:
             raise FissioneError(
                 f"cannot split peer {peer_id!r}: PeerID length would exceed the ObjectID length"
             )
-        left = FissionePeer(peer_id=left_id)
-        right = FissionePeer(peer_id=right_id)
+        left = self._new_peer(left_id)
+        right = self._new_peer(right_id)
         for stored in incumbent.objects():
             target = left if stored.object_id.startswith(left_id) else right
             target.absorb([stored])
+        incumbent.backend.close()
         self._add_peer(left)
         self._add_peer(right)
         return right

@@ -6,6 +6,14 @@ Neighbour relationships are derived from the global topology (held by
 :class:`repro.fissione.network.FissioneNetwork`); peers cache nothing about
 the topology so that joins and departures never leave stale peer state
 behind.
+
+Objects live behind the storage seam (:mod:`repro.storage`): every peer
+delegates to a :class:`~repro.storage.base.Store` backend — the default
+:class:`~repro.storage.memory.MemoryStore` reproduces the pre-seam dict
+semantics byte for byte, while the WAL/SQLite backends add a durable log
+the peer can replay after a crash.  The :attr:`FissionePeer.store`
+property still exposes the raw ``{object_id: [StoredObject, ...]}`` dict
+because the query executors scan it directly on the hot path.
 """
 
 from __future__ import annotations
@@ -13,41 +21,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
-from repro.wire import decode_value, encode_value
+from repro.storage.base import Store, StoredObject
+from repro.storage.memory import MemoryStore
 
-
-@dataclass(slots=True)
-class StoredObject:
-    """An object published into the DHT."""
-
-    object_id: str
-    key: Any
-    value: Any
-
-    def to_wire(self) -> Dict[str, Any]:
-        """JSON-compatible form; tuples in key/value survive the round trip."""
-        return {
-            "object_id": self.object_id,
-            "key": encode_value(self.key),
-            "value": encode_value(self.value),
-        }
-
-    @classmethod
-    def from_wire(cls, wire: Dict[str, Any]) -> "StoredObject":
-        """Rebuild a :class:`StoredObject` from :meth:`to_wire` output."""
-        return cls(
-            object_id=wire["object_id"],
-            key=decode_value(wire["key"]),
-            value=decode_value(wire["value"]),
-        )
+__all__ = ["FissionePeer", "StoredObject"]
 
 
 @dataclass(slots=True)
 class FissionePeer:
-    """A FISSIONE peer: a PeerID plus the local object store."""
+    """A FISSIONE peer: a PeerID plus the local object store backend."""
 
     peer_id: str
-    store: Dict[str, List[StoredObject]] = field(default_factory=dict)
+    backend: Store = field(default_factory=MemoryStore)
+
+    @property
+    def store(self) -> Dict[str, List[StoredObject]]:
+        """The primary read view — scanned directly by query executors."""
+        return self.backend.view
 
     @property
     def node_id(self) -> str:
@@ -69,44 +59,66 @@ class FissionePeer:
             raise ValueError(
                 f"peer {self.peer_id!r} does not own object id {object_id!r}"
             )
-        stored = StoredObject(object_id=object_id, key=key, value=value)
-        self.store.setdefault(object_id, []).append(stored)
-        return stored
+        return self.backend.put(object_id, key, value)
+
+    def put_replica(self, object_id: str, key: Any, value: Any) -> StoredObject:
+        """Hold a replica copy for a prefix sibling (not query-scanned)."""
+        return self.backend.put_replica(object_id, key, value)
 
     def get(self, object_id: str) -> List[StoredObject]:
         """All objects stored under ``object_id`` (empty list when none)."""
-        return list(self.store.get(object_id, []))
+        return self.backend.get(object_id)
+
+    def get_any(self, object_id: str) -> List[StoredObject]:
+        """Primary objects if held, else replica copies — the failover read."""
+        return self.backend.get(object_id) or self.backend.get_replica(object_id)
 
     def objects(self) -> List[StoredObject]:
         """All objects stored at this peer."""
-        result: List[StoredObject] = []
-        for bucket in self.store.values():
-            result.extend(bucket)
-        return result
+        return self.backend.objects()
 
     def object_count(self) -> int:
         """Number of objects stored at this peer."""
-        return sum(len(bucket) for bucket in self.store.values())
+        return self.backend.object_count()
 
     def take_objects_with_prefix(self, prefix: str) -> List[StoredObject]:
         """Remove and return objects whose ObjectID extends ``prefix``.
 
         Used when a zone splits and half of the objects move to the new peer.
         """
-        moved: List[StoredObject] = []
-        remaining: Dict[str, List[StoredObject]] = {}
-        for object_id, bucket in self.store.items():
-            if object_id.startswith(prefix):
-                moved.extend(bucket)
-            else:
-                remaining[object_id] = bucket
-        self.store = remaining
-        return moved
+        return self.backend.take_prefix(prefix)
 
     def absorb(self, objects: List[StoredObject]) -> None:
         """Add objects handed over from another peer."""
-        for stored in objects:
-            self.store.setdefault(stored.object_id, []).append(stored)
+        self.backend.absorb(objects)
+
+    def set_backend(self, backend: Store) -> None:
+        """Swap in a (typically durable) backend, migrating current state.
+
+        Used when a live peer attaches its per-peer store after the
+        bootstrap topology settles: objects published while the peer was
+        memory-backed move into the durable log.
+        """
+        for stored in self.backend.objects():
+            backend.put(stored.object_id, stored.key, stored.value)
+        for bucket in self.backend.replica_view.values():
+            for stored in bucket:
+                backend.put_replica(stored.object_id, stored.key, stored.value)
+        old = self.backend
+        self.backend = backend
+        old.close()
+
+    # ------------------------------------------------------------------ #
+    # crash / recovery hooks (driven by the fault injector)                #
+    # ------------------------------------------------------------------ #
+
+    def on_power_fail(self) -> None:
+        """Crash: volatile state and the unsynced log tail are lost."""
+        self.backend.power_fail()
+
+    def on_recover(self) -> int:
+        """Restart: replay the durable log (no-op for memory backends)."""
+        return self.backend.replay()
 
     def handle_message(self, network, message) -> None:  # pragma: no cover - thin shim
         """Messages are dispatched by the query-processing layer, not the peer."""

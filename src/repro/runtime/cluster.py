@@ -34,6 +34,7 @@ protocol is already shaped for it.
 from __future__ import annotations
 
 import asyncio
+import os
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.mira import MiraExecutor
@@ -46,6 +47,7 @@ from repro.runtime.protocol import RpcChannel, wire_to_message
 from repro.runtime.transport import Address, AsyncioTransport
 from repro.core.pira import PiraExecutor
 from repro.sim.rng import DeterministicRNG
+from repro.storage import BACKENDS, StoredObject, open_store, store_path
 from repro.wire import decode_value, encode_value
 
 
@@ -66,12 +68,18 @@ class LiveCluster:
         host: str = "127.0.0.1",
         num_nodes: Optional[int] = None,
         extra_transit: float = 0.0,
+        storage: str = "memory",
+        data_dir: Optional[str] = None,
     ) -> None:
         base = 2
         if num_peers < base + 1:
             raise ClusterError(f"need at least {base + 1} peers, got {num_peers}")
         if num_nodes is not None and num_nodes < 1:
             raise ClusterError("num_nodes must be positive")
+        if storage not in BACKENDS:
+            raise ClusterError(f"unknown storage backend {storage!r} (choose from {BACKENDS})")
+        if storage != "memory" and data_dir is None:
+            raise ClusterError(f"storage={storage!r} requires a data_dir")
         self.num_peers = num_peers
         self.seed = seed
         self.host = host
@@ -84,6 +92,12 @@ class LiveCluster:
         )
         self.object_id_length = object_id_length
         self.extra_transit = extra_transit
+        self.storage = storage
+        self.data_dir = data_dir
+        #: peers currently hard-killed via :meth:`crash_peer` (not routable)
+        self.down_peers: set = set()
+        #: records replayed from durable logs at the last attach/restart
+        self.replayed_records = 0
 
         self.transport = AsyncioTransport(extra_transit=extra_transit)
         self.network = FissioneNetwork(object_id_length=object_id_length, base=base)
@@ -134,11 +148,46 @@ class LiveCluster:
         rng = DeterministicRNG(self.seed).substream("topology")
         while self.network.size < self.num_peers:
             await self._join_one(rng)
+        if self.storage != "memory":
+            self._attach_durable_stores()
         self.started = True
         return self
 
+    def _attach_durable_stores(self) -> None:
+        """Open each peer's durable log, replay it, and swap it in.
+
+        Runs after the bootstrap joins settle so the log files are keyed
+        by *final* PeerIDs (boot splits rename peers; logging through the
+        renames would orphan half-written files).  Re-running against an
+        existing ``data_dir`` with the same seed reproduces the same
+        PeerIDs, so every peer reopens its own log and re-serves its
+        prefix slice — this is the cluster-restart recovery path.
+        """
+        assert self.data_dir is not None
+        os.makedirs(self.data_dir, exist_ok=True)
+        self.replayed_records = 0
+        for peer in self.network.peers():
+            store = open_store(
+                self.storage, store_path(self.data_dir, peer.peer_id, self.storage)
+            )
+            self.replayed_records += store.replay()
+            node = self._hosting_node(peer.peer_id)
+            if node is not None:
+                node.stores[peer.peer_id] = store
+            if peer.backend.object_count() or peer.backend.replica_count():
+                peer.set_backend(store)
+            else:
+                peer.backend.close()
+                peer.backend = store
+
+    def _hosting_node(self, peer_id: str) -> Optional[PeerNode]:
+        address = self.transport.address_of(peer_id)
+        if address is None:
+            return None
+        return self._node_by_address.get(address)
+
     async def stop(self) -> None:
-        """Close channels, links and every node's listener."""
+        """Close channels, links, every node's listener, and peer stores."""
         for channel in self._channels.values():
             await channel.close()
         self._channels.clear()
@@ -147,6 +196,8 @@ class LiveCluster:
             await node.stop()
         if self.seed_node is not None:
             await self.seed_node.stop()
+        for peer in self.network.peers():
+            peer.backend.close()
         self.started = False
 
     async def _start_node(self, name: str) -> PeerNode:
@@ -217,6 +268,8 @@ class LiveCluster:
             return {"ok": True}
         if kind == "store":
             return self._handle_store(frame)
+        if kind == "fetch":
+            return self._handle_fetch(frame)
         return {"ok": False, "error": f"unknown request type {kind!r}"}
 
     def _handle_join(self, frame: Dict[str, Any]) -> Dict[str, Any]:
@@ -245,33 +298,149 @@ class LiveCluster:
         return {"ok": True, "assigned": right, "renamed": {victim: left}}
 
     def _handle_store(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Durably append one copy of an object on the addressed peer.
+
+        ``role`` selects primary (the owner's query-scanned copy) or
+        replica (a prefix sibling's failover copy); frames without a
+        ``peer`` field keep the pre-replication behavior of publishing on
+        whoever owns the ObjectID.  The reply is sent only after the
+        peer's backend has synced — the per-copy durability ack.
+        """
         object_id = frame["object_id"]
-        owner = self.network.publish(
-            object_id, key=decode_value(frame["key"]), value=decode_value(frame["value"])
-        )
-        return {"ok": True, "owner": owner.peer_id}
+        key = decode_value(frame["key"])
+        value = decode_value(frame["value"])
+        peer_id = frame.get("peer")
+        if peer_id is None:
+            peer = self.network.publish(object_id, key=key, value=value)
+        else:
+            if peer_id in self.down_peers:
+                return {"ok": False, "error": f"peer {peer_id!r} is down"}
+            peer = self.network.peer(peer_id)
+            if frame.get("role") == "replica":
+                peer.put_replica(object_id, key, value)
+            else:
+                peer.put(object_id, key, value)
+        peer.backend.sync()
+        return {"ok": True, "owner": peer.peer_id}
+
+    def _handle_fetch(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Read one peer's copies of an ObjectID (primary, else replica)."""
+        peer_id = frame["peer"]
+        if peer_id in self.down_peers:
+            return {"ok": False, "error": f"peer {peer_id!r} is down"}
+        peer = self.network.peer(peer_id)
+        found = peer.get_any(frame["object_id"])
+        return {"ok": True, "objects": [stored.to_wire() for stored in found]}
 
     # ------------------------------------------------------------------ #
     # gateway-facing helpers                                               #
     # ------------------------------------------------------------------ #
 
-    async def store(self, object_id: str, key: Any, value: Any) -> str:
-        """Publish one object by sending a ``store`` frame to its owner's
-        node (a real TCP round trip); returns the owning PeerID."""
-        owner_id = self.network.owner_id(object_id)
-        address = self.transport.address_of(owner_id)
-        if address is None:
-            raise ClusterError(f"owner {owner_id!r} of {object_id!r} has no announced address")
-        reply = await self._request(
-            address,
-            {
-                "type": "store",
-                "object_id": object_id,
-                "key": encode_value(key),
-                "value": encode_value(value),
-            },
-        )
-        return reply["owner"]
+    async def store(
+        self, object_id: str, key: Any, value: Any, replicas: int = 1
+    ) -> List[str]:
+        """Durably publish one object on ``replicas`` peers; returns them.
+
+        Each copy is a ``store`` frame to the node hosting that peer (a
+        real TCP round trip per copy): the owner takes the primary copy,
+        the next ``replicas - 1`` prefix siblings take replica copies.
+        The call returns — i.e. the write is *acknowledged* — only after
+        every target's backend has synced its append.  Any per-copy
+        failure raises :class:`ClusterError`, so a partially-replicated
+        write is always reported failed, never silently dropped.  Known
+        dead targets fail the write *before* any copy is appended, so the
+        common crash case leaves no partial ghost behind either.
+        """
+        targets = self.network.replica_peers(object_id, replicas)
+        dead = [peer_id for peer_id in targets if peer_id in self.down_peers]
+        if dead:
+            raise ClusterError(
+                f"store of {object_id!r} failed: peer(s) "
+                f"{', '.join(repr(p) for p in dead)} down "
+                f"(0/{len(targets)} copies durable)"
+            )
+        acked: List[str] = []
+        for index, peer_id in enumerate(targets):
+            address = self.transport.address_of(peer_id)
+            if address is None:
+                raise ClusterError(
+                    f"peer {peer_id!r} for {object_id!r} has no announced address"
+                )
+            reply = await self._request(
+                address,
+                {
+                    "type": "store",
+                    "object_id": object_id,
+                    "key": encode_value(key),
+                    "value": encode_value(value),
+                    "peer": peer_id,
+                    "role": "primary" if index == 0 else "replica",
+                },
+            )
+            if not reply.get("ok", False):
+                raise ClusterError(
+                    f"store of {object_id!r} on {peer_id!r} failed: "
+                    f"{reply.get('error', 'unknown error')} "
+                    f"({len(acked)}/{len(targets)} copies durable)"
+                )
+            acked.append(peer_id)
+        return acked
+
+    async def fetch(self, object_id: str) -> Tuple[Optional[str], List[StoredObject]]:
+        """Read ``object_id`` from the first live copy holder.
+
+        Walks the replica-placement order (owner first, then prefix
+        siblings), skipping peers that are down, and issues a ``fetch``
+        frame to each candidate's hosting node until one returns a
+        non-empty copy set.  Returns ``(peer_id, objects)`` or
+        ``(None, [])`` when no live peer holds the object.
+        """
+        candidates = self.network.replica_peers(object_id, self.network.size)
+        for peer_id in candidates:
+            if peer_id in self.down_peers:
+                continue
+            address = self.transport.address_of(peer_id)
+            if address is None:
+                continue
+            reply = await self._request(
+                address, {"type": "fetch", "object_id": object_id, "peer": peer_id}
+            )
+            if not reply.get("ok", False):
+                continue
+            objects = [StoredObject.from_wire(wire) for wire in reply["objects"]]
+            if objects:
+                return peer_id, objects
+        return None, []
+
+    # ------------------------------------------------------------------ #
+    # crash / restart (kill-restart harness)                               #
+    # ------------------------------------------------------------------ #
+
+    def crash_peer(self, peer_id: str) -> None:
+        """Hard-kill one peer: volatile state and unsynced writes are lost.
+
+        Models ``kill -9`` of the process hosting the peer (pessimistically
+        — even OS-buffered unsynced bytes are dropped): the peer stops
+        serving stores and fetches until :meth:`restart_peer`, and its
+        backend takes a power failure.
+        """
+        peer = self.network.peer(peer_id)
+        self.down_peers.add(peer_id)
+        peer.on_power_fail()
+
+    def restart_peer(self, peer_id: str) -> int:
+        """Restart a hard-killed peer: reopen its log and replay.
+
+        Returns the number of replayed records.  After this the peer
+        serves exactly the writes that were durably acknowledged before
+        the crash — nothing more (no resurrection of unsynced state),
+        nothing less (no acknowledged write lost).
+        """
+        peer = self.network.peer(peer_id)
+        replayed = peer.on_recover()
+        self.replayed_records += replayed
+        self.down_peers.discard(peer_id)
+        return replayed
 
     def stats(self) -> Dict[str, Any]:
         """Cluster-level statistics for the gateway's ``stats`` command."""
@@ -279,6 +448,12 @@ class LiveCluster:
             "peers": self.network.size,
             "nodes": len(self.nodes),
             "objects": self.network.total_objects(),
+            "storage": self.storage,
+            "replica_copies": sum(
+                peer.backend.replica_count() for peer in self.network.peers()
+            ),
+            "replayed_records": self.replayed_records,
+            "down_peers": len(self.down_peers),
             "messages_sent": self.transport.messages_sent,
             "messages_dropped": self.transport.messages_dropped,
             "pira_in_flight": self.pira.active_queries if self.pira is not None else 0,

@@ -88,6 +88,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.api.requests import (
     ApiError,
+    Get,
     Insert,
     MultiInsert,
     MultiRangeQuery,
@@ -600,9 +601,11 @@ class Gateway:
         if isinstance(request, Stats):
             return self._stats()
         if isinstance(request, Insert):
-            return await self._insert(request.value)
+            return await self._insert(request.value, request.options.replicas)
         if isinstance(request, MultiInsert):
-            return await self._minsert(request.values)
+            return await self._minsert(request.values, request.options.replicas)
+        if isinstance(request, Get):
+            return await self._get(request.value)
         if isinstance(request, (RangeQuery, MultiRangeQuery)):
             return await self._run_query(request, on_chunk)
         raise ValueError(f"the gateway cannot execute request op {request.op!r}")
@@ -633,12 +636,20 @@ class Gateway:
         )
         return {"ok": True, "type": "stats", "stats": stats}
 
-    async def _insert(self, value: float) -> Dict[str, Any]:
+    async def _insert(self, value: float, replicas: int = 1) -> Dict[str, Any]:
         object_id = self.cluster.single_namer.name(value)
-        owner = await self.cluster.store(object_id, key=float(value), value=float(value))
-        return {"ok": True, "type": "inserted", "object_id": object_id, "owner": owner}
+        acked = await self.cluster.store(
+            object_id, key=float(value), value=float(value), replicas=replicas
+        )
+        return {
+            "ok": True,
+            "type": "inserted",
+            "object_id": object_id,
+            "owner": acked[0],
+            "replicas": acked,
+        }
 
-    async def _minsert(self, values: Tuple[float, ...]) -> Dict[str, Any]:
+    async def _minsert(self, values: Tuple[float, ...], replicas: int = 1) -> Dict[str, Any]:
         if self.cluster.multi_namer is None:
             raise ValueError("this cluster was not configured with attribute_intervals")
         if len(values) != self.cluster.multi_namer.dimensions:
@@ -646,8 +657,30 @@ class Gateway:
                 f"minsert needs {self.cluster.multi_namer.dimensions} values, got {len(values)}"
             )
         object_id = self.cluster.multi_namer.name(values)
-        owner = await self.cluster.store(object_id, key=tuple(values), value=None)
-        return {"ok": True, "type": "inserted", "object_id": object_id, "owner": owner}
+        acked = await self.cluster.store(
+            object_id, key=tuple(values), value=None, replicas=replicas
+        )
+        return {
+            "ok": True,
+            "type": "inserted",
+            "object_id": object_id,
+            "owner": acked[0],
+            "replicas": acked,
+        }
+
+    async def _get(self, value: float) -> Dict[str, Any]:
+        object_id = self.cluster.single_namer.name(value)
+        peer_id, objects = await self.cluster.fetch(object_id)
+        key = float(value)
+        return {
+            "ok": True,
+            "type": "found",
+            "object_id": object_id,
+            "peer": peer_id,
+            "values": [
+                encode_value(stored.value) for stored in objects if stored.key == key
+            ],
+        }
 
     # ------------------------------------------------------------------ #
     # query execution                                                      #

@@ -36,6 +36,10 @@ class PeerNode:
         self.host = host
         self.port: Optional[int] = None
         self.hosted: Set[str] = set()
+        #: durable store handles for hosted peers, keyed by PeerID — the
+        #: node owns the disk its peers log to, so stopping the node
+        #: flushes and closes every log it holds open
+        self.stores: Dict[str, Any] = {}
         self._on_cast = on_cast
         self._on_request = on_request
         self._server: Optional[asyncio.base_events.Server] = None
@@ -86,11 +90,14 @@ class PeerNode:
                 pass
 
     async def stop(self) -> None:
-        """Stop accepting connections and close the listener."""
+        """Stop accepting connections, close the listener, flush stores."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for store in self.stores.values():
+            store.close()
+        self.stores.clear()
 
     def __repr__(self) -> str:
         return f"PeerNode(name={self.name!r}, port={self.port}, hosted={sorted(self.hosted)})"

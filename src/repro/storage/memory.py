@@ -1,0 +1,26 @@
+"""The in-memory backend: the pre-seam peer dict, now behind the seam.
+
+:class:`MemoryStore` is :class:`~repro.storage.base.Store` verbatim — the
+base class *is* the dict logic that used to live inline on
+``FissionePeer``, and this subclass only pins the name.  It exists so
+call sites can say ``MemoryStore()`` (and ``isinstance`` checks read
+naturally) without implying the base class is abstract.
+
+Durability contract: none.  ``sync()`` is a no-op, ``power_fail()``
+loses everything, ``replay()`` restores nothing.  That is the honest
+behavior the corrected ``CrashRecover`` fault model exposes: a peer
+backed by memory comes back up *empty* and must re-serve only what the
+overlay re-publishes to it.
+"""
+
+from __future__ import annotations
+
+from repro.storage.base import Store
+
+__all__ = ["MemoryStore"]
+
+
+class MemoryStore(Store):
+    """Volatile store: fast, deterministic, and gone after a crash."""
+
+    backend_name = "memory"

@@ -220,6 +220,84 @@ class TestCrash:
         assert len(injector.live_ids()) == 3
 
 
+class TestCrashRecoverStorage:
+    """Regression: recovery is a *power-fail and replay*, not a nap.
+
+    ``CrashRecover`` used to bring a peer back with its in-memory dict
+    intact — state that a real killed process could never keep.  The model
+    now routes through :meth:`FaultInjector.power_fail` /
+    :meth:`FaultInjector.replay`, so a memory-backed peer recovers empty
+    and a WAL-backed peer recovers exactly its synced writes.
+    """
+
+    def build_peer_overlay(self, backend=None):
+        from repro.fissione.peer import FissionePeer
+
+        overlay = OverlayNetwork()
+        peer = (
+            FissionePeer(peer_id="0101")
+            if backend is None
+            else FissionePeer(peer_id="0101", backend=backend)
+        )
+        peer.backend.put("010101", key=1.0, value=10.0)
+        peer.backend.sync()
+        overlay.register(peer)
+        return overlay, peer
+
+    def run_crash_recover(self, overlay, peer):
+        injector = FaultInjector(
+            overlay,
+            [CrashRecover(peer_ids=[peer.peer_id], at=1.0, downtime=5.0)],
+            seed=1,
+        )
+        injector.install()
+        overlay.run(until=2.0)
+        assert injector.is_down(peer.peer_id)
+        assert peer.object_count() == 0  # volatile state died with the crash
+        overlay.run(until=10.0)
+        assert not injector.is_down(peer.peer_id)
+        return injector
+
+    def test_memory_backed_peer_recovers_empty(self):
+        overlay, peer = self.build_peer_overlay()
+        self.run_crash_recover(overlay, peer)
+        assert peer.object_count() == 0  # no resurrection of lost state
+        assert peer.get("010101") == []
+
+    def test_wal_backed_peer_recovers_synced_writes(self, tmp_path):
+        from repro.storage import open_store
+
+        backend = open_store("wal", str(tmp_path / "peer.wal"))
+        overlay, peer = self.build_peer_overlay(backend)
+        digest = peer.backend.digest()
+        self.run_crash_recover(overlay, peer)
+        assert peer.object_count() == 1
+        assert peer.backend.digest() == digest
+        assert [s.value for s in peer.get("010101")] == [10.0]
+        backend.close()
+
+    def test_injector_power_fail_and_replay_hooks(self):
+        """The injector-level primitives drive the node hooks directly."""
+        overlay, peer = self.build_peer_overlay()
+        injector = FaultInjector(overlay, [], seed=1)
+        injector.install()
+        injector.power_fail(peer.peer_id)
+        assert injector.is_down(peer.peer_id)
+        assert peer.object_count() == 0
+        assert injector.replay(peer.peer_id) == 0  # memory: nothing to replay
+        assert not injector.is_down(peer.peer_id)
+
+    def test_hooks_optional_for_plain_nodes(self):
+        """Recorder nodes (no storage hooks) still crash and recover."""
+        overlay, nodes = build_overlay(3)
+        injector = FaultInjector(overlay, [], seed=1)
+        injector.install()
+        injector.power_fail(nodes[1].node_id)
+        assert injector.is_down(nodes[1].node_id)
+        assert injector.replay(nodes[1].node_id) == 0
+        assert not injector.is_down(nodes[1].node_id)
+
+
 class TestBisection:
     def test_cross_cut_dropped_within_side_delivered(self):
         overlay, nodes = build_overlay(10)

@@ -1,0 +1,216 @@
+"""Unit tests for the durable peer-storage layer (`repro.storage`).
+
+The contract under test is the one the crash-consistency suite leans on:
+
+* ``sync()`` is the durability barrier — after it returns, a power
+  failure (:meth:`~repro.storage.base.Store.power_fail`) followed by
+  :meth:`~repro.storage.base.Store.replay` restores exactly the synced
+  state, bit for bit by content-addressed digest;
+* unsynced writes are *allowed* to vanish at a power failure and must
+  never resurrect;
+* a torn final record (the crash landed mid-``write``) is truncated on
+  replay, while corruption *followed by* valid records — which no crash
+  can produce in an append-only log — is an integrity error.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+
+import pytest
+
+from repro.binframe import encode_binary
+from repro.storage import BACKENDS, open_store, store_factory, store_path
+from repro.storage.base import StorageError, StoredObject
+from repro.storage.memory import MemoryStore
+from repro.storage.sqlite import SQLiteStore
+from repro.storage.wal import WAL_HEADER, WALStore
+
+DURABLE = ("wal", "sqlite")
+
+
+def make_store(backend, tmp_path, name="peer", sync_mode="always"):
+    if backend == "memory":
+        return MemoryStore()
+    return open_store(backend, str(tmp_path / f"{name}.{backend}"), sync_mode=sync_mode)
+
+
+def fill(store):
+    """A small population exercising both ops and both key shapes."""
+    store.put("0101", key=1.0, value=10.0)
+    store.put("0102", key=2.0, value=None)
+    store.put("0101", key=1.0, value=11.0)  # second copy under the same id
+    store.put("0210", key=(3.0, 4.0), value="multi")
+    store.put_replica("0120", key=9.0, value=90.0)
+
+
+class TestStoreContract:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_put_get_round_trip(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        fill(store)
+        assert [s.value for s in store.get("0101")] == [10.0, 11.0]
+        assert store.get("0102")[0].value is None
+        assert store.get("0210")[0].key == (3.0, 4.0)
+        assert store.object_count() == 4
+        assert store.replica_count() == 1
+        assert [s.value for s in store.get_replica("0120")] == [90.0]
+        # replica copies never appear in the query-scanned view
+        assert "0120" not in store.view
+        store.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_digest_is_backend_independent(self, backend, tmp_path):
+        reference = MemoryStore()
+        fill(reference)
+        store = make_store(backend, tmp_path)
+        fill(store)
+        assert store.digest() == reference.digest()
+        assert store.digest("01") == reference.digest("01")
+        assert store.digest("01") != store.digest("02")
+        assert store.digest(replicas=True) != store.digest(replicas=False)
+        store.close()
+
+    @pytest.mark.parametrize("backend", DURABLE)
+    def test_synced_writes_survive_power_failure(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        fill(store)
+        store.sync()
+        digest = store.digest()
+        replica_digest = store.digest(replicas=True)
+        store.power_fail()
+        assert store.object_count() == 0  # volatile views are gone
+        assert store.replay() == 5
+        assert store.digest() == digest
+        assert store.digest(replicas=True) == replica_digest
+        store.close()
+
+    @pytest.mark.parametrize("backend", DURABLE)
+    def test_unsynced_writes_may_vanish_and_never_resurrect(self, backend, tmp_path):
+        store = make_store(backend, tmp_path, sync_mode="manual")
+        store.put("0101", key=1.0, value=10.0)
+        store.sync()
+        store.put("0102", key=2.0, value=20.0)  # acked? no — never synced
+        store.power_fail()
+        store.replay()
+        assert [s.value for s in store.get("0101")] == [10.0]
+        assert store.get("0102") == []
+        store.close()
+
+    @pytest.mark.parametrize("backend", DURABLE)
+    def test_take_prefix_is_durable(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        fill(store)
+        moved = store.take_prefix("01")
+        assert sorted({s.object_id for s in moved}) == ["0101", "0102"]
+        store.sync()
+        store.power_fail()
+        store.replay()
+        assert store.get("0101") == []
+        assert [s.key for s in store.get("0210")] == [(3.0, 4.0)]
+        store.close()
+
+    @pytest.mark.parametrize("backend", DURABLE)
+    def test_reopen_from_disk(self, backend, tmp_path):
+        path = str(tmp_path / f"peer.{backend}")
+        store = open_store(backend, path)
+        fill(store)
+        digest = store.digest()
+        store.close()
+        reopened = open_store(backend, path)
+        assert reopened.replay() == 5
+        assert reopened.digest() == digest
+        reopened.close()
+
+
+class TestWALIntegrity:
+    def put_n(self, path, n):
+        store = WALStore(path)
+        for i in range(n):
+            store.put(f"obj{i}", key=float(i), value=float(i))
+        store.close()
+        return store
+
+    def test_torn_final_record_is_truncated(self, tmp_path):
+        path = str(tmp_path / "peer.wal")
+        self.put_n(path, 3)
+        with open(path, "r+b") as handle:
+            handle.seek(0, os.SEEK_END)
+            handle.truncate(handle.tell() - 2)  # tear the last record
+        store = WALStore(path)
+        assert store.replay() == 2
+        # the log is clean again: appends after the truncation replay fine
+        store.put("obj9", key=9.0, value=9.0)
+        store.sync()
+        store.power_fail()
+        assert store.replay() == 3
+        store.close()
+
+    def test_mid_log_corruption_is_an_error(self, tmp_path):
+        path = str(tmp_path / "peer.wal")
+        self.put_n(path, 3)
+        with open(path, "r+b") as handle:
+            handle.seek(len(WAL_HEADER) + 12)  # inside the first record body
+            handle.write(b"\xff\xff")
+        store = WALStore(path)
+        with pytest.raises(StorageError, match="CRC mismatch"):
+            store.replay()
+
+    def test_missing_header_is_an_error(self, tmp_path):
+        path = str(tmp_path / "peer.wal")
+        with open(path, "wb") as handle:
+            handle.write(b"not a wal file")
+        with pytest.raises(StorageError, match="header"):
+            WALStore(path).replay()
+
+    def test_crc_protects_every_record(self, tmp_path):
+        path = str(tmp_path / "peer.wal")
+        self.put_n(path, 1)
+        body = encode_binary(["put", "x", 1.0, 1.0])
+        with open(path, "ab") as handle:  # append a record with a bad CRC
+            handle.write(struct.pack(">II", len(body), zlib.crc32(body) ^ 1) + body)
+        store = WALStore(path)
+        assert store.replay() == 1  # trailing garbage == torn tail, dropped
+        store.close()
+
+
+class TestSQLite:
+    def test_rollback_on_power_fail(self, tmp_path):
+        store = SQLiteStore(str(tmp_path / "peer.sqlite"), sync_mode="manual")
+        store.put("a", key=1.0, value=1.0)
+        store.sync()
+        store.put("b", key=2.0, value=2.0)
+        store.power_fail()
+        assert store.replay() == 1
+        assert store.get("b") == []
+        store.close()
+
+
+class TestFactory:
+    def test_open_store_validates_backend(self, tmp_path):
+        with pytest.raises(StorageError, match="unknown storage backend"):
+            open_store("postgres", str(tmp_path / "x"))
+        with pytest.raises(StorageError, match="path"):
+            open_store("wal")
+
+    def test_store_path_names_by_peer(self, tmp_path):
+        assert store_path(str(tmp_path), "0121", "wal").endswith("peer-0121.wal")
+        assert store_path(str(tmp_path), "0121", "sqlite").endswith("peer-0121.sqlite")
+
+    def test_factory_creates_data_dir(self, tmp_path):
+        factory = store_factory("wal", data_dir=str(tmp_path / "logs"))
+        store = factory("0101")
+        store.put("0101", key=1.0, value=1.0)
+        store.close()
+        assert os.path.exists(store_path(str(tmp_path / "logs"), "0101", "wal"))
+
+    def test_memory_factory_needs_no_dir(self):
+        assert store_factory("memory")("0101").backend_name == "memory"
+
+
+class TestStoredObject:
+    def test_wire_round_trip(self):
+        stored = StoredObject(object_id="0101", key=(1.0, 2.0), value={"a": [1]})
+        assert StoredObject.from_wire(stored.to_wire()) == stored
