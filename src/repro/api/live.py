@@ -73,6 +73,7 @@ class _V2Connection:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         encoding: str = ENCODING_JSON,
+        tracing: bool = False,
     ) -> None:
         self._reader = reader
         self._writer = writer
@@ -82,17 +83,19 @@ class _V2Connection:
         self.closed = False
         #: the encoding the welcome frame actually granted
         self.encoding = encoding
+        #: True when the gateway granted the ``tracing`` capability
+        self.tracing = tracing
         self._encode = (
             encode_frame_binary if encoding == ENCODING_BINARY else encode_frame
         )
 
     @classmethod
     async def connect(
-        cls, host: str, port: int, encoding: str = ENCODING_JSON
+        cls, host: str, port: int, encoding: str = ENCODING_JSON, tracing: bool = False
     ) -> "_V2Connection":
         """Open the socket and perform the version + encoding handshake."""
         reader, writer = await asyncio.open_connection(host, port)
-        writer.write(encode_frame(hello_frame(encoding=encoding)))
+        writer.write(encode_frame(hello_frame(encoding=encoding, tracing=tracing)))
         await writer.drain()
         first = await read_frame(reader)
         if first is None:
@@ -103,8 +106,11 @@ class _V2Connection:
             raise ProtocolError(f"unexpected handshake reply {first!r}")
         # Old gateways never send the key: absent means JSON, and asking
         # for binary from one of them degrades to JSON rather than failing.
+        # Tracing follows the same contract — absent means not granted.
         granted = first.get("encoding", ENCODING_JSON)
-        connection = cls(reader, writer, encoding=granted)
+        connection = cls(
+            reader, writer, encoding=granted, tracing=bool(first.get("tracing", False))
+        )
         connection._reader_task = asyncio.get_running_loop().create_task(
             connection._read_replies()
         )
@@ -157,6 +163,7 @@ class _V2Connection:
                                     peer=frame.get("peer", ""),
                                     hop=int(frame.get("hop", 0)),
                                     values=[decode_value(v) for v in frame.get("values", [])],
+                                    trace_id=frame.get("trace_id"),
                                 )
                             )
                     continue
@@ -218,10 +225,19 @@ class LiveSession(Session):
 
     backend = "live"
 
-    def __init__(self, version: int, timeout: float, encoding: str = ENCODING_JSON) -> None:
+    def __init__(
+        self,
+        version: int,
+        timeout: float,
+        encoding: str = ENCODING_JSON,
+        tracing: bool = False,
+    ) -> None:
         self.version = version
         self.timeout = timeout
         self.encoding = encoding
+        #: whether this session *asked* for the tracing capability; see
+        #: :attr:`tracing_granted` for what the gateway actually gave
+        self.tracing = tracing
         self._address: Tuple[str, int] = ("", 0)
         self._v2: List[_V2Connection] = []
         self._v1: Optional[asyncio.Queue] = None
@@ -240,6 +256,7 @@ class LiveSession(Session):
         version: int = GATEWAY_PROTOCOL_V2,
         timeout: float = 30.0,
         encoding: str = ENCODING_JSON,
+        tracing: bool = False,
     ) -> "LiveSession":
         """Open ``pool`` gateway connections (handshaken for v2).
 
@@ -248,6 +265,10 @@ class LiveSession(Session):
         deadline plus grace).  ``encoding="binary"`` asks the gateway to
         carry the high-volume frames in the compact binary bodies (v2
         only: the v1 line protocol has no frames to re-encode).
+        ``tracing=True`` negotiates the tracing capability so requests
+        with ``options.trace`` get span trees back; on v1, or against a
+        gateway without a tracer, the ask degrades silently to untraced
+        replies.
         """
         if pool < 1:
             raise SessionError("pool must be at least 1")
@@ -261,13 +282,15 @@ class LiveSession(Session):
             )
         if version != GATEWAY_PROTOCOL_V2 and encoding != ENCODING_JSON:
             raise SessionError("binary encoding requires protocol v2")
-        session = cls(version=version, timeout=timeout, encoding=encoding)
+        session = cls(version=version, timeout=timeout, encoding=encoding, tracing=tracing)
         session._address = (host, port)
         try:
             if version == GATEWAY_PROTOCOL_V2:
                 for _ in range(pool):
                     session._v2.append(
-                        await _V2Connection.connect(host, port, encoding=encoding)
+                        await _V2Connection.connect(
+                            host, port, encoding=encoding, tracing=tracing
+                        )
                     )
             else:
                 from repro.runtime.client import RuntimeClient
@@ -286,6 +309,11 @@ class LiveSession(Session):
     def pool_size(self) -> int:
         """Number of gateway connections this session owns."""
         return len(self._v2) if self.version == GATEWAY_PROTOCOL_V2 else len(self._v1_clients)
+
+    @property
+    def tracing_granted(self) -> bool:
+        """True when every pooled v2 connection negotiated tracing."""
+        return bool(self._v2) and all(connection.tracing for connection in self._v2)
 
     @property
     def in_flight(self) -> int:

@@ -62,7 +62,11 @@ class RequestOptions:
       Incompatible with ``replicas > 1`` (replicated chunk streams would
       interleave indistinguishably); after a transport *retry*, chunks
       the failed attempt already delivered are not recalled — the reply's
-      ``chunks`` field counts the winning attempt's frames only.
+      ``chunks`` field counts the winning attempt's frames only;
+    * ``trace`` — ask for a query-scoped span tree in the reply.  Only
+      honoured when the backend has a tracer and (live) the connection
+      negotiated the ``tracing`` capability; everywhere else the flag is
+      dropped cleanly and the reply simply has no trace.
     """
 
     origin: Optional[str] = None
@@ -70,6 +74,7 @@ class RequestOptions:
     replicas: int = 1
     retries: int = 0
     stream: bool = False
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.deadline is not None and self.deadline <= 0:
@@ -97,6 +102,8 @@ class RequestOptions:
             wire["retries"] = self.retries
         if self.stream:
             wire["stream"] = True
+        if self.trace:
+            wire["trace"] = True
         return wire
 
     @classmethod
@@ -109,6 +116,7 @@ class RequestOptions:
             replicas=int(wire.get("replicas", 1)),
             retries=int(wire.get("retries", 0)),
             stream=bool(wire.get("stream", False)),
+            trace=bool(wire.get("trace", False)),
         )
 
 
@@ -307,13 +315,18 @@ class QueryReply(Reply):
     ``"deadline"``; ``latency`` is measured on the backend's clock
     (wall-clock seconds live, simulated units sim); ``chunks`` counts the
     streamed partial-result frames that preceded this summary (0 for
-    non-streaming requests).
+    non-streaming requests).  ``trace`` holds the query's span tree (a
+    list of span dicts — see :mod:`repro.obs.spans`) when the request
+    asked for one and the backend granted it; otherwise it is empty and
+    ``trace_id`` is ``None``.
     """
 
     status: str = "ok"
     latency: float = 0.0
     result: RangeQueryResult = None  # type: ignore[assignment]
     chunks: int = 0
+    trace_id: Optional[str] = None
+    trace: Tuple[Dict[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "ok", self.status == "ok")
@@ -321,11 +334,16 @@ class QueryReply(Reply):
 
 @dataclass(frozen=True)
 class Chunk:
-    """One streamed partial result: a destination peer's report."""
+    """One streamed partial result: a destination peer's report.
+
+    ``trace_id`` ties the chunk to its query's span tree when the request
+    was traced; ``None`` otherwise.
+    """
 
     peer: str
     hop: int
     values: List[Any]
+    trace_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -387,6 +405,8 @@ def reply_from_payload(request: Request, payload: Dict[str, Any], chunks: int = 
             latency=float(payload["latency"]),
             result=RangeQueryResult.from_wire(payload["result"]),
             chunks=chunks,
+            trace_id=payload.get("trace_id"),
+            trace=tuple(payload.get("trace", ())),
         )
     if kind == "inserted":
         return InsertReply(

@@ -48,13 +48,22 @@ class SimSession(Session):
 
     backend = "sim"
 
-    def __init__(self, system: ArmadaSystem, deadline: Optional[float] = None) -> None:
+    def __init__(
+        self,
+        system: ArmadaSystem,
+        deadline: Optional[float] = None,
+        tracer: Optional[Any] = None,
+    ) -> None:
         """``deadline`` (simulated units) is the default per-query bound;
-        a request's ``options.deadline`` overrides it."""
+        a request's ``options.deadline`` overrides it.  ``tracer`` (a
+        :class:`repro.obs.spans.Tracer`) makes requests with
+        ``options.trace`` return span trees, exactly like a tracing live
+        gateway; without one the flag degrades to an untraced reply."""
         if deadline is not None and deadline <= 0:
             raise ApiError("deadline must be positive")
         self.system = system
         self.deadline = deadline
+        self.tracer = tracer
         self.queries_served = 0
 
     # ------------------------------------------------------------------ #
@@ -145,22 +154,26 @@ class SimSession(Session):
                     )
                 )
 
+        executor = self.system.mira if isinstance(request, MultiRangeQuery) else self.system.pira
+        traced = options.trace and self.tracer is not None
+        if traced and executor.tracer is None:
+            executor.set_tracer(self.tracer)
         if isinstance(request, MultiRangeQuery):
-            executor = self.system.mira
             result = executor.start(
                 origin,
                 request.ranges,
                 on_complete=complete,
                 on_destination=destination,
+                trace=traced,
             )
         else:
-            executor = self.system.pira
             result = executor.start(
                 origin,
                 request.low,
                 request.high,
                 on_complete=complete,
                 on_destination=destination,
+                trace=traced,
             )
 
         deadline = options.deadline if options.deadline is not None else self.deadline
@@ -177,11 +190,20 @@ class SimSession(Session):
         status = "deadline" if final.resilience.deadline_expired else (
             "ok" if final.complete else "partial"
         )
+        trace_id: Optional[str] = None
+        trace: tuple = ()
+        if traced:
+            collected = self.tracer.take(f"{executor.message_kind}-{final.query_id}")
+            if collected is not None:
+                trace_id = collected.trace_id
+                trace = tuple(collected.to_wire())
         return QueryReply(
             status=status,
             latency=finished.get("at", simulator.now) - started,
             result=final,
             chunks=chunks,
+            trace_id=trace_id,
+            trace=trace,
         )
 
     # ------------------------------------------------------------------ #

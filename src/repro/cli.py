@@ -28,6 +28,7 @@ from repro.experiments import faults as faults_experiment
 from repro.experiments import load as load_experiment
 from repro.experiments import mira as mira_experiment
 from repro.experiments import soak as soak_experiment
+from repro.experiments import tracecmd
 from repro.experiments import table1 as table1_experiment
 from repro.experiments import orchestrator
 from repro.experiments.common import ExperimentConfig
@@ -46,6 +47,7 @@ _COMMANDS = (
     "faults",
     "serve",
     "soak",
+    "trace",
     "bench",
     "all",
 )
@@ -296,6 +298,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="soak only: exit non-zero unless the success ratio reaches this bound",
     )
     parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help=(
+            "serve/soak: expose the metric registry as Prometheus text on "
+            "this port at /metrics (0 picks an ephemeral port; off by default)"
+        ),
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="serve/soak/load: structured-logging threshold for the repro loggers",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="serve/soak/load: emit log records as JSON objects (one per line)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help=(
+            "soak/trace: write a Chrome trace_event JSON of the collected "
+            "span trees to this path (load it in Perfetto or chrome://tracing)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-jsonl",
+        default=None,
+        help="trace only: write the spans as JSON lines to this path",
+    )
+    parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "trace only: run the traced query against a live gateway "
+            "instead of the simulator (negotiates the v2 tracing capability)"
+        ),
+    )
+    parser.add_argument(
+        "--low",
+        type=float,
+        default=400.0,
+        help="trace only: lower bound of the traced range query",
+    )
+    parser.add_argument(
+        "--high",
+        type=float,
+        default=420.0,
+        help="trace only: upper bound of the traced range query",
+    )
+    parser.add_argument(
+        "--origin",
+        default=None,
+        help="trace only: origin peer id (default: a seeded random peer)",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help=(
@@ -405,6 +466,9 @@ def make_serve_settings(args: argparse.Namespace, config: ExperimentConfig) -> S
                 (config.attribute_low, config.attribute_high),
                 (config.attribute_low, config.attribute_high),
             ),
+            metrics_port=args.metrics_port,
+            log_level=args.log_level,
+            log_json=args.log_json,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -439,6 +503,29 @@ def make_soak_spec(args: argparse.Namespace, config: ExperimentConfig):
             data_dir=args.data_dir,
             replicas=args.replicas,
             kill_restart=args.kill_restart,
+            metrics_port=args.metrics_port,
+            trace_out=args.trace_out,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def make_trace_spec(args: argparse.Namespace, config: ExperimentConfig):
+    """Resolve the traced-query spec from the CLI arguments."""
+    try:
+        return tracecmd.TraceSpec(
+            low=args.low,
+            high=args.high,
+            connect=args.connect,
+            origin=args.origin,
+            peers=args.peers if args.peers is not None else 64,
+            seed=config.seed,
+            objects=args.objects if args.objects is not None else 500,
+            deadline=args.deadline if args.deadline is not None else 5.0,
+            attribute_interval=(config.attribute_low, config.attribute_high),
+            encoding=args.encoding,
+            trace_out=args.trace_out,
+            trace_jsonl=args.trace_jsonl,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -505,8 +592,14 @@ def run_command(
     bench_dir: Optional[str] = None,
     require_success: Optional[float] = None,
     require_pipelined: Optional[int] = None,
+    trace_spec=None,
 ) -> str:
     """Run one experiment command and return its formatted output."""
+    if command == "trace":
+        result = tracecmd.run(
+            trace_spec if trace_spec is not None else tracecmd.TraceSpec()
+        )
+        return result.format()
     if command == "soak":
         spec = soak_spec if soak_spec is not None else soak_experiment.SoakSpec()
         result = soak_experiment.run(spec)
@@ -610,14 +703,23 @@ def main(argv=None) -> int:
     if args.command == "serve":
         # Blocking: boots the live cluster and runs until SIGINT/SIGTERM.
         return serve_runtime(make_serve_settings(args, config))
+    if args.command in ("soak", "load", "trace"):
+        # serve configures logging inside serve_async; the other live-ish
+        # commands do it here so --log-level/--log-json apply end to end.
+        from repro.obs.logs import configure_logging
+
+        configure_logging(args.log_level, args.log_json)
     spec = None
     soak_spec = None
+    trace_spec = None
     if args.command == "sweep":
         spec = make_sweep_spec(args, config)
     elif args.command == "faults":
         spec = make_faults_spec(args, config)
     elif args.command == "soak":
         soak_spec = make_soak_spec(args, config)
+    elif args.command == "trace":
+        trace_spec = make_trace_spec(args, config)
 
     def _run() -> str:
         return run_command(
@@ -633,6 +735,7 @@ def main(argv=None) -> int:
             bench_dir=args.bench_dir,
             require_success=args.require_success,
             require_pipelined=args.require_pipelined,
+            trace_spec=trace_spec,
         )
 
     if args.cprofile is not None:

@@ -108,6 +108,7 @@ class MiraExecutor(ResumableExecutor):
         query_id: Optional[int] = None,
         on_complete: Optional[Callable[[RangeQueryResult], None]] = None,
         on_destination: Optional[Callable[[str, int, list], None]] = None,
+        trace: bool = False,
     ) -> RangeQueryResult:
         """Start a MIRA query without running the simulator (see PIRA)."""
         if not self.network.has_peer(origin_peer_id):
@@ -146,6 +147,8 @@ class MiraExecutor(ResumableExecutor):
                 )
             )
         self._active[query_id] = state
+        if self.tracer is not None:
+            self._begin_trace(state, trace)
 
         state.processing = True
         try:

@@ -236,6 +236,7 @@ class PiraExecutor(ResumableExecutor):
         query_id: Optional[int] = None,
         on_complete: Optional[Callable[[RangeQueryResult], None]] = None,
         on_destination: Optional[Callable[[str, int, List[StoredObject]], None]] = None,
+        trace: bool = False,
     ) -> RangeQueryResult:
         """Start a query without running the simulator.
 
@@ -245,7 +246,8 @@ class PiraExecutor(ResumableExecutor):
         fires.  Many started queries interleave on one simulator clock.
         ``on_destination`` streams ``(peer_id, hop, new_matches)`` as each
         destination peer is first reached — partial results before the
-        query completes.
+        query completes.  ``trace=True`` opens a span tree for this query
+        when a tracer is attached (see :meth:`set_tracer`).
         """
         if high_value < low_value:
             raise QueryError(f"range low bound {low_value} exceeds high bound {high_value}")
@@ -276,6 +278,8 @@ class PiraExecutor(ResumableExecutor):
                 )
             )
         self._active[query_id] = state
+        if self.tracer is not None:
+            self._begin_trace(state, trace, low=low_value, high=high_value)
 
         state.processing = True
         try:

@@ -88,6 +88,8 @@ class _PendingSend:
     latency: Optional[float] = None
     #: True for sibling-reroute detours (recovered-destination accounting)
     detour: bool = False
+    #: open tracing span for this hop (only when the query is traced)
+    span: Any = None
 
 
 @dataclass(slots=True)
@@ -118,6 +120,11 @@ class QueryState:
     #: protocol-v2 partial-reply chunks and the API layer's ``on_chunk``
     #: callbacks are both fed from here
     on_destination: Optional[Callable[[str, int, List[Any]], None]] = None
+    #: the query's span tree (``None`` unless a tracer traced this query —
+    #: the single check every tracing hook hides behind)
+    trace: Any = None
+    #: span id to parent new hop spans under (the hop currently processing)
+    trace_parent: Any = None
 
     @property
     def outstanding(self) -> int:
@@ -159,6 +166,8 @@ class ResumableExecutor:
             self._has_node = transport.has_node
         self._send_ids = itertools.count(1)
         self.resilience: Optional[ResiliencePolicy] = None
+        self.tracer: Any = None
+        self._trace_all = False
 
     # ------------------------------------------------------------------ #
     # resilience configuration                                             #
@@ -167,6 +176,39 @@ class ResumableExecutor:
     def set_resilience(self, policy: Optional[ResiliencePolicy]) -> None:
         """Set (or clear) the timeout/retry/reroute policy for new sends."""
         self.resilience = policy
+
+    # ------------------------------------------------------------------ #
+    # tracing                                                              #
+    # ------------------------------------------------------------------ #
+
+    def set_tracer(self, tracer: Any, all_queries: bool = False) -> None:
+        """Attach (or detach) a :class:`repro.obs.spans.Tracer`.
+
+        With ``all_queries`` every query started on this executor is
+        traced; otherwise only queries whose ``start(...)`` passed
+        ``trace=True`` get a span tree.  A ``None`` tracer restores the
+        zero-overhead path (``state.trace`` stays ``None`` and every
+        hook short-circuits on one attribute check).
+        """
+        self.tracer = tracer
+        self._trace_all = bool(all_queries and tracer is not None)
+
+    def _begin_trace(self, state: QueryState, trace: bool, **attributes: Any) -> None:
+        """Open the query's root span (called from the executors' start)."""
+        tracer = self.tracer
+        if tracer is None or not (trace or self._trace_all):
+            return
+        result = state.result
+        trace_id = f"{self.message_kind}-{result.query_id}"
+        state.trace = tracer.begin_query(
+            self.message_kind,
+            self.transport.now,
+            trace_id=trace_id,
+            query_id=result.query_id,
+            origin=result.origin,
+            **attributes,
+        )
+        state.trace_parent = state.trace.root.span_id
 
     # ------------------------------------------------------------------ #
     # message handling                                                     #
@@ -202,6 +244,8 @@ class ResumableExecutor:
             return
         if pending.timer is not None:
             pending.timer.cancel()
+        if pending.span is not None:
+            self.tracer.end_span(pending.span, self.transport.now)
         # A receiver that departed mid-flight (churn) silently absorbs the
         # message; the overlay already counted it as delivered/undeliverable.
         peer = self.network.get_peer(message.receiver)
@@ -209,6 +253,9 @@ class ResumableExecutor:
             result = state.result
             newly_reached = pending.detour and message.receiver not in result.destinations
             state.processing = True
+            if pending.span is not None:
+                # Sends fanned out while processing this hop parent under it.
+                state.trace_parent = pending.span.span_id
             try:
                 self._process(
                     peer=peer,
@@ -244,9 +291,15 @@ class ResumableExecutor:
             # Timeout-based detection: the send stays open and its timer
             # will fire, retry, and eventually fail it.  Real systems learn
             # about loss by waiting, not from the simulator's oracle.
+            if pending.span is not None:
+                self.tracer.event(
+                    state.trace, "drop", self.transport.now, parent_id=pending.span.span_id
+                )
             return
         state.pending.pop(send_id, None)
         stats.subtrees_lost += 1
+        if pending.span is not None:
+            self.tracer.end_span(pending.span, self.transport.now, status="dropped")
         if not state.processing:
             self._maybe_complete(state)
 
@@ -267,12 +320,22 @@ class ResumableExecutor:
         ):
             pending.attempts += 1
             stats.retries += 1
+            if pending.span is not None:
+                self.tracer.event(
+                    state.trace,
+                    "retry",
+                    self.transport.now,
+                    parent_id=pending.span.span_id,
+                    attempt=pending.attempts,
+                )
             self._transmit(state, send_id, pending)
             return
         # Retries exhausted (or the receiver left the overlay entirely):
         # the hop is dead.  Try to route around it; otherwise the subtree
         # it guarded is lost and the query reports partial results.
         state.pending.pop(send_id, None)
+        if pending.span is not None:
+            self.tracer.end_span(pending.span, self.transport.now, status="timeout")
         if pending.detour:
             state.detoured.add((pending.branch_index, pending.receiver))
         rerouted = 0
@@ -289,6 +352,12 @@ class ResumableExecutor:
             return
         state.done = True
         self._active.pop(state.result.query_id, None)
+        if state.trace is not None:
+            # Archive the trace before on_complete fires so a completion
+            # callback (the gateway) can collect it from the tracer.
+            stats = state.result.resilience
+            status = "ok" if stats.subtrees_lost == 0 else "partial"
+            self.tracer.finish_query(state.trace, self.transport.now, status=status)
         if state.on_complete is not None:
             state.on_complete(state.result)
 
@@ -308,6 +377,8 @@ class ResumableExecutor:
         state.pending.clear()
         state.done = True
         state.result.resilience.deadline_expired = True
+        if state.trace is not None:
+            self.tracer.finish_query(state.trace, self.transport.now, status="deadline")
         if state.on_complete is not None:
             state.on_complete(state.result)
         return True
@@ -368,7 +439,20 @@ class ResumableExecutor:
         pending.timer = None
         pending.latency = None
         pending.detour = False
+        pending.span = None
         state.pending[send_id] = pending
+        if state.trace is not None:
+            pending.span = self.tracer.start_span(
+                state.trace,
+                f"hop {sender_id}->{receiver_id}",
+                self.transport.now,
+                parent_id=state.trace_parent,
+                sender=sender_id,
+                receiver=receiver_id,
+                level=level,
+                hop=hop,
+                branch=branch_index,
+            )
         if self.resilience is not None:
             self._transmit(state, send_id, pending)
             return
@@ -385,13 +469,16 @@ class ResumableExecutor:
         message.payload = None
         message.hop = hop
         message.query_id = result.query_id
-        message.metadata = {
+        message.metadata = metadata = {
             "handler": self._dispatch,
             "on_drop": self._on_drop,
             "level": level,
             "branch": branch_index,
             "send": send_id,
         }
+        if pending.span is not None:
+            metadata["trace"] = state.trace.trace_id
+            metadata["span"] = pending.span.span_id
         self._send(message)
 
     def _fail_send(self, state: QueryState, send_id: int, pending: _PendingSend) -> None:
@@ -405,6 +492,8 @@ class ResumableExecutor:
         state.pending.pop(send_id, None)
         if pending.detour:
             state.detoured.add((pending.branch_index, pending.receiver))
+        if pending.span is not None:
+            self.tracer.end_span(pending.span, self.transport.now, status="unreachable")
         policy = self.resilience
         rerouted = 0
         if policy is not None and policy.reroute:
@@ -444,6 +533,9 @@ class ResumableExecutor:
         }
         if pending.latency is not None:
             metadata["latency"] = pending.latency
+        if pending.span is not None:
+            metadata["trace"] = state.trace.trace_id
+            metadata["span"] = pending.span.span_id
         self._send(
             Message(
                 sender=pending.sender,
@@ -505,6 +597,18 @@ class ResumableExecutor:
                 latency=float(max(1, extra_hops)),
                 detour=True,
             )
+            if state.trace is not None:
+                detour.span = self.tracer.start_span(
+                    state.trace,
+                    f"detour {pending.sender}->{target}",
+                    self.transport.now,
+                    parent_id=pending.span.span_id if pending.span is not None else None,
+                    sender=pending.sender,
+                    receiver=target,
+                    around=pending.receiver,
+                    hop=detour.hop,
+                    branch=pending.branch_index,
+                )
             state.pending[send_id] = detour
             stats.reroutes += 1
             self._transmit(state, send_id, detour)

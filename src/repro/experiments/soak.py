@@ -41,8 +41,11 @@ from repro.api.live import LiveSession
 from repro.envinfo import environment_stamp
 from repro.api.requests import Insert, MultiInsert, Request, RequestOptions
 from repro.engine.reporting import EngineReport
+from repro.obs.exposition import MetricsServer
+from repro.obs.spans import spans_to_chrome
 from repro.runtime.cluster import LiveCluster
 from repro.runtime.gateway import Gateway
+from repro.runtime.server import build_observability
 from repro.runtime.loadgen import make_mixed_jobs
 from repro.sim.rng import DeterministicRNG
 from repro.storage import BACKENDS
@@ -77,6 +80,11 @@ class SoakSpec:
     replicas: int = 1
     #: kill -9 one peer after seeding and restart it from its log
     kill_restart: bool = False
+    #: expose /metrics (Prometheus text) on this port while the soak runs
+    #: (None disables; 0 picks an ephemeral port)
+    metrics_port: Optional[int] = None
+    #: write a Chrome trace_event JSON of every query's span tree here
+    trace_out: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.peers < 3:
@@ -113,6 +121,8 @@ class SoakSpec:
                 "kill-restart needs a durable backend (--storage wal or sqlite); "
                 "a memory peer comes back empty and every acked write is lost"
             )
+        if self.metrics_port is not None and not 0 <= self.metrics_port <= 65535:
+            raise ValueError("metrics-port must be within [0, 65535]")
 
     @property
     def pool_size(self) -> int:
@@ -140,6 +150,7 @@ class SoakResult:
     def bench_metrics(self) -> Dict[str, float]:
         """The flat metrics payload for ``BENCH_runtime.json``."""
         lat = self.report.latency_percentiles
+        obs = self.stats.get("obs", {})
         return {
             "peers": self.spec.peers,
             "storage": self.spec.storage,
@@ -161,6 +172,12 @@ class SoakResult:
             "mean_latency": self.report.mean_latency,
             "delay_hops_p95": self.report.delay_percentiles.get("p95", 0.0),
             "messages": self.report.messages,
+            # Registry snapshot slices: the gateway's own counters for the
+            # run, so the artifact records the observability plane too.
+            "frames_json": int(obs.get("repro_gateway_frames_total{json}", 0)),
+            "frames_binary": int(obs.get("repro_gateway_frames_total{binary}", 0)),
+            "query_retries": int(obs.get("repro_query_retries_total", 0)),
+            "query_reroutes": int(obs.get("repro_query_reroutes_total", 0)),
         }
 
     def record(self) -> Dict[str, Any]:
@@ -277,7 +294,25 @@ async def run_async(spec: SoakSpec) -> SoakResult:
         data_dir=data_dir,
     )
     await cluster.start()
-    gateway = await Gateway(cluster, deadline=spec.deadline).start()
+    tracer, registry = build_observability(cluster)
+    gateway = await Gateway(
+        cluster, deadline=spec.deadline, tracer=tracer, metrics=registry
+    ).start()
+    if spec.trace_out is not None:
+        # Server-side tracing: every query gets a span tree whether or not
+        # the client negotiated the capability, so the Chrome trace covers
+        # the whole soak.
+        cluster.pira.set_tracer(tracer, all_queries=True)
+        if cluster.mira is not None:
+            cluster.mira.set_tracer(tracer, all_queries=True)
+    metrics_server = None
+    if spec.metrics_port is not None:
+        metrics_server = MetricsServer(registry, port=spec.metrics_port)
+        await metrics_server.start()
+        print(
+            f"metrics listening on {metrics_server.host}:{metrics_server.port}/metrics",
+            flush=True,
+        )
     try:
         low, high = spec.attribute_interval
         rng = DeterministicRNG(spec.seed)
@@ -329,9 +364,30 @@ async def run_async(spec: SoakSpec) -> SoakResult:
             stats = await session.stats()
             if kill_stats is not None:
                 stats["kill_restart"] = kill_stats
+            stats["obs"] = registry.snapshot()
+            if spec.trace_out is not None:
+                stats["trace_out"] = _write_trace(tracer, spec.trace_out)
         finally:
             await session.close()
     finally:
+        if metrics_server is not None:
+            await metrics_server.stop()
         await gateway.shutdown(drain=True)
         await cluster.stop()
     return SoakResult(spec=spec, report=report, wall_seconds=wall, stats=stats)
+
+
+def _write_trace(tracer: Any, path: str) -> Dict[str, Any]:
+    """Drain the tracer into a Chrome ``trace_event`` JSON file."""
+    traces = tracer.drain()
+    payload = spans_to_chrome(traces, dropped=tracer.dropped)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+        handle.write("\n")
+    return {
+        "path": path,
+        "traces": len(traces),
+        "spans": len(payload["traceEvents"]),
+    }

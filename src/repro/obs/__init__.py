@@ -1,0 +1,62 @@
+"""Unified observability layer shared by the simulator and the live runtime.
+
+Three planes, one package:
+
+- :mod:`repro.obs.spans` — query-scoped distributed tracing.  A
+  :class:`~repro.obs.spans.Tracer` hands out span trees keyed by
+  ``trace_id``; the resumable executors attach span ids to message
+  metadata so a hop's lifetime is visible whether the message crossed a
+  simulated overlay edge or a real TCP link.  Exporters serialise span
+  trees to JSONL and to Chrome ``trace_event`` JSON (Perfetto-loadable).
+- :mod:`repro.obs.metrics` — a process-wide metric registry (counters,
+  gauges, fixed-bucket histograms) rendered in Prometheus text
+  exposition format and snapshotted into benchmark reports.
+- :mod:`repro.obs.logs` — structured (optionally JSON) stdlib logging
+  with per-subsystem loggers and ``trace_id`` correlation.
+
+Everything here is stdlib-only and deterministic: span/trace ids are
+drawn from per-tracer counters, never from wall clocks or RNGs, so a
+traced simulation stays byte-identical to an untraced one.
+"""
+
+from repro.obs.logs import JsonLogFormatter, configure_logging, get_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    HOP_BUCKETS,
+    LATENCY_BUCKETS_S,
+)
+from repro.obs.spans import (
+    QueryTrace,
+    Span,
+    Tracer,
+    format_span_tree,
+    span_from_dict,
+    span_to_dict,
+    spans_to_chrome,
+    spans_to_jsonl,
+    trace_from_wire,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HOP_BUCKETS",
+    "JsonLogFormatter",
+    "LATENCY_BUCKETS_S",
+    "MetricsRegistry",
+    "QueryTrace",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "format_span_tree",
+    "get_logger",
+    "span_from_dict",
+    "span_to_dict",
+    "spans_to_chrome",
+    "spans_to_jsonl",
+    "trace_from_wire",
+]

@@ -1,0 +1,77 @@
+"""Stdlib-only Prometheus exposition endpoint.
+
+A tiny asyncio HTTP/1.0 server that answers ``GET /metrics`` with the
+registry's text rendition.  No third-party dependencies, no threads —
+it shares the event loop the gateway already runs on, so a scrape
+observes a consistent snapshot between frames.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["MetricsServer"]
+
+_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """Serves ``GET /metrics`` from a :class:`MetricsRegistry`."""
+
+    def __init__(self, registry: MetricsRegistry, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> "MetricsServer":
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        if self.port == 0:
+            self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            # Drain headers until the blank line; we only care about the path.
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            if path.split("?", 1)[0] in ("/metrics", "/"):
+                body = self.registry.render().encode("utf-8")
+                status = "200 OK"
+                content_type = _CONTENT_TYPE
+            else:
+                body = b"not found\n"
+                status = "404 Not Found"
+                content_type = "text/plain; charset=utf-8"
+            writer.write(
+                (
+                    f"HTTP/1.0 {status}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("latin-1")
+                + body
+            )
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass

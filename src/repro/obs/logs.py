@@ -1,0 +1,83 @@
+"""Structured logging: per-subsystem stdlib loggers, optional JSON lines.
+
+Every runtime subsystem logs through ``repro.<subsystem>`` loggers
+(``repro.gateway``, ``repro.cluster``, ``repro.storage``, ...).
+:func:`configure_logging` installs one stderr handler on the ``repro``
+root so library imports stay silent until a CLI entry point opts in
+via ``--log-level`` / ``--log-json``.
+
+JSON mode emits one object per line with a stable key order
+(``ts``, ``level``, ``logger``, ``message``) plus any extras passed
+via ``logger.info(..., extra={"trace_id": ...})`` — ``trace_id`` is
+how log lines correlate with the tracing plane.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["configure_logging", "get_logger", "JsonLogFormatter"]
+
+ROOT_LOGGER = "repro"
+
+# Keys every LogRecord carries; anything else was passed via extra=.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per line; extras (e.g. ``trace_id``) ride along."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def configure_logging(
+    level: str = "info",
+    json_mode: bool = False,
+    stream=None,
+) -> logging.Logger:
+    """Install (or replace) the ``repro`` handler; returns the root logger.
+
+    Idempotent: repeated calls reconfigure rather than stack handlers,
+    so tests and the multi-command ``repro all`` path stay clean.
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    numeric = getattr(logging, level.upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level: {level!r}")
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if json_mode:
+        handler.setFormatter(JsonLogFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+        )
+    for old in list(root.handlers):
+        root.removeHandler(old)
+    root.addHandler(handler)
+    root.setLevel(numeric)
+    root.propagate = False
+    return root
+
+
+def get_logger(subsystem: Optional[str] = None) -> logging.Logger:
+    """The logger for one subsystem (``repro.<subsystem>``)."""
+    if not subsystem:
+        return logging.getLogger(ROOT_LOGGER)
+    return logging.getLogger(f"{ROOT_LOGGER}.{subsystem}")

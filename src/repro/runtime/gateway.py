@@ -131,6 +131,8 @@ class Gateway:
         host: str = "127.0.0.1",
         port: int = 0,
         deadline: float = 5.0,
+        tracer: Optional[Any] = None,
+        metrics: Optional[Any] = None,
     ) -> None:
         if deadline <= 0:
             raise ValueError("deadline must be positive")
@@ -140,6 +142,11 @@ class Gateway:
         self.port: Optional[int] = None
         self.deadline = deadline
         self.queries_served = 0
+        #: optional observability planes (a repro.obs Tracer / MetricsRegistry);
+        #: both default off and cost nothing when absent
+        self.tracer = tracer
+        self.metrics = metrics
+        self._init_metrics(metrics)
         self._origin_rng = DeterministicRNG(cluster.seed).substream("gateway-origins")
         self._server: Optional[asyncio.base_events.Server] = None
         self._inflight: Set[asyncio.Future] = set()
@@ -157,6 +164,66 @@ class Gateway:
         #: negotiated encoding of each *live* v2 connection (stats reports
         #: the per-encoding counts so an operator can see who upgraded)
         self._connection_encodings: Dict[asyncio.StreamWriter, str] = {}
+
+    def _init_metrics(self, metrics: Optional[Any]) -> None:
+        """Register the gateway's instruments on the shared registry.
+
+        Counter children are cached per encoding so the frame-write hot
+        path increments a bound slot instead of hashing label tuples.
+        """
+        if metrics is None:
+            self._frame_counters = None
+            self._m_latency = None
+            return
+        from repro.obs.metrics import HOP_BUCKETS, LATENCY_BUCKETS_S
+
+        frames = metrics.counter(
+            "gateway_frames_total",
+            "Frames written by the gateway, per negotiated body encoding",
+            ("encoding",),
+        )
+        self._frame_counters = {
+            ENCODING_JSON: frames.child(ENCODING_JSON),
+            ENCODING_BINARY: frames.child(ENCODING_BINARY),
+        }
+        self._m_queries = metrics.counter(
+            "gateway_queries_total", "Range queries answered, per executor kind", ("kind",)
+        )
+        self._m_retries = metrics.counter(
+            "query_retries_total", "Per-hop retransmissions across all queries"
+        )
+        self._m_reroutes = metrics.counter(
+            "query_reroutes_total", "Sibling-reroute detours across all queries"
+        )
+        self._m_drops = metrics.counter(
+            "query_drops_total", "Forwarding messages reported dropped"
+        )
+        self._m_timeouts = metrics.counter(
+            "query_timeouts_total", "Per-hop timer expiries across all queries"
+        )
+        self._m_latency = metrics.histogram(
+            "gateway_query_latency_seconds",
+            LATENCY_BUCKETS_S,
+            "Wall-clock latency of gateway-answered queries",
+        )
+        self._m_hops = metrics.histogram(
+            "gateway_query_hops", HOP_BUCKETS, "Query delay in overlay hops"
+        )
+        metrics.register_callback(
+            "gateway_in_flight",
+            lambda: float(len(self._inflight)),
+            "Queries accepted but not yet answered",
+        )
+        metrics.register_callback(
+            "gateway_peak_in_flight",
+            lambda: float(self._peak_inflight),
+            "High-water mark of concurrently in-flight queries",
+        )
+        metrics.register_callback(
+            "gateway_connections",
+            lambda: float(len(self._connections)),
+            "Currently open client connections",
+        )
 
     # ------------------------------------------------------------------ #
     # lifecycle                                                            #
@@ -340,8 +407,8 @@ class Gateway:
 
     # -- v2: the multiplexed frame protocol ----------------------------------
 
-    @staticmethod
     def _write_frame(
+        self,
         writer: asyncio.StreamWriter,
         frame: Dict[str, Any],
         encoding: str = ENCODING_JSON,
@@ -359,6 +426,8 @@ class Gateway:
                 writer.write(encode_frame_binary(frame))
             else:
                 writer.write(encode_frame(frame))
+            if self._frame_counters is not None:
+                self._frame_counters[encoding].inc()
 
     async def _read_handshake_frame(self, reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
         """Read the first v2 frame, whose leading length byte (``0x00``)
@@ -423,7 +492,11 @@ class Gateway:
         self.connections_by_encoding[encoding] += 1
         self._connection_encodings[writer] = encoding
         allow_binary = encoding == ENCODING_BINARY
-        self._write_frame(writer, welcome_frame(encoding=encoding))
+        # Tracing is granted only when the client asked AND this gateway
+        # has a tracer; either side lacking it degrades to untraced
+        # replies — the absence of the key is the whole negotiation.
+        tracing = bool(hello.get("tracing")) and self.tracer is not None
+        self._write_frame(writer, welcome_frame(encoding=encoding, tracing=tracing))
         await self._safe_drain(writer)
 
         pending_rids: Set[int] = set()
@@ -453,7 +526,7 @@ class Gateway:
                     # No await here: the answering task owns the reply, and
                     # the loop goes straight back to reading — that is the
                     # multiplexing (frame intake never waits on execution).
-                    self._start_request(frame, writer, pending_rids, tasks, encoding)
+                    self._start_request(frame, writer, pending_rids, tasks, encoding, tracing)
                 elif kind == "batch":
                     entries = frame.get("requests")
                     if not isinstance(entries, list):
@@ -470,7 +543,7 @@ class Gateway:
                             )
                             await self._safe_drain(writer)
                             continue
-                        self._start_request(entry, writer, pending_rids, tasks, encoding)
+                        self._start_request(entry, writer, pending_rids, tasks, encoding, tracing)
                 elif kind == "quit":
                     break
                 else:
@@ -497,6 +570,7 @@ class Gateway:
         pending_rids: Set[int],
         tasks: Set[asyncio.Task],
         encoding: str = ENCODING_JSON,
+        tracing: bool = False,
     ) -> None:
         """Validate the rid and launch the request (no await: this is what
         lets many requests run concurrently on one connection).
@@ -550,7 +624,7 @@ class Gateway:
                 )
 
             try:
-                self._start_query(request, on_chunk, finish)
+                self._start_query(request, on_chunk, finish, tracing=tracing)
             except (ValueError, ClusterError, ArmadaError, ApiError) as exc:
                 finish({"ok": False, "error": str(exc)})
             return
@@ -631,6 +705,12 @@ class Gateway:
                     )
                     for name in SUPPORTED_ENCODINGS
                 },
+                # The tracing capability and the per-encoding counts above are
+                # part of the *shared* stats payload on purpose: the v1 line
+                # protocol and every v2 connection answer a stats request
+                # through this one method, so the field set can never drift
+                # between protocol versions.
+                "tracing": self.tracer is not None,
                 "uptime_seconds": (now - self._started_at) if self._started_at is not None else 0.0,
             }
         )
@@ -690,11 +770,27 @@ class Gateway:
         """A deterministic (seeded) origin for clients that name none."""
         return self._origin_rng.choice(self.cluster.network.peer_ids())
 
+    def _observe_query(self, result: RangeQueryResult, latency: float, kind: str) -> None:
+        """Feed one completed query into the metrics plane."""
+        self._m_queries.inc(1.0, kind)
+        self._m_latency.observe(latency)
+        self._m_hops.observe(float(result.delay_hops))
+        stats = result.resilience
+        if stats.retries:
+            self._m_retries.inc(float(stats.retries))
+        if stats.reroutes:
+            self._m_reroutes.inc(float(stats.reroutes))
+        if stats.drops:
+            self._m_drops.inc(float(stats.drops))
+        if stats.timeouts:
+            self._m_timeouts.inc(float(stats.timeouts))
+
     def _start_query(
         self,
         request: Request,
         on_chunk: Optional[Callable[[Dict[str, Any]], None]],
         finish: Callable[[Dict[str, Any]], None],
+        tracing: bool = False,
     ) -> None:
         """Start one query; ``finish(payload)`` fires exactly once with the
         reply payload — synchronously when the query completes at its
@@ -703,6 +799,11 @@ class Gateway:
         This is the event-driven core: no task, no future await — the v2
         loop pipelines queries at the cost of one ``call_later`` handle
         each.  Validation failures raise before anything is registered.
+
+        ``tracing`` is the connection's negotiated capability; a query is
+        actually traced only when the *request* also opted in
+        (``options.trace``).  The v1 path never negotiates tracing, so a
+        v1 request's ``trace`` option is dropped cleanly — never an error.
         """
         if self._closing:
             finish({"ok": False, "error": "shutting down"})
@@ -718,6 +819,14 @@ class Gateway:
         elif not self.cluster.network.has_peer(origin):
             raise ValueError(f"unknown origin peer {origin!r}")
         deadline = request.options.deadline if request.options.deadline is not None else self.deadline
+
+        traced = tracing and request.options.trace and self.tracer is not None
+        if traced and executor.tracer is None:
+            executor.set_tracer(self.tracer)
+        # Pre-allocate the query id so streamed chunks can carry the trace
+        # id from the very first (synchronous, origin-local) destination.
+        query_id = next(executor._query_ids)
+        trace_ref = f"{executor.message_kind}-{query_id}" if traced else None
 
         loop = asyncio.get_running_loop()
         started = loop.time()
@@ -738,40 +847,55 @@ class Gateway:
             status = "deadline" if result.resilience.deadline_expired else (
                 "ok" if result.complete else "partial"
             )
-            finish(
-                {
-                    "ok": True,
-                    "type": "result",
-                    "status": status,
-                    "latency": loop.time() - started,
-                    "result": result.to_wire(),
-                }
-            )
+            latency = loop.time() - started
+            if self._m_latency is not None:
+                self._observe_query(result, latency, "mira" if is_mira else "pira")
+            payload = {
+                "ok": True,
+                "type": "result",
+                "status": status,
+                "latency": latency,
+                "result": result.to_wire(),
+            }
+            if trace_ref is not None:
+                trace = self.tracer.take(trace_ref)
+                if trace is not None:
+                    payload["trace_id"] = trace.trace_id
+                    payload["trace"] = trace.to_wire()
+            finish(payload)
 
         on_destination = None
         if on_chunk is not None:
 
             def on_destination(peer_id: str, hop: int, new_matches: list) -> None:
-                on_chunk(
-                    {
-                        "peer": peer_id,
-                        "hop": hop,
-                        "values": [encode_value(stored.key) for stored in new_matches],
-                    }
-                )
+                chunk = {
+                    "peer": peer_id,
+                    "hop": hop,
+                    "values": [encode_value(stored.key) for stored in new_matches],
+                }
+                if trace_ref is not None:
+                    chunk["trace_id"] = trace_ref
+                on_chunk(chunk)
 
         try:
             if is_mira:
                 result = executor.start(
-                    origin, request.ranges, on_complete=complete, on_destination=on_destination
+                    origin,
+                    request.ranges,
+                    query_id=query_id,
+                    on_complete=complete,
+                    on_destination=on_destination,
+                    trace=traced,
                 )
             else:
                 result = executor.start(
                     origin,
                     request.low,
                     request.high,
+                    query_id=query_id,
                     on_complete=complete,
                     on_destination=on_destination,
+                    trace=traced,
                 )
         except BaseException:
             self._inflight.discard(marker)

@@ -50,8 +50,11 @@ ENCODING_JSON = "json"
 ENCODING_BINARY = "binary"
 SUPPORTED_ENCODINGS = (ENCODING_JSON, ENCODING_BINARY)
 
-#: message-metadata keys that cross the wire (all JSON scalars)
-WIRE_METADATA_KEYS = ("level", "branch", "send", "latency")
+#: message-metadata keys that cross the wire (all JSON scalars).  The
+#: ``trace``/``span`` pair is the distributed-tracing context: present only
+#: on traced queries, carried identically by the JSON and binary codecs,
+#: and simply absent (never an error) when tracing is off or unsupported.
+WIRE_METADATA_KEYS = ("level", "branch", "send", "latency", "trace", "span")
 
 #: gateway protocol versions this codebase speaks.  v1 is the legacy
 #: newline-terminated line protocol (one strictly-ordered reply per
@@ -67,6 +70,7 @@ def hello_frame(
     versions: tuple = (GATEWAY_PROTOCOL_V2,),
     client: str = "repro.api",
     encoding: str = ENCODING_JSON,
+    tracing: bool = False,
 ) -> Dict[str, Any]:
     """The client's opening frame of a v2 gateway connection.
 
@@ -80,10 +84,17 @@ def hello_frame(
     body encoding.  Old clients (which never send the key) and old
     gateways (which ignore it) both degrade to JSON, so the negotiation
     is backwards- and forwards-compatible.
+
+    ``tracing`` asks the gateway to honour per-request ``trace`` options
+    and attach span trees to replies.  Same degradation contract as
+    ``encoding``: the key is only present when requested, and either side
+    not understanding it silently means "no tracing" — never an error.
     """
     frame = {"type": "hello", "versions": list(versions), "client": client}
     if encoding != ENCODING_JSON:
         frame["encoding"] = encoding
+    if tracing:
+        frame["tracing"] = True
     return frame
 
 
@@ -91,19 +102,26 @@ def welcome_frame(
     version: int = GATEWAY_PROTOCOL_V2,
     server: str = "armada-gateway",
     encoding: str = ENCODING_JSON,
+    tracing: bool = False,
 ) -> Dict[str, Any]:
     """The gateway's handshake acceptance.
 
     ``encoding`` echoes what the gateway actually negotiated; clients
     treat an absent key as ``"json"`` (pre-binary gateways never send it).
+    ``tracing`` confirms the connection may request traced queries; an
+    absent key means the gateway has no tracer (or predates tracing) and
+    clients degrade to untraced replies.
     """
-    return {
+    frame = {
         "type": "welcome",
         "version": version,
         "server": server,
         "features": ["batch", "stream"],
         "encoding": encoding,
     }
+    if tracing:
+        frame["tracing"] = True
+    return frame
 
 
 def error_frame(error: str, rid: Optional[int] = None, fatal: bool = False) -> Dict[str, Any]:

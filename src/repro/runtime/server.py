@@ -10,6 +10,12 @@ The runner owns the process lifecycle:
 4. **drain**: refuse new queries, await every in-flight one (each bounded
    by the per-query deadline, so shutdown latency is capped), and only
    then close the cluster's sockets.
+
+The serve loop is also where the observability planes come together: a
+``metrics_port`` exposes the shared registry over Prometheus text
+exposition, the gateway gets a tracer so v2 clients can negotiate the
+``tracing`` capability, and lifecycle events go through the structured
+``repro.serve`` logger (the contract lines above stay plain prints).
 """
 
 from __future__ import annotations
@@ -20,8 +26,11 @@ import sys
 from dataclasses import dataclass
 from typing import Optional, Sequence, TextIO, Tuple
 
+from repro.obs.logs import configure_logging, get_logger
 from repro.runtime.cluster import LiveCluster
 from repro.runtime.gateway import Gateway
+
+log = get_logger("serve")
 
 
 @dataclass(frozen=True)
@@ -36,6 +45,11 @@ class ServeSettings:
     deadline: float = 5.0
     attribute_interval: Tuple[float, float] = (0.0, 1000.0)
     attribute_intervals: Optional[Sequence[Tuple[float, float]]] = ((0.0, 1000.0), (0.0, 1000.0))
+    #: expose /metrics on this port (None disables the endpoint; 0 picks
+    #: an ephemeral port)
+    metrics_port: Optional[int] = None
+    log_level: str = "info"
+    log_json: bool = False
 
     def __post_init__(self) -> None:
         if self.peers < 3:
@@ -46,6 +60,58 @@ class ServeSettings:
             raise ValueError("nodes must be positive")
         if self.deadline <= 0:
             raise ValueError("deadline must be positive")
+        if self.metrics_port is not None and not 0 <= self.metrics_port <= 65535:
+            raise ValueError("metrics_port must be within [0, 65535]")
+
+
+def build_observability(cluster: LiveCluster):
+    """One tracer + one registry wired to a cluster's live counters.
+
+    Returns ``(tracer, registry)``.  The registry's callback gauges read
+    the cluster's transport and storage counters at scrape time, so the
+    metrics plane costs nothing between scrapes.
+    """
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.spans import Tracer
+
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    transport = cluster.transport
+    if transport is not None:
+        registry.register_callback(
+            "transport_messages_sent",
+            lambda: float(transport.messages_sent),
+            "Forwarding messages put on inter-node TCP links",
+        )
+        registry.register_callback(
+            "transport_messages_dropped",
+            lambda: float(transport.messages_dropped),
+            "Forwarding messages that found no live node",
+        )
+    registry.register_callback(
+        "cluster_peers",
+        lambda: float(cluster.network.size),
+        "Peers currently in the overlay",
+    )
+    registry.register_callback(
+        "peer_store_objects",
+        lambda: float(sum(len(peer.objects()) for peer in cluster.network.peers())),
+        "Objects held across all peer stores",
+    )
+
+    registry.register_callback(
+        "storage_replica_records",
+        lambda: float(
+            sum(peer.backend.replica_count() for peer in cluster.network.peers())
+        ),
+        "Replica copies held across all peer storage backends",
+    )
+    registry.register_callback(
+        "storage_replayed_records",
+        lambda: float(cluster.replayed_records),
+        "Records replayed from durable logs after restarts",
+    )
+    return tracer, registry
 
 
 async def serve_async(
@@ -58,6 +124,7 @@ async def serve_async(
     ``stop_event`` lets tests stop the server programmatically; without it
     only SIGINT/SIGTERM end the loop.
     """
+    configure_logging(settings.log_level, settings.log_json)
     loop = asyncio.get_running_loop()
     stop = stop_event if stop_event is not None else asyncio.Event()
 
@@ -70,8 +137,22 @@ async def serve_async(
         attribute_intervals=settings.attribute_intervals,
     )
     await cluster.start()
-    gateway = Gateway(cluster, host=settings.host, port=settings.port, deadline=settings.deadline)
+    tracer, registry = build_observability(cluster)
+    gateway = Gateway(
+        cluster,
+        host=settings.host,
+        port=settings.port,
+        deadline=settings.deadline,
+        tracer=tracer,
+        metrics=registry,
+    )
     await gateway.start()
+    metrics_server = None
+    if settings.metrics_port is not None:
+        from repro.obs.exposition import MetricsServer
+
+        metrics_server = MetricsServer(registry, host=settings.host, port=settings.metrics_port)
+        await metrics_server.start()
 
     installed_signals = []
     for signum in (signal.SIGINT, signal.SIGTERM):
@@ -88,19 +169,37 @@ async def serve_async(
         file=out,
         flush=True,
     )
+    if metrics_server is not None:
+        print(
+            f"metrics listening on {metrics_server.host}:{metrics_server.port}/metrics",
+            file=out,
+            flush=True,
+        )
+    log.info(
+        "gateway up",
+        extra={
+            "peers": cluster.network.size,
+            "nodes": len(cluster.nodes),
+            "port": gateway.port,
+        },
+    )
     try:
         await stop.wait()
         print(f"draining {gateway.in_flight} in-flight queries", file=out, flush=True)
+        log.info("draining", extra={"in_flight": gateway.in_flight})
         await gateway.shutdown(drain=True)
     finally:
         for signum in installed_signals:
             loop.remove_signal_handler(signum)
+        if metrics_server is not None:
+            await metrics_server.stop()
         await cluster.stop()
     print(
         f"drained; served {gateway.queries_served} queries, sockets closed",
         file=out,
         flush=True,
     )
+    log.info("stopped", extra={"queries_served": gateway.queries_served})
     return gateway.queries_served
 
 

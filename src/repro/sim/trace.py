@@ -32,18 +32,28 @@ class TraceRecorder:
     events: List[TraceEvent] = field(default_factory=list)
     enabled: bool = True
     max_events: Optional[int] = None
+    #: events discarded because the recorder was full — a non-zero value
+    #: means the trace is truncated and downstream analysis must say so
+    dropped: int = 0
 
     def record(self, time: float, kind: str, **attributes: Any) -> None:
-        """Record one event (no-op when disabled or full)."""
+        """Record one event (no-op when disabled; counts drops when full)."""
         if not self.enabled:
             return
         if self.max_events is not None and len(self.events) >= self.max_events:
+            self.dropped += 1
             return
         self.events.append(TraceEvent(time=time, kind=kind, attributes=dict(attributes)))
 
+    @property
+    def truncated(self) -> bool:
+        """True when at least one event was dropped at the cap."""
+        return self.dropped > 0
+
     def clear(self) -> None:
-        """Drop all recorded events."""
+        """Drop all recorded events (and reset the drop counter)."""
         self.events.clear()
+        self.dropped = 0
 
     def filter(self, kind: Optional[str] = None, **attributes: Any) -> List[TraceEvent]:
         """Events matching the given kind and attribute values."""
@@ -71,4 +81,6 @@ class TraceRecorder:
             lines.append(f"[{event.time:8.2f}] {event.kind:<10} {attrs}")
         if limit is not None and len(self.events) > limit:
             lines.append(f"... ({len(self.events) - limit} more events)")
+        if self.dropped:
+            lines.append(f"!!! truncated: {self.dropped} events dropped at max_events")
         return "\n".join(lines)

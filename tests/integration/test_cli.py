@@ -12,6 +12,7 @@ from repro.cli import (
     make_config,
     make_serve_settings,
     make_soak_spec,
+    make_trace_spec,
     run_command,
 )
 from repro.experiments.common import ExperimentConfig
@@ -22,7 +23,7 @@ class TestArgumentHandling:
         parser = build_parser()
         for command in ("table1", "figures-rangesize", "figures-netsize", "analytics",
                         "fissione", "mira", "ablation", "load", "sweep", "faults",
-                        "serve", "soak", "all"):
+                        "serve", "soak", "trace", "all"):
             assert parser.parse_args([command]).command == command
 
     def test_rates_parsing(self):
@@ -87,6 +88,45 @@ class TestArgumentHandling:
         spec = make_soak_spec(args, make_config(args))
         assert (spec.peers, spec.queries, spec.nodes) == (16, 200, 4)
         assert (spec.concurrency, spec.mira_fraction, spec.deadline) == (8, 0.5, 2.5)
+
+    def test_observability_flags_reach_the_specs(self):
+        parser = build_parser()
+        config = ExperimentConfig()
+        serve = make_serve_settings(
+            parser.parse_args(
+                ["serve", "--metrics-port", "9109", "--log-level", "debug", "--log-json"]
+            ),
+            config,
+        )
+        assert serve.metrics_port == 9109
+        assert serve.log_level == "debug"
+        assert serve.log_json is True
+        assert make_serve_settings(parser.parse_args(["serve"]), config).metrics_port is None
+        soak = make_soak_spec(
+            parser.parse_args(
+                ["soak", "--metrics-port", "0", "--trace-out", "trace.json"]
+            ),
+            config,
+        )
+        assert soak.metrics_port == 0
+        assert soak.trace_out == "trace.json"
+
+    def test_trace_defaults_and_overrides(self):
+        parser = build_parser()
+        config = ExperimentConfig()
+        spec = make_trace_spec(parser.parse_args(["trace"]), config)
+        assert spec.connect is None
+        assert (spec.low, spec.high) == (400.0, 420.0)
+        spec = make_trace_spec(
+            parser.parse_args(
+                ["trace", "--low", "10", "--high", "50", "--connect",
+                 "127.0.0.1:7411", "--origin", "012", "--trace-jsonl", "t.jsonl"]
+            ),
+            config,
+        )
+        assert spec.address == ("127.0.0.1", 7411)
+        assert spec.origin == "012"
+        assert spec.trace_jsonl == "t.jsonl"
 
 
 class TestParseErrors:
@@ -193,6 +233,24 @@ class TestParseErrors:
         # argparse-level type errors (exit code 2, message on stderr)
         self.run_main_expecting_exit(["soak", "--queries", "many"])
 
+    # -- observability flags ------------------------------------------------
+
+    def test_serve_bad_metrics_port(self):
+        message = self.run_main_expecting_exit(["serve", "--metrics-port", "70000"])
+        assert "metrics" in str(message)
+
+    def test_soak_bad_metrics_port(self):
+        message = self.run_main_expecting_exit(["soak", "--metrics-port", "-1"])
+        assert "metrics" in str(message)
+
+    def test_trace_inverted_range(self):
+        message = self.run_main_expecting_exit(["trace", "--low", "5", "--high", "1"])
+        assert "range" in str(message)
+
+    def test_trace_bad_connect(self):
+        message = self.run_main_expecting_exit(["trace", "--connect", "nowhere"])
+        assert "HOST:PORT" in str(message)
+
 
 class TestExecution:
     TINY = ExperimentConfig(
@@ -207,6 +265,28 @@ class TestExecution:
     def test_run_command_fissione(self):
         output = run_command("fissione", self.TINY)
         assert "FISSIONE" in output
+
+    def test_trace_command_prints_span_tree(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        exit_code = main(
+            [
+                "trace",
+                "--peers", "32",
+                "--objects", "100",
+                "--low", "100",
+                "--high", "160",
+                "--trace-out", str(out_path),
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "Traced range query" in captured
+        assert "pira" in captured
+        assert "hop " in captured
+        import json as json_module
+
+        payload = json_module.loads(out_path.read_text())
+        assert payload["traceEvents"]
 
     def test_run_command_figures_with_csv(self, tmp_path):
         output = run_command("figures-rangesize", self.TINY, csv_dir=str(tmp_path))

@@ -1,0 +1,83 @@
+"""Unit tests for the structured-logging plane (repro.obs.logs)."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logs import ROOT_LOGGER, configure_logging, get_logger
+
+
+@pytest.fixture(autouse=True)
+def reset_repro_logging():
+    """Leave the global ``repro`` logger pristine after each test."""
+    root = logging.getLogger(ROOT_LOGGER)
+    saved = (list(root.handlers), root.level, root.propagate)
+    yield
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    for handler in saved[0]:
+        root.addHandler(handler)
+    root.setLevel(saved[1])
+    root.propagate = saved[2]
+
+
+class TestConfigure:
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging("chatty")
+
+    def test_idempotent_no_handler_stacking(self):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        configure_logging("info", stream=stream)
+        get_logger("gateway").info("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_level_threshold(self):
+        stream = io.StringIO()
+        configure_logging("warning", stream=stream)
+        get_logger("gateway").info("hidden")
+        get_logger("gateway").warning("shown")
+        output = stream.getvalue()
+        assert "hidden" not in output
+        assert "shown" in output
+
+    def test_subsystem_logger_name(self):
+        assert get_logger("cluster").name == "repro.cluster"
+        assert get_logger().name == "repro"
+
+
+class TestJsonMode:
+    def test_one_object_per_line_with_core_keys(self):
+        stream = io.StringIO()
+        configure_logging("info", json_mode=True, stream=stream)
+        get_logger("serve").info("gateway up")
+        payload = json.loads(stream.getvalue().strip())
+        assert payload["level"] == "info"
+        assert payload["logger"] == "repro.serve"
+        assert payload["message"] == "gateway up"
+        assert isinstance(payload["ts"], float)
+
+    def test_extras_ride_along_for_trace_correlation(self):
+        stream = io.StringIO()
+        configure_logging("info", json_mode=True, stream=stream)
+        get_logger("gateway").info(
+            "query done", extra={"trace_id": "pira-7", "hops": 3}
+        )
+        payload = json.loads(stream.getvalue().strip())
+        assert payload["trace_id"] == "pira-7"
+        assert payload["hops"] == 3
+
+    def test_exception_info_serialised(self):
+        stream = io.StringIO()
+        configure_logging("info", json_mode=True, stream=stream)
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            get_logger("gateway").exception("failed")
+        payload = json.loads(stream.getvalue().strip())
+        assert "RuntimeError: boom" in payload["exc_info"]

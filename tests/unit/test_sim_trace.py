@@ -58,3 +58,27 @@ class TestTraceRecorder:
         event = TraceEvent(time=1.0, kind="send", attributes={"a": 1})
         assert event.get("a") == 1
         assert event.get("missing", "default") == "default"
+
+    def test_dropped_counter_tracks_events_beyond_cap(self):
+        trace = TraceRecorder(max_events=2)
+        for index in range(5):
+            trace.record(float(index), "send", index=index)
+        assert trace.dropped == 3
+        assert trace.truncated
+        assert "3 events dropped" in trace.format()
+
+    def test_untruncated_recorder_reports_clean(self):
+        trace = TraceRecorder(max_events=10)
+        trace.record(1.0, "send")
+        assert trace.dropped == 0
+        assert not trace.truncated
+        assert "dropped" not in trace.format()
+
+    def test_clear_resets_dropped(self):
+        trace = TraceRecorder(max_events=1)
+        trace.record(1.0, "send")
+        trace.record(2.0, "send")
+        assert trace.dropped == 1
+        trace.clear()
+        assert trace.dropped == 0
+        assert not trace.truncated

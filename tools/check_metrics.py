@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""CI helper: scrape a live /metrics endpoint and sanity-check the series.
+
+Used by the runtime-smoke job while a soak runs in the background::
+
+    python tools/check_metrics.py --url http://127.0.0.1:9109/metrics
+
+The check (1) polls until the endpoint answers (the soak takes a moment
+to boot), (2) asserts every required series is present in Prometheus
+text form, and (3) takes a second sample after a short delay and asserts
+the core counters are monotone non-decreasing — the property Prometheus
+rate() queries depend on.  Exit code 0 on success, 1 with a reason on
+any failure; stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import urllib.error
+import urllib.request
+
+#: series that must appear in every scrape of a metrics-enabled gateway
+REQUIRED_SERIES = (
+    "repro_gateway_in_flight",
+    "repro_gateway_connections",
+    "repro_gateway_frames_total",
+    "repro_query_retries_total",
+    "repro_query_reroutes_total",
+    "repro_gateway_query_latency_seconds_bucket",
+    "repro_gateway_query_latency_seconds_count",
+    "repro_gateway_query_hops_count",
+    "repro_transport_messages_sent",
+    "repro_cluster_peers",
+)
+
+#: counters whose values must never decrease between two scrapes
+MONOTONE_SERIES = (
+    "repro_gateway_frames_total",
+    "repro_gateway_queries_total",
+    "repro_query_retries_total",
+    "repro_gateway_query_latency_seconds_count",
+    "repro_transport_messages_sent",
+)
+
+
+def scrape(url: str, timeout: float) -> str:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        body = response.read().decode("utf-8")
+        content_type = response.headers.get("Content-Type", "")
+    if "text/plain" not in content_type:
+        raise RuntimeError(f"unexpected Content-Type {content_type!r}")
+    return body
+
+
+def scrape_with_retry(url: str, deadline: float, timeout: float) -> str:
+    """Poll until the endpoint answers (the server may still be booting)."""
+    give_up = time.monotonic() + deadline
+    while True:
+        try:
+            return scrape(url, timeout)
+        except (urllib.error.URLError, ConnectionError, OSError) as exc:
+            if time.monotonic() >= give_up:
+                raise RuntimeError(f"endpoint never came up: {exc}") from exc
+            time.sleep(0.5)
+
+
+def parse_samples(text: str) -> dict:
+    """Prometheus text → {series_name_with_labels: float}; comments skipped."""
+    samples = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        try:
+            samples[name] = float(value)
+        except ValueError:
+            continue
+    return samples
+
+
+def series_values(samples: dict, prefix: str) -> dict:
+    """All samples of one series (bare name or every labelled child)."""
+    return {
+        name: value
+        for name, value in samples.items()
+        if name == prefix or name.startswith(prefix + "{")
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:9109/metrics",
+        help="metrics endpoint to scrape",
+    )
+    parser.add_argument(
+        "--boot-deadline",
+        type=float,
+        default=60.0,
+        help="seconds to keep retrying until the endpoint first answers",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between the two monotonicity samples",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        first_text = scrape_with_retry(args.url, args.boot_deadline, timeout=5.0)
+    except RuntimeError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    first = parse_samples(first_text)
+
+    missing = [
+        series for series in REQUIRED_SERIES if not series_values(first, series)
+    ]
+    if missing:
+        print(f"FAIL: required series missing: {', '.join(missing)}", file=sys.stderr)
+        print(first_text, file=sys.stderr)
+        return 1
+    print(f"scrape 1: {len(first)} samples, all {len(REQUIRED_SERIES)} required series present")
+
+    time.sleep(args.interval)
+    try:
+        second = parse_samples(scrape(args.url, timeout=5.0))
+    except Exception as exc:  # noqa: BLE001 - any scrape failure fails the gate
+        print(f"FAIL: second scrape failed: {exc}", file=sys.stderr)
+        return 1
+
+    regressions = []
+    for series in MONOTONE_SERIES:
+        before = series_values(first, series)
+        after = series_values(second, series)
+        for name, value in before.items():
+            if name in after and after[name] < value:
+                regressions.append(f"{name}: {value} -> {after[name]}")
+    if regressions:
+        print(
+            "FAIL: counters decreased between scrapes:\n  "
+            + "\n  ".join(regressions),
+            file=sys.stderr,
+        )
+        return 1
+    print(f"scrape 2: {len(second)} samples, core counters monotone")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
