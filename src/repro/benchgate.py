@@ -50,6 +50,8 @@ GATED_METRICS: Dict[str, Dict[str, str]] = {
         "binary_queries_per_sec": "rate",
         "v2_speedup_over_v1": "ratio",
         "binary_speedup_over_json": "ratio",
+        "recorder_overhead_ratio": "ratio",
+        "recorder_overhead_median": "ratio",
         "success_ratio": "ratio",
     },
     "faults": {

@@ -27,6 +27,7 @@ from repro.experiments import fissione_props as fissione_experiment
 from repro.experiments import faults as faults_experiment
 from repro.experiments import load as load_experiment
 from repro.experiments import mira as mira_experiment
+from repro.experiments import postmortem as postmortem_experiment
 from repro.experiments import soak as soak_experiment
 from repro.experiments import tracecmd
 from repro.experiments import table1 as table1_experiment
@@ -48,6 +49,7 @@ _COMMANDS = (
     "serve",
     "soak",
     "trace",
+    "replay",
     "bench",
     "all",
 )
@@ -64,6 +66,15 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce the tables and figures of the Armada paper (ICDCS 2006).",
     )
     parser.add_argument("command", choices=_COMMANDS, help="experiment to run")
+    parser.add_argument(
+        "dumps",
+        nargs="*",
+        metavar="DUMP",
+        help=(
+            "replay only: flight-recorder .dump files to merge and re-execute "
+            "(exits non-zero at the first divergence from the recording)"
+        ),
+    )
     parser.add_argument(
         "--profile",
         choices=("quick", "default", "paper"),
@@ -260,6 +271,40 @@ def build_parser() -> argparse.ArgumentParser:
             "soak only: after seeding, hard-kill one peer (volatile state "
             "and unsynced bytes dropped), restart it from its log, and fail "
             "the run unless every acknowledged write survived"
+        ),
+    )
+    parser.add_argument(
+        "--kill-peer",
+        action="store_true",
+        help=(
+            "soak only: after seeding, hard-kill one peer and withdraw its "
+            "route without restarting it, so queries through its subtree "
+            "genuinely fail — the forced-failure half of a postmortem drill"
+        ),
+    )
+    parser.add_argument(
+        "--record-dir",
+        default=None,
+        help=(
+            "serve/soak: arm the flight recorder; the event ring is dumped "
+            "into this directory (soak writes flight.dump at the end of the "
+            "run, serve dumps on shutdown and on SIGUSR1)"
+        ),
+    )
+    parser.add_argument(
+        "--postmortem-on-fail",
+        action="store_true",
+        help=(
+            "soak only: write the flight.dump only when the run lost queries "
+            "(success ratio < 1), keeping healthy CI runs dump-free"
+        ),
+    )
+    parser.add_argument(
+        "--timeline",
+        action="store_true",
+        help=(
+            "replay only: render a terminal timeline of the recorded event "
+            "tail, centred on the divergence when one is found"
         ),
     )
     parser.add_argument(
@@ -469,6 +514,7 @@ def make_serve_settings(args: argparse.Namespace, config: ExperimentConfig) -> S
             metrics_port=args.metrics_port,
             log_level=args.log_level,
             log_json=args.log_json,
+            record_dir=args.record_dir,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -505,6 +551,9 @@ def make_soak_spec(args: argparse.Namespace, config: ExperimentConfig):
             kill_restart=args.kill_restart,
             metrics_port=args.metrics_port,
             trace_out=args.trace_out,
+            record_dir=args.record_dir,
+            postmortem_on_fail=args.postmortem_on_fail,
+            kill_peer=args.kill_peer,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -593,8 +642,25 @@ def run_command(
     require_success: Optional[float] = None,
     require_pipelined: Optional[int] = None,
     trace_spec=None,
+    postmortem_spec=None,
 ) -> str:
     """Run one experiment command and return its formatted output."""
+    if command == "replay":
+        from repro.obs.recorder import DumpError
+        from repro.obs.replay import ReplayError
+
+        if postmortem_spec is None:
+            raise SystemExit("replay needs at least one DUMP file argument")
+        try:
+            result = postmortem_experiment.run(postmortem_spec)
+        except (DumpError, ReplayError) as exc:
+            raise SystemExit(f"replay failed: {exc}") from exc
+        output = result.format()
+        if not result.ok:
+            # The divergence is the finding: print the full report and make
+            # the exit code say "the recording does not replay cleanly".
+            raise SystemExit(output)
+        return output
     if command == "trace":
         result = tracecmd.run(
             trace_spec if trace_spec is not None else tracecmd.TraceSpec()
@@ -712,6 +778,7 @@ def main(argv=None) -> int:
     spec = None
     soak_spec = None
     trace_spec = None
+    postmortem_spec = None
     if args.command == "sweep":
         spec = make_sweep_spec(args, config)
     elif args.command == "faults":
@@ -720,6 +787,14 @@ def main(argv=None) -> int:
         soak_spec = make_soak_spec(args, config)
     elif args.command == "trace":
         trace_spec = make_trace_spec(args, config)
+    elif args.command == "replay":
+        if not args.dumps:
+            raise SystemExit("replay needs at least one DUMP file argument")
+        postmortem_spec = postmortem_experiment.PostmortemSpec(
+            dumps=tuple(args.dumps), timeline=args.timeline
+        )
+    if args.dumps and args.command != "replay":
+        raise SystemExit(f"positional DUMP arguments only apply to replay, not {args.command}")
 
     def _run() -> str:
         return run_command(
@@ -736,6 +811,7 @@ def main(argv=None) -> int:
             require_success=args.require_success,
             require_pipelined=args.require_pipelined,
             trace_spec=trace_spec,
+            postmortem_spec=postmortem_spec,
         )
 
     if args.cprofile is not None:

@@ -392,6 +392,22 @@ class ResumableExecutor:
         """True while ``query_id`` is in flight on this executor."""
         return query_id in self._active
 
+    def pending_sends(self, query_id: int) -> List[Tuple[int, str, str, int]]:
+        """The open logical sends of an in-flight query, for diagnostics.
+
+        Returns ``(send_id, sender, receiver, hop)`` per outstanding send,
+        in send-id order — what the flight-recorder replay reports when a
+        query is still waiting on deliveries at its recorded completion.
+        Empty for unknown/finished queries.
+        """
+        state = self._active.get(query_id)
+        if state is None:
+            return []
+        return [
+            (send_id, pending.sender, pending.receiver, pending.hop)
+            for send_id, pending in sorted(state.pending.items())
+        ]
+
     # ------------------------------------------------------------------ #
     # membership & forwarding                                              #
     # ------------------------------------------------------------------ #

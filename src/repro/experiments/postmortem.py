@@ -1,0 +1,216 @@
+"""``repro replay``: post-mortem analysis of flight-recorder dumps.
+
+The forward pipeline records (``--record-dir`` on ``repro soak`` /
+``repro serve``, ``SIGUSR1``, crash excepthook); this command walks it
+backwards: load one or more ``.dump`` files, merge them into a single
+event stream, re-execute it inside the simulator
+(:func:`repro.obs.replay.replay_events`), and render
+
+* a replay summary (queries re-run, replies verified, stores, faults),
+* the **first divergence** — the exact sequence number where the
+  replayed execution left the recorded one — when there is one, and
+* optionally a terminal timeline of the recorded tail (``--timeline``),
+  centred on the divergence when one was found.
+
+Merging matters because one process can write several dumps (an
+on-demand ``SIGUSR1`` snapshot *and* the shutdown dump): events carry
+global sequence numbers, so duplicates collapse by ``seq`` and the
+stream re-sorts into the true recorded order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.obs.recorder import load_dump
+from repro.obs.replay import ReplayReport, replay_events
+
+
+@dataclass(frozen=True)
+class PostmortemSpec:
+    """Parameters of one post-mortem run."""
+
+    dumps: Tuple[str, ...]
+    #: render a terminal timeline of the recorded event tail
+    timeline: bool = False
+    #: timeline window size (events shown; centred on the divergence)
+    timeline_events: int = 40
+
+    def __post_init__(self) -> None:
+        if not self.dumps:
+            raise ValueError("need at least one dump file to replay")
+        if self.timeline_events < 1:
+            raise ValueError("timeline window must be at least one event")
+
+
+def merge_dumps(paths: Tuple[str, ...]) -> List[Dict[str, Any]]:
+    """Load + merge dump files into one deduplicated, seq-ordered stream.
+
+    Synthetic ``dump`` trailer events are set aside (they carry metadata
+    about the dump itself, not the execution); real events deduplicate by
+    their global sequence number, so overlapping dumps from the same
+    process merge losslessly.
+    """
+    by_seq: Dict[int, Dict[str, Any]] = {}
+    trailers: List[Dict[str, Any]] = []
+    for path in paths:
+        for event in load_dump(path):
+            if event.get("type") == "dump":
+                trailers.append(event)
+            else:
+                by_seq.setdefault(int(event["seq"]), event)
+    events = [by_seq[seq] for seq in sorted(by_seq)]
+    return events + trailers
+
+
+def _describe(event: Dict[str, Any]) -> str:
+    """One compact human-readable line body for a recorded event."""
+    kind = event.get("type")
+    if kind == "meta":
+        return (
+            f"meta: {event.get('peers')} peers (seed {event.get('seed')}, "
+            f"storage {event.get('storage')}) on {event.get('nodes')} nodes"
+        )
+    if kind == "query":
+        if event.get("kind") == "mira":
+            bounds = " x ".join(f"[{l:g}, {h:g}]" for l, h in event.get("ranges", ()))
+        else:
+            bounds = f"[{event.get('low'):g}, {event.get('high'):g}]"
+        return f"{event.get('kind')} query {event.get('query_id')} {bounds} from {event.get('origin')}"
+    if kind == "deliver":
+        frame = event.get("frame", {})
+        meta = frame.get("meta") or {}
+        return (
+            f"deliver {frame.get('kind')} q{frame.get('query_id')} "
+            f"send {meta.get('send')}: {frame.get('sender')} -> "
+            f"{frame.get('receiver')} (hop {frame.get('hop')})"
+        )
+    if kind in ("send", "drop"):
+        return (
+            f"{kind} {event.get('kind')} q{event.get('query_id')} "
+            f"send {event.get('send')}: {event.get('sender')} -> "
+            f"{event.get('receiver')} (hop {event.get('hop')})"
+        )
+    if kind == "reply":
+        return f"{event.get('kind')} q{event.get('query_id')} completed: {event.get('status')}"
+    if kind == "store":
+        target = event.get("peer") or event.get("owner")
+        role = f" ({event['role']})" if event.get("role") else ""
+        return f"store {event.get('object_id')} -> {target}{role}"
+    if kind == "fault":
+        return f"fault: {event.get('action')} {event.get('peer')}"
+    if kind == "timer":
+        return f"timer fired: {event.get('label')} (+{event.get('delay'):g}s)"
+    if kind == "frame":
+        return f"peer frame on {event.get('node')}: {event.get('frame_type')}"
+    if kind == "route":
+        return f"route {event.get('action')}: {event.get('peer')}"
+    if kind == "crash":
+        return f"unhandled {event.get('error')}: {event.get('message')}"
+    if kind == "dump":
+        return (
+            f"dump trailer: reason={event.get('reason')}, "
+            f"{event.get('events')} events, {event.get('evicted')} evicted"
+        )
+    body = {k: v for k, v in event.items() if k not in ("seq", "ts", "type")}
+    return f"{kind} {body}" if body else str(kind)
+
+
+def render_timeline(
+    events: List[Dict[str, Any]],
+    window: int,
+    centre_seq: int = -1,
+) -> List[str]:
+    """``[seq] +offset type  description`` lines for a window of events.
+
+    Offsets are relative to the first recorded event (monotonic clock),
+    so the timeline reads as elapsed run time.  With a non-negative
+    ``centre_seq`` (the divergence point) the window is centred there;
+    otherwise it shows the recorded tail.
+    """
+    stream = [ev for ev in events if ev.get("type") != "dump"]
+    if not stream:
+        return ["(no events)"]
+    if centre_seq >= 0:
+        pivot = next(
+            (i for i, ev in enumerate(stream) if int(ev.get("seq", -1)) >= centre_seq),
+            len(stream) - 1,
+        )
+        start = max(0, pivot - window // 2)
+    else:
+        start = max(0, len(stream) - window)
+    shown = stream[start : start + window]
+    base = float(stream[0].get("ts", 0.0))
+    lines = []
+    if start > 0:
+        lines.append(f"... {start} earlier events ...")
+    for ev in shown:
+        marker = ">>" if int(ev.get("seq", -1)) == centre_seq else "  "
+        offset = float(ev.get("ts", base)) - base
+        lines.append(
+            f"{marker} [{ev.get('seq'):>6}] +{offset:9.4f}s {ev.get('type'):<8} {_describe(ev)}"
+        )
+    remaining = len(stream) - (start + len(shown))
+    if remaining > 0:
+        lines.append(f"... {remaining} later events ...")
+    return lines
+
+
+@dataclass
+class PostmortemResult:
+    """Outcome of one post-mortem replay."""
+
+    spec: PostmortemSpec
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    report: ReplayReport = field(default_factory=ReplayReport)
+
+    @property
+    def ok(self) -> bool:
+        """True when the replayed execution matched the recording."""
+        return self.report.ok
+
+    def format(self) -> str:
+        """Human-readable post-mortem summary (plus optional timeline)."""
+        report = self.report
+        meta = report.meta
+        trailer = next(
+            (ev for ev in reversed(self.events) if ev.get("type") == "dump"), {}
+        )
+        lines = [
+            "Post-mortem replay (recorded execution re-run in the simulator)",
+            f"dumps             : {', '.join(self.spec.dumps)}",
+            f"recording         : {report.events} events"
+            + (
+                f" ({trailer.get('evicted')} evicted, reason={trailer.get('reason')})"
+                if trailer
+                else ""
+            ),
+            f"recorded cluster  : {meta.get('peers', '?')} peers, seed "
+            f"{meta.get('seed', '?')}, storage {meta.get('storage', '?')}",
+            f"replayed          : {report.queries} queries, "
+            f"{report.replies_checked} replies verified, {report.stores} stores, "
+            f"{report.faults} faults, {report.timers} timers",
+            f"in flight at dump : {report.undelivered} messages "
+            f"({report.unapplied} events unapplied)",
+            f"traces recovered  : {len(report.traces)} span trees",
+        ]
+        if report.divergence is None:
+            lines.append("verdict           : no divergence — the replayed "
+                         "execution matches the recording")
+        else:
+            lines.append("verdict           : DIVERGED")
+            lines.append(report.divergence.format())
+        if self.spec.timeline:
+            centre = report.divergence.seq if report.divergence is not None else -1
+            lines.append("")
+            lines.append("timeline:")
+            lines.extend(render_timeline(self.events, self.spec.timeline_events, centre))
+        return "\n".join(lines)
+
+
+def run(spec: PostmortemSpec) -> PostmortemResult:
+    """Load, merge and replay the dumps (pure CPU — no event loop needed)."""
+    events = merge_dumps(spec.dumps)
+    report = replay_events([ev for ev in events if ev.get("type") != "dump"])
+    return PostmortemResult(spec=spec, events=events, report=report)

@@ -85,6 +85,13 @@ class SoakSpec:
     metrics_port: Optional[int] = None
     #: write a Chrome trace_event JSON of every query's span tree here
     trace_out: Optional[str] = None
+    #: arm the flight recorder; dumps land in this directory as flight.dump
+    record_dir: Optional[str] = None
+    #: only write the dump when the run lost queries (success ratio < 1)
+    postmortem_on_fail: bool = False
+    #: hard-kill one peer (no restart, route withdrawn) after seeding —
+    #: the forced-failure lever of the CI postmortem leg
+    kill_peer: bool = False
 
     def __post_init__(self) -> None:
         if self.peers < 3:
@@ -123,6 +130,8 @@ class SoakSpec:
             )
         if self.metrics_port is not None and not 0 <= self.metrics_port <= 65535:
             raise ValueError("metrics-port must be within [0, 65535]")
+        if self.postmortem_on_fail and self.record_dir is None:
+            raise ValueError("postmortem-on-fail requires --record-dir")
 
     @property
     def pool_size(self) -> int:
@@ -216,6 +225,18 @@ class SoakResult:
             f"({self.queries_per_second:,.0f} queries/sec)",
             self.report.format(clock="wall"),
         ]
+        if self.stats.get("kill_peer"):
+            lines.insert(
+                3,
+                f"kill-peer         : {self.stats['kill_peer']} hard-killed after "
+                "seeding (route withdrawn, never restarted)",
+            )
+        if self.stats.get("postmortem"):
+            pm = self.stats["postmortem"]
+            lines.append(
+                f"flight recorder   : {pm['events']} events "
+                f"({pm['evicted']} evicted) dumped to {pm['path']} [{pm['reason']}]"
+            )
         return "\n".join(lines)
 
 
@@ -279,6 +300,23 @@ def _kill_restart(cluster: LiveCluster) -> Dict[str, Any]:
     return {"victim": victim, "replayed": replayed, "objects": objects_before}
 
 
+def _kill_peer(cluster: LiveCluster) -> str:
+    """Hard-kill one peer and leave it dead for the rest of the run.
+
+    Unlike :func:`_kill_restart` the victim never comes back, and its
+    transport route is withdrawn too, so forwards into its subtree
+    genuinely fail (``subtrees_lost``) instead of being absorbed by the
+    routing layer.  This is the forced-failure lever behind the CI
+    postmortem leg: with no replicas the success ratio must drop below 1
+    and ``--postmortem-on-fail`` must produce a dump.
+    """
+    peer_ids = cluster.network.peer_ids()
+    victim = peer_ids[len(peer_ids) // 2]
+    cluster.crash_peer(victim)
+    cluster.transport.unregister(victim)
+    return victim
+
+
 async def run_async(spec: SoakSpec) -> SoakResult:
     """Boot, publish, replay the workload, drain, and report."""
     data_dir = spec.data_dir
@@ -295,8 +333,15 @@ async def run_async(spec: SoakSpec) -> SoakResult:
     )
     await cluster.start()
     tracer, registry = build_observability(cluster)
+    recorder = None
+    if spec.record_dir is not None:
+        from repro.obs.recorder import FlightRecorder
+
+        recorder = FlightRecorder()
+        cluster.attach_recorder(recorder)
     gateway = await Gateway(
-        cluster, deadline=spec.deadline, tracer=tracer, metrics=registry
+        cluster, deadline=spec.deadline, tracer=tracer, metrics=registry,
+        recorder=recorder,
     ).start()
     if spec.trace_out is not None:
         # Server-side tracing: every query gets a span tree whether or not
@@ -348,6 +393,7 @@ async def run_async(spec: SoakSpec) -> SoakResult:
             # The crash-consistency probe: every insert above was acked as
             # durable, so a peer must survive kill -9 with nothing lost.
             kill_stats = _kill_restart(cluster) if spec.kill_restart else None
+            dead_peer = _kill_peer(cluster) if spec.kill_peer else None
             jobs = make_mixed_jobs(
                 seed=spec.seed,
                 count=spec.queries,
@@ -364,16 +410,41 @@ async def run_async(spec: SoakSpec) -> SoakResult:
             stats = await session.stats()
             if kill_stats is not None:
                 stats["kill_restart"] = kill_stats
+            if dead_peer is not None:
+                stats["kill_peer"] = dead_peer
             stats["obs"] = registry.snapshot()
             if spec.trace_out is not None:
                 stats["trace_out"] = _write_trace(tracer, spec.trace_out)
         finally:
             await session.close()
+    except BaseException:
+        # A soak that dies mid-run is exactly what the flight recorder is
+        # for: capture everything seen so far before the exception escapes.
+        if recorder is not None:
+            recorder.dump(
+                os.path.join(spec.record_dir, "flight.dump"), reason="exception"
+            )
+        raise
     finally:
         if metrics_server is not None:
             await metrics_server.stop()
         await gateway.shutdown(drain=True)
         await cluster.stop()
+    if recorder is not None:
+        # ``postmortem_on_fail`` keeps healthy runs dump-free; without it a
+        # record_dir always gets the full ring (the replay-test workflow).
+        failed = report.success_ratio < 1.0
+        if failed or not spec.postmortem_on_fail:
+            dump_path = recorder.dump(
+                os.path.join(spec.record_dir, "flight.dump"),
+                reason="postmortem" if failed else "soak-end",
+            )
+            stats["postmortem"] = {
+                "path": dump_path,
+                "events": len(recorder.events()),
+                "evicted": recorder.evicted,
+                "reason": "postmortem" if failed else "soak-end",
+            }
     return SoakResult(spec=spec, report=report, wall_seconds=wall, stats=stats)
 
 

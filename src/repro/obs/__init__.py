@@ -13,6 +13,11 @@ Three planes, one package:
   exposition format and snapshotted into benchmark reports.
 - :mod:`repro.obs.logs` — structured (optionally JSON) stdlib logging
   with per-subsystem loggers and ``trace_id`` correlation.
+- :mod:`repro.obs.recorder` / :mod:`repro.obs.replay` — the
+  backward-looking plane: an always-on bounded ring of runtime events
+  (the **flight recorder**), dumpable on demand, and the time-travel
+  replay engine that re-executes a dump inside the simulator and diffs
+  every replayed reply against the recorded live one.
 
 Everything here is stdlib-only and deterministic: span/trace ids are
 drawn from per-tracer counters, never from wall clocks or RNGs, so a
@@ -20,6 +25,15 @@ traced simulation stays byte-identical to an untraced one.
 """
 
 from repro.obs.logs import JsonLogFormatter, configure_logging, get_logger
+from repro.obs.recorder import DUMP_MAGIC, DumpError, FlightRecorder, load_dump, write_dump
+from repro.obs.replay import (
+    Divergence,
+    ReplayError,
+    ReplayReport,
+    ReplayTransport,
+    rebuild_network,
+    replay_events,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -42,6 +56,10 @@ from repro.obs.spans import (
 
 __all__ = [
     "Counter",
+    "DUMP_MAGIC",
+    "Divergence",
+    "DumpError",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "HOP_BUCKETS",
@@ -49,14 +67,21 @@ __all__ = [
     "LATENCY_BUCKETS_S",
     "MetricsRegistry",
     "QueryTrace",
+    "ReplayError",
+    "ReplayReport",
+    "ReplayTransport",
     "Span",
     "Tracer",
     "configure_logging",
     "format_span_tree",
     "get_logger",
+    "load_dump",
+    "rebuild_network",
+    "replay_events",
     "span_from_dict",
     "span_to_dict",
     "spans_to_chrome",
     "spans_to_jsonl",
     "trace_from_wire",
+    "write_dump",
 ]

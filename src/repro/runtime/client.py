@@ -44,7 +44,7 @@ from repro.api.requests import (
 )
 from repro.core.pira import RangeQueryResult
 from repro.engine.reporting import QueryJob
-from repro.runtime.protocol import ProtocolError
+from repro.runtime.protocol import ProtocolError, warn_v1_once
 
 
 class GatewayError(ApiError):
@@ -89,6 +89,7 @@ class RuntimeClient:
     """A line-protocol client for one gateway connection (v1, deprecated)."""
 
     def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        warn_v1_once("RuntimeClient")
         self._reader = reader
         self._writer = writer
         # One in-flight command at a time: the line protocol has no request

@@ -98,6 +98,10 @@ class LiveCluster:
         self.down_peers: set = set()
         #: records replayed from durable logs at the last attach/restart
         self.replayed_records = 0
+        #: durable store syncs acknowledged by hosted peers (metrics feed)
+        self.store_syncs = 0
+        #: optional flight recorder (see :meth:`attach_recorder`)
+        self.recorder: Optional[Any] = None
 
         self.transport = AsyncioTransport(extra_transit=extra_transit)
         self.network = FissioneNetwork(object_id_length=object_id_length, base=base)
@@ -180,6 +184,40 @@ class LiveCluster:
                 peer.backend.close()
                 peer.backend = store
 
+    def attach_recorder(self, recorder: Any) -> None:
+        """Arm the flight recorder on every layer of a *started* cluster.
+
+        Records the ``meta`` event first — the recorded seed and sizing are
+        what :mod:`repro.obs.replay` rebuilds the identical topology from —
+        then hands the recorder to the transport and every node so wire
+        sends, drops, deliveries, store syncs and faults all land in one
+        globally-sequenced ring.
+        """
+        if not self.started:
+            raise ClusterError("attach_recorder needs a started cluster (the "
+                               "bootstrap joins must have settled)")
+        self.recorder = recorder
+        self.transport.recorder = recorder
+        for node in self.nodes:
+            node.recorder = recorder
+        if self.seed_node is not None:
+            self.seed_node.recorder = recorder
+        recorder.record(
+            "meta",
+            peers=self.num_peers,
+            seed=self.seed,
+            base=self.network.base,
+            object_id_length=self.object_id_length,
+            attribute_interval=list(self.attribute_interval),
+            attribute_intervals=(
+                [list(pair) for pair in self.attribute_intervals]
+                if self.attribute_intervals is not None
+                else None
+            ),
+            storage=self.storage,
+            nodes=len(self.nodes),
+        )
+
     def _hosting_node(self, peer_id: str) -> Optional[PeerNode]:
         address = self.transport.address_of(peer_id)
         if address is None:
@@ -255,6 +293,8 @@ class LiveCluster:
         executor = self.pira if message.kind == "pira" else self.mira
         if executor is None:
             return
+        # Delivery recording happens in PeerNode._serve (which holds the
+        # undecoded wire bytes), before this dispatch runs.
         executor.handle_message(self.transport, message)
 
     async def _handle_request(self, frame: Dict[str, Any]) -> Dict[str, Any]:
@@ -321,6 +361,19 @@ class LiveCluster:
             else:
                 peer.put(object_id, key, value)
         peer.backend.sync()
+        self.store_syncs += 1
+        if self.recorder is not None:
+            # Wire forms straight off the frame: the replay engine re-applies
+            # them through decode_value, exactly like this handler did.
+            self.recorder.record(
+                "store",
+                object_id=object_id,
+                key=frame["key"],
+                value=frame["value"],
+                peer=peer_id,
+                owner=peer.peer_id,
+                role=frame.get("role"),
+            )
         return {"ok": True, "owner": peer.peer_id}
 
     def _handle_fetch(self, frame: Dict[str, Any]) -> Dict[str, Any]:
@@ -426,6 +479,8 @@ class LiveCluster:
         """
         peer = self.network.peer(peer_id)
         self.down_peers.add(peer_id)
+        if self.recorder is not None:
+            self.recorder.record("fault", action="crash", peer=peer_id)
         peer.on_power_fail()
 
     def restart_peer(self, peer_id: str) -> int:
@@ -440,6 +495,10 @@ class LiveCluster:
         replayed = peer.on_recover()
         self.replayed_records += replayed
         self.down_peers.discard(peer_id)
+        if self.recorder is not None:
+            self.recorder.record(
+                "fault", action="restart", peer=peer_id, replayed=replayed
+            )
         return replayed
 
     def stats(self) -> Dict[str, Any]:

@@ -116,10 +116,16 @@ from repro.runtime.protocol import (
     encode_frame_binary,
     error_frame,
     read_frame,
+    warn_v1_once,
     welcome_frame,
 )
 from repro.sim.rng import DeterministicRNG
 from repro.wire import encode_value
+
+#: private payload key carrying the flight recorder's reply-event merge
+#: callback from _start_query to the write path (popped before encoding,
+#: so it never reaches the wire)
+REPLY_RECORD_KEY = "_reply_record"
 
 
 class Gateway:
@@ -133,6 +139,7 @@ class Gateway:
         deadline: float = 5.0,
         tracer: Optional[Any] = None,
         metrics: Optional[Any] = None,
+        recorder: Optional[Any] = None,
     ) -> None:
         if deadline <= 0:
             raise ValueError("deadline must be positive")
@@ -142,10 +149,11 @@ class Gateway:
         self.port: Optional[int] = None
         self.deadline = deadline
         self.queries_served = 0
-        #: optional observability planes (a repro.obs Tracer / MetricsRegistry);
-        #: both default off and cost nothing when absent
+        #: optional observability planes (a repro.obs Tracer / MetricsRegistry /
+        #: FlightRecorder); all default off and cost nothing when absent
         self.tracer = tracer
         self.metrics = metrics
+        self.recorder = recorder
         self._init_metrics(metrics)
         self._origin_rng = DeterministicRNG(cluster.seed).substream("gateway-origins")
         self._server: Optional[asyncio.base_events.Server] = None
@@ -326,6 +334,7 @@ class Gateway:
         self, first: bytes, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         """The legacy FIFO loop: one text command, one JSON reply line."""
+        warn_v1_once("gateway accept")
         pending = first
         while True:
             line = pending + await reader.readline()
@@ -340,7 +349,15 @@ class Gateway:
             if command in ("quit", "exit"):
                 break
             response = await self._dispatch_v1(command)
-            writer.write((json.dumps(response, separators=(",", ":")) + "\n").encode("utf-8"))
+            attach = (
+                response.pop(REPLY_RECORD_KEY, None)
+                if isinstance(response, dict)
+                else None
+            )
+            line_out = (json.dumps(response, separators=(",", ":")) + "\n").encode("utf-8")
+            writer.write(line_out)
+            if attach is not None:
+                attach(raw_reply=line_out)
             await writer.drain()
             if not line.endswith(b"\n"):
                 break  # the command was cut short by EOF; answer it, then stop
@@ -421,11 +438,16 @@ class Gateway:
         frames (``welcome``/``error``) are always JSON, even on a binary
         connection, so failures stay debuggable on the wire.
         """
+        payload = frame.get("payload")
+        attach = payload.pop(REPLY_RECORD_KEY, None) if isinstance(payload, dict) else None
         if not writer.is_closing():
             if encoding == ENCODING_BINARY and frame.get("type") in ("reply", "chunk"):
-                writer.write(encode_frame_binary(frame))
+                body = encode_frame_binary(frame)
             else:
-                writer.write(encode_frame(frame))
+                body = encode_frame(frame)
+            writer.write(body)
+            if attach is not None:
+                attach(raw_reply=body)
             if self._frame_counters is not None:
                 self._frame_counters[encoding].inc()
 
@@ -827,6 +849,22 @@ class Gateway:
         # id from the very first (synchronous, origin-local) destination.
         query_id = next(executor._query_ids)
         trace_ref = f"{executor.message_kind}-{query_id}" if traced else None
+        recorder = self.recorder
+        if recorder is not None:
+            # Before executor.start: the query's sequence number must
+            # precede its origin fan-out sends in the flight-recorder ring.
+            query_event: Dict[str, Any] = {
+                "kind": executor.message_kind,
+                "query_id": query_id,
+                "origin": origin,
+                "deadline": deadline,
+            }
+            if is_mira:
+                query_event["ranges"] = [list(pair) for pair in request.ranges]
+            else:
+                query_event["low"] = request.low
+                query_event["high"] = request.high
+            recorder.record("query", **query_event)
 
         loop = asyncio.get_running_loop()
         started = loop.time()
@@ -850,13 +888,27 @@ class Gateway:
             latency = loop.time() - started
             if self._m_latency is not None:
                 self._observe_query(result, latency, "mira" if is_mira else "pira")
+            wire = result.to_wire()
             payload = {
                 "ok": True,
                 "type": "result",
                 "status": status,
                 "latency": latency,
-                "result": result.to_wire(),
+                "result": wire,
             }
+            if recorder is not None:
+                # Recorded here so the reply's sequence number is truthful,
+                # but the result content is attached by the write path as
+                # the connection's already-encoded response bytes — keeping
+                # the wire object graph alive in the ring would make every
+                # GC pass for the rest of the run scan it, and serialising
+                # it again just for the ring costs more than the write.
+                payload[REPLY_RECORD_KEY] = recorder.record_open(
+                    "reply",
+                    kind=executor.message_kind,
+                    query_id=result.query_id,
+                    status=status,
+                )
             if trace_ref is not None:
                 trace = self.tracer.take(trace_ref)
                 if trace is not None:

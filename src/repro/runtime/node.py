@@ -14,7 +14,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Awaitable, Callable, Dict, Optional, Set
 
-from repro.runtime.protocol import ProtocolError, encode_frame, read_frame
+from repro.runtime.protocol import ProtocolError, encode_frame, read_frame_raw
 
 #: async request handler: frame in, reply payload out (without the rid)
 RequestHandler = Callable[[Dict[str, Any]], Awaitable[Dict[str, Any]]]
@@ -44,6 +44,8 @@ class PeerNode:
         self._on_request = on_request
         self._server: Optional[asyncio.base_events.Server] = None
         self.frames_received = 0
+        #: optional flight recorder (set by the cluster's attach_recorder)
+        self.recorder: Optional[Any] = None
 
     @property
     def address(self):
@@ -62,16 +64,35 @@ class PeerNode:
         try:
             while True:
                 try:
-                    frame = await read_frame(reader)
+                    pair = await read_frame_raw(reader)
                 except ProtocolError:
                     break
-                if frame is None:
+                if pair is None:
                     break
+                frame, body = pair
                 self.frames_received += 1
                 rid = frame.get("rid")
                 if rid is None:
+                    if self.recorder is not None and frame.get("type") == "msg":
+                        # Recorded before the handler runs: the delivery's
+                        # sequence number must precede the sends it fans
+                        # out, because the global seq order is the
+                        # interleaving the replay engine re-executes.  The
+                        # ring keeps the *wire bytes* — retaining the
+                        # decoded frame's object graph would grow every GC
+                        # pass for the rest of the run; events() re-decodes
+                        # at dump time.
+                        self.recorder.record("deliver", node=self.name, raw=body)
                     self._on_cast(frame)
                     continue
+                if self.recorder is not None:
+                    self.recorder.record(
+                        "frame",
+                        node=self.name,
+                        frame_type=frame.get("type"),
+                        kind=frame.get("kind"),
+                        rid=rid,
+                    )
                 try:
                     payload = await self._on_request(frame)
                 except Exception as exc:  # surface handler failures to the caller

@@ -27,7 +27,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.runtime.binframe import (
     BINARY_MAGIC,
@@ -64,6 +64,42 @@ GATEWAY_PROTOCOL_VERSIONS = (1, 2)
 
 #: the version a v2 handshake negotiates today
 GATEWAY_PROTOCOL_V2 = 2
+
+#: contexts that already warned about protocol v1 (one warning per context
+#: per process: a soak over v1 must not emit one line per connection)
+_V1_WARNED: set = set()
+
+
+def warn_v1_once(context: str) -> bool:
+    """Emit the one-time protocol-v1 deprecation warning for ``context``.
+
+    v1 (the newline-terminated line protocol) has been documented as
+    deprecated since PR 3 but never said so at runtime.  Both accept paths
+    — a v1 connection reaching the gateway, a :class:`RuntimeClient` being
+    constructed — call this: one ``DeprecationWarning`` plus one
+    ``repro.runtime`` log line per context per process, so operators see
+    it in both the warnings machinery and the structured log stream.
+    Returns True when this call actually warned.
+    """
+    if context in _V1_WARNED:
+        return False
+    _V1_WARNED.add(context)
+    import warnings
+
+    from repro.obs.logs import get_logger
+
+    warnings.warn(
+        f"gateway protocol v1 ({context}) is deprecated; "
+        "use protocol v2 via repro.api.LiveSession",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    get_logger("runtime").warning(
+        "protocol v1 is deprecated (context=%s); use protocol v2 via "
+        "repro.api.LiveSession",
+        context,
+    )
+    return True
 
 
 def hello_frame(
@@ -198,10 +234,16 @@ def decode_frame(body: bytes, allow_binary: bool = False) -> Dict[str, Any]:
     return payload
 
 
-async def read_frame(
+async def read_frame_raw(
     reader: asyncio.StreamReader, allow_binary: bool = False
-) -> Optional[Dict[str, Any]]:
-    """Read one frame from ``reader``; ``None`` on clean EOF."""
+) -> Optional[Tuple[Dict[str, Any], bytes]]:
+    """Read one frame from ``reader`` as ``(frame, body_bytes)``.
+
+    The undecoded body rides along for consumers that want to *retain*
+    the frame cheaply — the flight recorder keeps the bytes (GC-inert)
+    instead of the decoded object graph and re-decodes only at dump time.
+    ``None`` on clean EOF.
+    """
     try:
         prefix = await reader.readexactly(4)
     except (asyncio.IncompleteReadError, ConnectionResetError):
@@ -213,7 +255,15 @@ async def read_frame(
         body = await reader.readexactly(length)
     except (asyncio.IncompleteReadError, ConnectionResetError):
         return None
-    return decode_frame(body, allow_binary=allow_binary)
+    return decode_frame(body, allow_binary=allow_binary), body
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, allow_binary: bool = False
+) -> Optional[Dict[str, Any]]:
+    """Read one frame from ``reader``; ``None`` on clean EOF."""
+    pair = await read_frame_raw(reader, allow_binary=allow_binary)
+    return None if pair is None else pair[0]
 
 
 def message_to_wire(message: Message) -> Dict[str, Any]:

@@ -50,6 +50,9 @@ class ServeSettings:
     metrics_port: Optional[int] = None
     log_level: str = "info"
     log_json: bool = False
+    #: arm the flight recorder and write dumps into this directory
+    #: (``SIGUSR1`` dumps on demand, shutdown always dumps)
+    record_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.peers < 3:
@@ -111,6 +114,23 @@ def build_observability(cluster: LiveCluster):
         lambda: float(cluster.replayed_records),
         "Records replayed from durable logs after restarts",
     )
+
+    def _peer_frames() -> float:
+        total = sum(node.frames_received for node in cluster.nodes)
+        if cluster.seed_node is not None:
+            total += cluster.seed_node.frames_received
+        return float(total)
+
+    registry.register_callback(
+        "peer_frames_total",
+        _peer_frames,
+        "Wire frames received across every peer node (casts and requests)",
+    )
+    registry.register_callback(
+        "peer_store_sync_total",
+        lambda: float(cluster.store_syncs),
+        "Store writes acknowledged after a backend sync, across all peers",
+    )
     return tracer, registry
 
 
@@ -138,6 +158,13 @@ async def serve_async(
     )
     await cluster.start()
     tracer, registry = build_observability(cluster)
+    recorder = None
+    if settings.record_dir is not None:
+        from repro.obs.recorder import FlightRecorder
+
+        recorder = FlightRecorder()
+        recorder.install(settings.record_dir)
+        cluster.attach_recorder(recorder)
     gateway = Gateway(
         cluster,
         host=settings.host,
@@ -145,6 +172,7 @@ async def serve_async(
         deadline=settings.deadline,
         tracer=tracer,
         metrics=registry,
+        recorder=recorder,
     )
     await gateway.start()
     metrics_server = None
@@ -175,6 +203,13 @@ async def serve_async(
             file=out,
             flush=True,
         )
+    if recorder is not None:
+        print(
+            f"flight recorder armed, dumps land in {settings.record_dir} "
+            "(SIGUSR1 dumps on demand)",
+            file=out,
+            flush=True,
+        )
     log.info(
         "gateway up",
         extra={
@@ -194,6 +229,10 @@ async def serve_async(
         if metrics_server is not None:
             await metrics_server.stop()
         await cluster.stop()
+        if recorder is not None:
+            dump_path = recorder.dump(reason="shutdown")
+            recorder.uninstall()
+            print(f"flight recorder dump written to {dump_path}", file=out, flush=True)
     print(
         f"drained; served {gateway.queries_served} queries, sockets closed",
         file=out,

@@ -123,6 +123,9 @@ class AsyncioTransport:
         self._links: Dict[Address, _Link] = {}
         self.messages_sent = 0
         self.messages_dropped = 0
+        #: optional flight recorder (set by the cluster's attach_recorder);
+        #: None keeps every hot path at one attribute check of overhead
+        self.recorder: Optional[Any] = None
 
     # -- clock & timers ------------------------------------------------------
 
@@ -133,7 +136,15 @@ class AsyncioTransport:
 
     def schedule_after(self, delay: float, callback: Callable[[], None], label: str = "") -> Any:
         """An ``loop.call_later`` timer (the label is for the simulator's
-        benefit only and is ignored here)."""
+        benefit only — though the flight recorder logs it on fire)."""
+        recorder = self.recorder
+        if recorder is not None:
+            inner = callback
+
+            def callback() -> None:
+                recorder.record("timer", label=label, delay=delay)
+                inner()
+
         return asyncio.get_running_loop().call_later(delay, callback)
 
     # -- routing -------------------------------------------------------------
@@ -152,7 +163,8 @@ class AsyncioTransport:
 
     def unregister(self, node_id: Hashable) -> None:
         """Drop ``node_id``'s route (its messages become drops)."""
-        self._routes.pop(node_id, None)
+        if self._routes.pop(node_id, None) is not None and self.recorder is not None:
+            self.recorder.record("route", action="unregister", peer=node_id)
 
     def has_node(self, node_id: Hashable) -> bool:
         return node_id in self._routes
@@ -169,6 +181,19 @@ class AsyncioTransport:
             self._drop(message)
             return
         self.messages_sent += 1
+        if self.recorder is not None:
+            # Scalars only — no message_to_wire here.  Replay re-derives
+            # sends from the executors; the deliver tap captures the full
+            # frame on arrival, so this event exists for the timeline.
+            self.recorder.record(
+                "send",
+                kind=message.kind,
+                query_id=message.query_id,
+                send=message.metadata.get("send"),
+                sender=message.sender,
+                receiver=message.receiver,
+                hop=message.hop,
+            )
         if self.extra_transit > 0.0:
             asyncio.get_running_loop().call_later(
                 self.extra_transit, lambda: self._enqueue(address, message)
@@ -186,6 +211,16 @@ class AsyncioTransport:
     def _drop(self, message: Message) -> None:
         """Tell the sender's protocol layer this message will never arrive."""
         self.messages_dropped += 1
+        if self.recorder is not None:
+            self.recorder.record(
+                "drop",
+                kind=message.kind,
+                query_id=message.query_id,
+                send=message.metadata.get("send"),
+                sender=message.sender,
+                receiver=message.receiver,
+                hop=message.hop,
+            )
         on_drop = message.metadata.get("on_drop")
         if on_drop is not None:
             on_drop(message)

@@ -1,0 +1,169 @@
+"""Integration: record a live soak, replay it in the sim, detect tampering.
+
+The flight recorder's core promise is the live≡sim equivalence turned
+into a checked runtime property: a recorded live run must re-execute in
+the simulator with **zero divergences**, and any edit to the recording
+must be caught at the exact sequence number of the edited event.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.experiments import postmortem
+from repro.experiments.soak import SoakSpec, run_async
+from repro.obs.recorder import load_dump, write_dump
+from repro.obs.replay import replay_events
+
+
+def record_soak(tmp_path, **overrides):
+    """Run one small recorded soak; returns (SoakResult, dump events)."""
+    params = dict(
+        peers=8,
+        nodes=2,
+        queries=30,
+        objects=40,
+        concurrency=4,
+        seed=11,
+        record_dir=str(tmp_path),
+    )
+    params.update(overrides)
+    spec = SoakSpec(**params)
+    result = asyncio.run(run_async(spec))
+    events = load_dump(str(tmp_path / "flight.dump"))
+    return result, events
+
+
+def replayable(events):
+    """Strip the synthetic trailer, as the CLI does before replaying."""
+    return [ev for ev in events if ev.get("type") != "dump"]
+
+
+class TestCleanReplay:
+    def test_recorded_live_soak_replays_with_zero_divergences(self, tmp_path):
+        result, events = record_soak(tmp_path)
+        assert result.report.success_ratio == 1.0
+        report = replay_events(replayable(events))
+        assert report.ok, report.divergence.format()
+        assert report.queries == 30
+        # Every live reply was re-derived and compared field by field.
+        assert report.replies_checked == 30
+        assert report.undelivered == 0
+        assert report.unapplied == 0
+        # Replay traces every query, even ones never traced live.
+        assert len(report.traces) == 30
+        assert report.meta["peers"] == 8
+        assert result.stats["postmortem"]["reason"] == "soak-end"
+
+    def test_mira_queries_replay_too(self, tmp_path):
+        _, events = record_soak(tmp_path, mira_fraction=1.0)
+        report = replay_events(replayable(events))
+        assert report.ok, report.divergence.format()
+        assert report.replies_checked == 30
+
+
+class TestTamperDetection:
+    def test_edited_field_diverges_at_exactly_that_seq(self, tmp_path):
+        _, events = record_soak(tmp_path)
+        target = next(
+            ev
+            for ev in events
+            if ev["type"] == "deliver" and ev["frame"].get("hop", 0) >= 2
+        )
+        target["frame"]["hop"] = 41
+        report = replay_events(replayable(events))
+        assert not report.ok
+        assert report.divergence.seq == target["seq"]
+        assert report.divergence.event_type == "deliver"
+        assert "hop" in report.divergence.details
+
+    def test_deleted_delivery_diverges_at_the_dependent_event(self, tmp_path):
+        _, events = record_soak(tmp_path)
+        victim = next(ev for ev in events if ev["type"] == "deliver")
+        qid = victim["frame"]["query_id"]
+        kind = victim["frame"]["kind"]
+        pruned = [ev for ev in events if ev is not victim]
+        report = replay_events(replayable(pruned))
+        assert not report.ok
+        # The missing delivery surfaces at the first event that needed it:
+        # a later delivery of a child send, or the query's recorded reply.
+        assert report.divergence.event_type in ("deliver", "reply")
+        assert report.divergence.details.get("query_id", qid) == qid or kind
+
+    def test_tamper_survives_a_dump_rewrite(self, tmp_path):
+        """Same detection when the edit goes through dump files on disk —
+        the workflow a human debugging a dump actually uses."""
+        _, events = record_soak(tmp_path)
+        target = next(ev for ev in events if ev["type"] == "deliver")
+        target["frame"]["receiver"] = "999"
+        edited = tmp_path / "edited.dump"
+        write_dump(events, str(edited))
+        result = postmortem.run(postmortem.PostmortemSpec(dumps=(str(edited),)))
+        assert not result.ok
+        assert result.report.divergence.seq == target["seq"]
+        assert "DIVERGED" in result.format()
+
+
+class TestPostmortemCommand:
+    def test_kill_peer_failure_writes_dump_that_replays_clean(self, tmp_path):
+        result, events = record_soak(
+            tmp_path, queries=40, postmortem_on_fail=True, kill_peer=True
+        )
+        # The forced failure: the victim's subtree is genuinely lost.
+        assert result.report.success_ratio < 1.0
+        assert result.stats["kill_peer"]
+        assert result.stats["postmortem"]["reason"] == "postmortem"
+        # A lossy run still replays divergence-free: the recorded drops and
+        # fault events reproduce the same partial results.
+        report = replay_events(replayable(events))
+        assert report.ok, report.divergence.format()
+        assert report.faults >= 1
+
+    def test_postmortem_on_fail_keeps_healthy_runs_dump_free(self, tmp_path):
+        spec = SoakSpec(
+            peers=8,
+            nodes=2,
+            queries=10,
+            objects=20,
+            concurrency=2,
+            seed=11,
+            record_dir=str(tmp_path),
+            postmortem_on_fail=True,
+        )
+        result = asyncio.run(run_async(spec))
+        assert result.report.success_ratio == 1.0
+        assert "postmortem" not in result.stats
+        assert not (tmp_path / "flight.dump").exists()
+
+    def test_postmortem_merges_overlapping_dumps(self, tmp_path):
+        _, events = record_soak(tmp_path)
+        stream = replayable(events)
+        half = len(stream) // 2
+        # Two overlapping windows of the same recording, one trailer each.
+        write_dump(stream[: half + 10] + [events[-1]], str(tmp_path / "a.dump"))
+        write_dump(stream[half - 10 :] + [events[-1]], str(tmp_path / "b.dump"))
+        result = postmortem.run(
+            postmortem.PostmortemSpec(
+                dumps=(str(tmp_path / "a.dump"), str(tmp_path / "b.dump"))
+            )
+        )
+        assert result.ok
+        assert result.report.replies_checked == 30
+
+    def test_format_includes_timeline_when_asked(self, tmp_path):
+        _, events = record_soak(tmp_path)
+        result = postmortem.run(
+            postmortem.PostmortemSpec(
+                dumps=(str(tmp_path / "flight.dump"),), timeline=True
+            )
+        )
+        text = result.format()
+        assert "no divergence" in text
+        assert "timeline:" in text
+        assert "query" in text
+
+    def test_spec_needs_at_least_one_dump(self):
+        with pytest.raises(ValueError):
+            postmortem.PostmortemSpec(dumps=())

@@ -119,3 +119,26 @@ class TestValueCodec:
     def test_reserved_key_rejected(self):
         with pytest.raises(ValueError):
             encode_value({"__tuple__": 1})
+
+
+class TestV1Deprecation:
+    def test_warns_once_per_context(self):
+        import warnings
+
+        from repro.runtime import protocol
+
+        saved = set(protocol._V1_WARNED)
+        protocol._V1_WARNED.clear()
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                assert protocol.warn_v1_once("unit test") is True
+                assert protocol.warn_v1_once("unit test") is False
+                assert protocol.warn_v1_once("other context") is True
+            deprecations = [w for w in caught if w.category is DeprecationWarning]
+            assert len(deprecations) == 2
+            assert "protocol v1" in str(deprecations[0].message)
+            assert "LiveSession" in str(deprecations[0].message)
+        finally:
+            protocol._V1_WARNED.clear()
+            protocol._V1_WARNED.update(saved)

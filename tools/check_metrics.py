@@ -33,6 +33,8 @@ REQUIRED_SERIES = (
     "repro_gateway_query_hops_count",
     "repro_transport_messages_sent",
     "repro_cluster_peers",
+    "repro_peer_frames_total",
+    "repro_peer_store_sync_total",
 )
 
 #: counters whose values must never decrease between two scrapes
@@ -42,6 +44,8 @@ MONOTONE_SERIES = (
     "repro_query_retries_total",
     "repro_gateway_query_latency_seconds_count",
     "repro_transport_messages_sent",
+    "repro_peer_frames_total",
+    "repro_peer_store_sync_total",
 )
 
 
@@ -90,6 +94,75 @@ def series_values(samples: dict, prefix: str) -> dict:
     }
 
 
+def check_totals(text: str) -> list:
+    """Every ``_total`` sample line must carry a valid finite float value.
+
+    ``parse_samples`` silently skips unparseable values (comments aside,
+    exposition lines it does not understand), so a counter rendered as
+    ``nan`` or garbage would otherwise vanish instead of failing the gate.
+    """
+    problems = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        bare = name.split("{", 1)[0]
+        if not bare.endswith("_total"):
+            continue
+        try:
+            parsed = float(value)
+        except ValueError:
+            problems.append(f"{name}: value {value!r} is not a float")
+            continue
+        if parsed != parsed or parsed in (float("inf"), float("-inf")):
+            problems.append(f"{name}: value {value!r} is not finite")
+    return problems
+
+
+def check_histograms(samples: dict) -> list:
+    """Structural consistency of every exposed histogram.
+
+    For each series with ``_bucket`` children: the buckets must be
+    cumulative (non-decreasing with ``le``), the ``+Inf`` bucket must
+    equal the ``_count`` sample, and a ``_sum`` sample must exist.
+    """
+    problems = []
+    histograms = {}
+    for name, value in samples.items():
+        bare = name.split("{", 1)[0]
+        if not bare.endswith("_bucket") or 'le="' not in name:
+            continue
+        le = name.split('le="', 1)[1].split('"', 1)[0]
+        bound = float("inf") if le in ("+Inf", "inf") else float(le)
+        histograms.setdefault(bare[: -len("_bucket")], []).append((bound, value))
+    if not histograms:
+        return ["no histogram series exposed at all"]
+    for base, buckets in sorted(histograms.items()):
+        buckets.sort()
+        previous = 0.0
+        for bound, value in buckets:
+            if value < previous:
+                problems.append(
+                    f"{base}: bucket le={bound:g} count {value} below "
+                    f"previous bucket's {previous} (not cumulative)"
+                )
+            previous = value
+        if buckets[-1][0] != float("inf"):
+            problems.append(f"{base}: no +Inf bucket")
+            continue
+        count = samples.get(f"{base}_count")
+        if count is None:
+            problems.append(f"{base}: no _count sample")
+        elif count != buckets[-1][1]:
+            problems.append(
+                f"{base}: _count {count} != +Inf bucket {buckets[-1][1]}"
+            )
+        if f"{base}_sum" not in samples:
+            problems.append(f"{base}: no _sum sample")
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -126,6 +199,16 @@ def main(argv=None) -> int:
         print(first_text, file=sys.stderr)
         return 1
     print(f"scrape 1: {len(first)} samples, all {len(REQUIRED_SERIES)} required series present")
+
+    structural = check_totals(first_text) + check_histograms(first)
+    if structural:
+        print(
+            "FAIL: malformed exposition:\n  " + "\n  ".join(structural),
+            file=sys.stderr,
+        )
+        print(first_text, file=sys.stderr)
+        return 1
+    print("scrape 1: _total values parse, histograms cumulative and _sum/_count consistent")
 
     time.sleep(args.interval)
     try:
