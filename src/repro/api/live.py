@@ -242,6 +242,11 @@ class LiveSession(Session):
         self._v2: List[_V2Connection] = []
         self._v1: Optional[asyncio.Queue] = None
         self._v1_clients: List[Any] = []
+        self._pool_target = 0
+        #: gateway addresses learned from the cluster's membership view
+        #: (every ``stats`` reply refreshes it) — the failover list tried
+        #: when pooled connections die
+        self._gateways: List[Tuple[str, int]] = []
         self._closed = False
         #: client-side high-water mark of concurrently submitted requests
         self.peak_in_flight = 0
@@ -284,6 +289,7 @@ class LiveSession(Session):
             raise SessionError("binary encoding requires protocol v2")
         session = cls(version=version, timeout=timeout, encoding=encoding, tracing=tracing)
         session._address = (host, port)
+        session._pool_target = pool
         try:
             if version == GATEWAY_PROTOCOL_V2:
                 for _ in range(pool):
@@ -330,10 +336,52 @@ class LiveSession(Session):
         deadline = request.options.deadline
         return self.timeout if deadline is None else deadline + self.timeout
 
-    def _pick_connection(self) -> _V2Connection:
+    def _gateway_candidates(self) -> List[Tuple[str, int]]:
+        """Dial order for a replacement connection: the current gateway
+        first, then every gateway the membership view has announced."""
+        candidates: List[Tuple[str, int]] = []
+        for address in [self._address, *self._gateways]:
+            address = (address[0], int(address[1]))
+            if address not in candidates:
+                candidates.append(address)
+        return candidates
+
+    async def _redial_one(self) -> Optional[_V2Connection]:
+        for address in self._gateway_candidates():
+            try:
+                connection = await _V2Connection.connect(
+                    *address, encoding=self.encoding, tracing=self.tracing
+                )
+            except (OSError, ConnectionError, ApiError, ProtocolError):
+                continue
+            # Future replacements dial the gateway that actually answered
+            # first — after a failover the old address is likely dead.
+            self._address = address
+            return connection
+        return None
+
+    async def _pick_connection(self) -> _V2Connection:
+        """The least-loaded live connection, replenishing the pool first.
+
+        A closed connection is retired and redialed — against the same
+        gateway when it still answers, otherwise against the gateways the
+        membership view advertised (see :meth:`stats`).  That is what lets
+        a session outlive the death of the gateway it first connected to.
+        """
+        live = [connection for connection in self._v2 if not connection.closed]
+        if len(live) < len(self._v2):
+            self._v2 = live
+        while len(self._v2) < self._pool_target:
+            replacement = await self._redial_one()
+            if replacement is None:
+                break
+            self._v2.append(replacement)
         live = [connection for connection in self._v2 if not connection.closed]
         if not live:
-            raise ConnectionError("every pooled gateway connection is closed")
+            raise ConnectionError(
+                "every pooled gateway connection is closed and no known "
+                "gateway answered a redial"
+            )
         return min(live, key=lambda connection: connection.in_flight)
 
     async def _submit_once(
@@ -345,7 +393,7 @@ class LiveSession(Session):
         self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
         try:
             if self.version == GATEWAY_PROTOCOL_V2:
-                connection = self._pick_connection()
+                connection = await self._pick_connection()
                 future = connection.post(request, on_chunk)
                 await connection.drain()
                 payload, chunks = await asyncio.wait_for(future, self._reply_timeout(request))
@@ -399,7 +447,7 @@ class LiveSession(Session):
         posted = []
         touched = set()
         for request in requests:
-            connection = self._pick_connection()
+            connection = await self._pick_connection()
             posted.append((request, connection.post(request, on_chunk)))
             touched.add(id(connection))
             self._submitted += 1
@@ -416,6 +464,35 @@ class LiveSession(Session):
             ]
         finally:
             self._submitted -= len(posted)
+
+    # ------------------------------------------------------------------ #
+    # membership-fed failover                                              #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def known_gateways(self) -> List[Tuple[str, int]]:
+        """Gateways the membership view has advertised (via ``stats``)."""
+        return list(self._gateways)
+
+    async def stats(self) -> Dict[str, Any]:
+        """Backend statistics — also refreshes the gateway failover list.
+
+        The cluster's ``stats`` payload carries the addresses of every
+        gateway currently fronting it (kept by the membership layer), so
+        each stats round trip doubles as service discovery.
+        """
+        stats = await super().stats()
+        gateways = stats.get("gateways")
+        if isinstance(gateways, list):
+            refreshed = []
+            for pair in gateways:
+                try:
+                    host, port = pair
+                    refreshed.append((str(host), int(port)))
+                except (TypeError, ValueError):
+                    continue
+            self._gateways = refreshed
+        return stats
 
     # ------------------------------------------------------------------ #
     # workloads                                                            #

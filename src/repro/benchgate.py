@@ -62,6 +62,11 @@ GATED_METRICS: Dict[str, Dict[str, str]] = {
     "sweep": {
         "records_identical": "ratio",
     },
+    "livefaults": {
+        "success_ratio": "ratio",
+        "mean_completeness": "ratio",
+        "converged": "ratio",
+    },
 }
 
 

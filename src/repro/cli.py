@@ -28,6 +28,7 @@ from repro.experiments import faults as faults_experiment
 from repro.experiments import load as load_experiment
 from repro.experiments import mira as mira_experiment
 from repro.experiments import postmortem as postmortem_experiment
+from repro.experiments import livefaults as livefaults_experiment
 from repro.experiments import soak as soak_experiment
 from repro.experiments import tracecmd
 from repro.experiments import table1 as table1_experiment
@@ -48,6 +49,7 @@ _COMMANDS = (
     "faults",
     "serve",
     "soak",
+    "livefaults",
     "trace",
     "replay",
     "bench",
@@ -340,7 +342,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--require-success",
         type=float,
         default=None,
-        help="soak only: exit non-zero unless the success ratio reaches this bound",
+        help=(
+            "soak/livefaults: exit non-zero unless the success ratio reaches "
+            "this bound"
+        ),
+    )
+    parser.add_argument(
+        "--gossip",
+        action="store_true",
+        help=(
+            "soak only: run the SWIM gossip membership plane alongside the "
+            "soak (livefaults always runs it)"
+        ),
+    )
+    parser.add_argument(
+        "--fraction",
+        type=float,
+        default=0.2,
+        help="livefaults only: fraction of peers SIGKILLed mid-run",
+    )
+    parser.add_argument(
+        "--kill-after",
+        type=float,
+        default=0.25,
+        help=(
+            "livefaults only: fraction of the workload that must complete "
+            "before the victims are killed"
+        ),
+    )
+    parser.add_argument(
+        "--require-convergence",
+        action="store_true",
+        help=(
+            "livefaults only: exit non-zero unless every surviving membership "
+            "view converged on the deaths"
+        ),
     )
     parser.add_argument(
         "--metrics-port",
@@ -554,6 +590,35 @@ def make_soak_spec(args: argparse.Namespace, config: ExperimentConfig):
             record_dir=args.record_dir,
             postmortem_on_fail=args.postmortem_on_fail,
             kill_peer=args.kill_peer,
+            gossip=args.gossip,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def make_livefaults_spec(args: argparse.Namespace, config: ExperimentConfig):
+    """Resolve the live-faults spec from the CLI arguments."""
+    if args.require_success is not None and not 0.0 <= args.require_success <= 1.0:
+        raise SystemExit(
+            f"--require-success must be within [0, 1], got {args.require_success}"
+        )
+    try:
+        return livefaults_experiment.LiveFaultsSpec(
+            peers=args.peers if args.peers is not None else _LIVE_DEFAULT_PEERS,
+            nodes=args.nodes if args.nodes is not None else 8,
+            queries=args.queries if args.queries is not None else 400,
+            concurrency=args.concurrency,
+            objects=args.objects if args.objects is not None else 300,
+            # Not config.seed: the live default is its own baseline (the
+            # committed BENCH_livefaults.json is generated at this seed).
+            seed=args.seed if args.seed is not None else 1,
+            fraction=args.fraction,
+            range_size=config.fixed_range_size,
+            mira_fraction=args.mira_fraction,
+            deadline=args.deadline if args.deadline is not None else 5.0,
+            attribute_interval=(config.attribute_low, config.attribute_high),
+            pool=args.pool,
+            kill_after_fraction=args.kill_after,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -643,6 +708,8 @@ def run_command(
     require_pipelined: Optional[int] = None,
     trace_spec=None,
     postmortem_spec=None,
+    livefaults_spec=None,
+    require_convergence: bool = False,
 ) -> str:
     """Run one experiment command and return its formatted output."""
     if command == "replay":
@@ -689,6 +756,37 @@ def run_command(
                     + f"\n\nsoak failed: gateway peak in-flight {observed}"
                     f" below the required pipelining depth {require_pipelined}"
                 )
+        return output
+    if command == "livefaults":
+        spec = (
+            livefaults_spec
+            if livefaults_spec is not None
+            else livefaults_experiment.LiveFaultsSpec()
+        )
+        result = livefaults_experiment.run(spec)
+        baseline = livefaults_experiment.sim_baseline(
+            os.path.join(os.getcwd(), "benchmarks", "BENCH_faults.json")
+        )
+        parts = [result.format(baseline=baseline)]
+        if store_path is not None:
+            parts.append(_replace_store(store_path, [result.record()]))
+        if bench_dir is not None:
+            parts.append(
+                f"wrote {livefaults_experiment.write_bench(result, bench_dir)}"
+            )
+        output = "\n\n".join(parts)
+        if require_success is not None and result.success_ratio < require_success:
+            raise SystemExit(
+                output
+                + f"\n\nlivefaults failed: success ratio {result.success_ratio:.4f}"
+                f" below the required {require_success:g}"
+            )
+        if require_convergence and not result.converged:
+            raise SystemExit(
+                output
+                + "\n\nlivefaults failed: membership views did not converge on "
+                f"the deaths within {spec.convergence_timeout:g}s"
+            )
         return output
     if command in ("sweep", "faults"):
         if command == "sweep":
@@ -769,7 +867,7 @@ def main(argv=None) -> int:
     if args.command == "serve":
         # Blocking: boots the live cluster and runs until SIGINT/SIGTERM.
         return serve_runtime(make_serve_settings(args, config))
-    if args.command in ("soak", "load", "trace"):
+    if args.command in ("soak", "livefaults", "load", "trace"):
         # serve configures logging inside serve_async; the other live-ish
         # commands do it here so --log-level/--log-json apply end to end.
         from repro.obs.logs import configure_logging
@@ -779,12 +877,15 @@ def main(argv=None) -> int:
     soak_spec = None
     trace_spec = None
     postmortem_spec = None
+    livefaults_spec = None
     if args.command == "sweep":
         spec = make_sweep_spec(args, config)
     elif args.command == "faults":
         spec = make_faults_spec(args, config)
     elif args.command == "soak":
         soak_spec = make_soak_spec(args, config)
+    elif args.command == "livefaults":
+        livefaults_spec = make_livefaults_spec(args, config)
     elif args.command == "trace":
         trace_spec = make_trace_spec(args, config)
     elif args.command == "replay":
@@ -812,6 +913,8 @@ def main(argv=None) -> int:
             require_pipelined=args.require_pipelined,
             trace_spec=trace_spec,
             postmortem_spec=postmortem_spec,
+            livefaults_spec=livefaults_spec,
+            require_convergence=args.require_convergence,
         )
 
     if args.cprofile is not None:

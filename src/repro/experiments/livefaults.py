@@ -1,0 +1,411 @@
+"""The livefaults experiment: kill -9 under live load, measured like the sim.
+
+``repro livefaults`` is the live counterpart of the simulated fault sweep
+(``repro faults``): it boots a gossip-enabled asyncio cluster behind a
+gateway, starts a deterministic mixed PIRA/MIRA soak through a pooled
+:class:`~repro.api.LiveSession`, and — once a fraction of the workload has
+completed — hard-kills (``kill -9`` semantics: no goodbye, route left
+dangling) a seeded sample of peers *mid-run*.  No component is told about
+the failures out of band: the SWIM control plane has to detect them
+(ping → ping-req → suspect → dead), withdraw the victims' routes, and the
+resilience layer has to detour the in-flight and subsequent queries around
+the holes.
+
+Every completed query is then scored exactly the way the simulated sweep
+scores its queries: completeness against the engine's own
+``ground_truth_destinations`` restricted to live peers, success =
+"complete against the surviving world and not deadline-failed".  That
+makes ``BENCH_livefaults.json`` directly comparable to the committed
+``BENCH_faults.json`` sim baseline — the headline acceptance check is
+that the live resilient success ratio lands within a small gap of the
+sim's ``success_ratio_resilient`` at the same failed fraction.
+
+The run asserts nothing by itself; the CLI's ``--require-success`` and
+``--require-convergence`` turn the success ratio and the membership
+verdict into exit codes for the CI churn-smoke job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.api.live import LiveSession
+from repro.api.requests import Insert, MultiInsert, Request, RequestOptions
+from repro.engine.reporting import EngineReport, RunReporter
+from repro.envinfo import environment_stamp
+from repro.faults import ResiliencePolicy
+from repro.gossip import SwimConfig
+from repro.runtime.cluster import LiveCluster
+from repro.runtime.gateway import Gateway
+from repro.runtime.loadgen import make_mixed_jobs, run_closed_loop
+from repro.runtime.server import build_observability
+from repro.sim.rng import DeterministicRNG
+from repro.workloads.values import uniform_values
+
+#: Gossip timing for the experiment: brisk enough that detection completes
+#: well inside a short soak, still multi-round (ping → indirect → suspicion)
+#: so the protocol is exercised, not short-circuited.
+FAST_SWIM = SwimConfig(
+    interval=0.1,
+    ping_timeout=0.1,
+    indirect_timeout=0.15,
+    suspicion_timeout=0.6,
+)
+
+
+@dataclass(frozen=True)
+class LiveFaultsSpec:
+    """Parameters of one live-faults run (validated on construction)."""
+
+    peers: int = 32
+    nodes: Optional[int] = 8
+    queries: int = 400
+    concurrency: int = 16
+    objects: int = 300
+    seed: int = 1
+    #: fraction of peers to SIGKILL mid-run
+    fraction: float = 0.2
+    range_size: float = 20.0
+    mira_fraction: float = 0.2
+    deadline: float = 5.0
+    attribute_interval: Tuple[float, float] = (0.0, 1000.0)
+    #: resilience policy applied to the live executors (wall-clock seconds)
+    hop_timeout: float = 0.3
+    retries: int = 2
+    reroute: bool = True
+    pool: int = 4
+    #: kill the victims once this fraction of the workload has completed
+    kill_after_fraction: float = 0.25
+    #: give up waiting for membership convergence after this many seconds
+    convergence_timeout: float = 15.0
+    gossip_config: SwimConfig = FAST_SWIM
+
+    def __post_init__(self) -> None:
+        if self.peers < 4:
+            raise ValueError("need at least 4 peers")
+        if self.nodes is not None and self.nodes < 1:
+            raise ValueError("nodes must be positive")
+        if self.queries < 1:
+            raise ValueError("need at least one query")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be at least 1")
+        if self.objects < 0:
+            raise ValueError("objects must be non-negative")
+        if not 0.0 < self.fraction < 1.0:
+            raise ValueError("fraction must be within (0, 1)")
+        if not 0.0 <= self.mira_fraction <= 1.0:
+            raise ValueError("mira-fraction must be within [0, 1]")
+        if self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if self.hop_timeout <= 0:
+            raise ValueError("hop-timeout must be positive")
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")
+        if self.pool < 1:
+            raise ValueError("pool must be at least 1")
+        if not 0.0 <= self.kill_after_fraction < 1.0:
+            raise ValueError("kill-after-fraction must be within [0, 1)")
+        if self.convergence_timeout <= 0:
+            raise ValueError("convergence-timeout must be positive")
+        low, high = self.attribute_interval
+        if high <= low:
+            raise ValueError("attribute interval must have positive width")
+
+    @property
+    def victims(self) -> int:
+        """How many peers die: at least one, at most peers - 3."""
+        return max(1, min(self.peers - 3, round(self.peers * self.fraction)))
+
+
+@dataclass
+class LiveFaultsResult:
+    """Outcome of one live-faults run."""
+
+    spec: LiveFaultsSpec
+    report: EngineReport
+    wall_seconds: float
+    killed: List[str]
+    success_ratio: float
+    mean_completeness: float
+    min_completeness: float
+    deadline_failed: int
+    #: seconds from SIGKILL to a converged all-dead membership view
+    detection_seconds: float
+    converged: bool
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def failed_fraction(self) -> float:
+        """The realized kill fraction (victims / boot peers)."""
+        return len(self.killed) / self.spec.peers
+
+    def bench_metrics(self) -> Dict[str, float]:
+        """The flat metrics payload for ``BENCH_livefaults.json``."""
+        return {
+            "peers": self.spec.peers,
+            "nodes": self.stats.get("nodes", self.spec.nodes or self.spec.peers),
+            "queries": self.report.queries,
+            "killed": len(self.killed),
+            "failed_fraction": self.failed_fraction,
+            "success_ratio": self.success_ratio,
+            "mean_completeness": self.mean_completeness,
+            "min_completeness": self.min_completeness,
+            "deadline_failed": self.deadline_failed,
+            "retries": int(self.report.resilience.retries),
+            "reroutes": int(self.report.resilience.reroutes),
+            "detection_seconds": self.detection_seconds,
+            "converged": 1.0 if self.converged else 0.0,
+            "gossip_frames": int(self.stats.get("gossip_frames", 0)),
+            "wall_seconds": self.wall_seconds,
+            "queries_per_sec": (
+                self.report.queries / self.wall_seconds if self.wall_seconds > 0 else 0.0
+            ),
+        }
+
+    def record(self) -> Dict[str, Any]:
+        """One flat :class:`~repro.analysis.store.ResultStore` record."""
+        record: Dict[str, Any] = {
+            "experiment": "livefaults",
+            "scheme": "Armada (live)",
+            "seed": self.spec.seed,
+            "fraction": self.spec.fraction,
+            "mira_fraction": self.spec.mira_fraction,
+        }
+        record.update(self.bench_metrics())
+        return record
+
+    def format(self, baseline: Optional[Dict[str, float]] = None) -> str:
+        """Human-readable summary; pass a sim baseline to print the gap."""
+        lines = [
+            "Live faults (SIGKILL mid-soak, gossip detection, resilient queries)",
+            f"cluster           : {self.spec.peers} peers on "
+            f"{self.stats.get('nodes', '?')} nodes, seed {self.spec.seed}, gossip on",
+            f"killed            : {len(self.killed)}/{self.spec.peers} peers "
+            f"({self.failed_fraction:.0%}) after "
+            f"{self.stats.get('killed_after', 0)} queries: {', '.join(self.killed)}",
+            f"detection         : "
+            + (
+                f"membership converged on the deaths in {self.detection_seconds:.2f}s"
+                if self.converged
+                else "membership did NOT converge "
+                f"(waited {self.spec.convergence_timeout:g}s)"
+            ),
+            f"success ratio     : {self.success_ratio:.4f} "
+            f"(vs surviving-peer ground truth; {self.deadline_failed} deadline-failed)",
+            f"completeness      : mean {self.mean_completeness:.4f}, "
+            f"min {self.min_completeness:.4f}",
+            f"resilience        : {int(self.report.resilience.retries)} retries, "
+            f"{int(self.report.resilience.reroutes)} reroutes",
+            f"wall time         : {self.wall_seconds:.2f}s "
+            f"({self.report.queries / max(self.wall_seconds, 1e-9):,.0f} queries/sec)",
+        ]
+        if baseline:
+            sim_ratio = baseline.get("success_ratio_resilient")
+            sim_fraction = baseline.get("worst_failed_fraction")
+            if sim_ratio is not None:
+                gap = self.success_ratio - float(sim_ratio)
+                lines.append(
+                    f"sim baseline      : success_ratio_resilient "
+                    f"{float(sim_ratio):.4f} at fraction "
+                    f"{float(sim_fraction or 0.0):g} -> live gap {gap:+.4f}"
+                )
+        return "\n".join(lines)
+
+
+def sim_baseline(path: str) -> Optional[Dict[str, float]]:
+    """Load the committed sim ``BENCH_faults.json`` metrics, if present."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    metrics = payload.get("metrics")
+    return metrics if isinstance(metrics, dict) else None
+
+
+def write_bench(result: LiveFaultsResult, directory: str) -> str:
+    """Write ``BENCH_livefaults.json`` into ``directory``; returns its path."""
+    payload = {
+        "name": "livefaults",
+        **environment_stamp(),
+        "metrics": {
+            key: (
+                value
+                if isinstance(value, str)
+                or (isinstance(value, int) and not isinstance(value, bool))
+                else float(value)
+            )
+            for key, value in result.bench_metrics().items()
+        },
+    }
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "BENCH_livefaults.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def run(spec: Optional[LiveFaultsSpec] = None) -> LiveFaultsResult:
+    """Run one live-faults experiment (blocking wrapper)."""
+    return asyncio.run(run_async(spec if spec is not None else LiveFaultsSpec()))
+
+
+def _pick_victims(spec: LiveFaultsSpec, peer_ids: List[str]) -> List[str]:
+    """Seeded victim sample, drawn from the sorted boot population."""
+    rng = DeterministicRNG(spec.seed).substream("livefaults-victims")
+    return sorted(rng.sample(sorted(peer_ids), spec.victims))
+
+
+def _measure(
+    cluster: LiveCluster, reporter: RunReporter
+) -> Tuple[float, float, float, int]:
+    """Score every completed query the way the simulated fault sweep does.
+
+    Ground truth comes from the engines' own
+    ``ground_truth_destinations`` — the peers that *should* answer given
+    the current key-space partition — restricted to peers still up.
+    Completeness is the fraction of that live truth the query actually
+    reached; success requires full completeness *and* no deadline expiry.
+    Queries answered before the kill score against the post-kill truth
+    too, which only helps them (their reach is a superset of it).
+    """
+    down: Set[str] = set(cluster.down_peers)
+    pira = cluster.pira
+    mira = cluster.mira
+    successes = 0
+    total = 0.0
+    worst = 1.0
+    deadline_failed = 0
+    for record in reporter.completed:
+        job = record.job
+        if job.ranges is not None and mira is not None:
+            truth = mira.ground_truth_destinations(job.ranges)
+        else:
+            truth = pira.ground_truth_destinations(job.low, job.high)
+        live_truth = truth - down
+        if live_truth:
+            reached = len(live_truth & set(record.result.destinations))
+            completeness = reached / len(live_truth)
+        else:
+            completeness = 1.0
+        failed = record.result.failed
+        if failed:
+            deadline_failed += 1
+        if completeness >= 1.0 and not failed:
+            successes += 1
+        total += completeness
+        worst = min(worst, completeness)
+    count = max(1, len(reporter.completed))
+    return successes / count, total / count, worst, deadline_failed
+
+
+async def run_async(spec: LiveFaultsSpec) -> LiveFaultsResult:
+    """Boot with gossip, soak, SIGKILL mid-run, converge, score."""
+    cluster = LiveCluster(
+        num_peers=spec.peers,
+        seed=spec.seed,
+        num_nodes=spec.nodes,
+        attribute_interval=spec.attribute_interval,
+        attribute_intervals=(spec.attribute_interval, spec.attribute_interval),
+        gossip=True,
+        gossip_config=spec.gossip_config,
+    )
+    await cluster.start()
+    policy = ResiliencePolicy(
+        per_hop_timeout=spec.hop_timeout,
+        max_retries=spec.retries,
+        reroute=spec.reroute,
+    )
+    cluster.pira.set_resilience(policy)
+    if cluster.mira is not None:
+        cluster.mira.set_resilience(policy)
+    tracer, registry = build_observability(cluster)
+    gateway = await Gateway(
+        cluster, deadline=spec.deadline, tracer=tracer, metrics=registry
+    ).start()
+    try:
+        low, high = spec.attribute_interval
+        rng = DeterministicRNG(spec.seed)
+        session = await LiveSession.connect(*gateway.address, pool=spec.pool)
+        try:
+            inserts: List[Request] = [
+                Insert(value=value, options=RequestOptions(replicas=1))
+                for value in uniform_values(
+                    rng.substream("livefaults-values"), spec.objects, low, high
+                )
+            ]
+            mrng = rng.substream("livefaults-mvalues")
+            inserts.extend(
+                MultiInsert(values=(mrng.uniform(low, high), mrng.uniform(low, high)))
+                for _ in range(spec.objects // 4)
+            )
+            for index in range(0, len(inserts), 256):
+                await session.batch(inserts[index : index + 256])
+
+            peer_ids = list(cluster.network.peer_ids())
+            victims = _pick_victims(spec, peer_ids)
+            # Queries originate at survivors (dead origins can't issue
+            # queries), mirroring the simulated sweep's surviving-origin
+            # workload — but their *reach* still spans the whole key space,
+            # so detours through the victims' subtrees are exercised.
+            survivors = [peer for peer in peer_ids if peer not in victims]
+            jobs = make_mixed_jobs(
+                seed=spec.seed,
+                count=spec.queries,
+                peer_ids=survivors,
+                interval=spec.attribute_interval,
+                range_size=spec.range_size,
+                mira_fraction=spec.mira_fraction,
+            )
+            reporter = RunReporter()
+            started = time.perf_counter()
+            soak = asyncio.create_task(
+                run_closed_loop(session, jobs, spec.concurrency, reporter=reporter)
+            )
+            kill_at = int(spec.queries * spec.kill_after_fraction)
+            while len(reporter.completed) < kill_at and not soak.done():
+                await asyncio.sleep(0.005)
+            killed_after = len(reporter.completed)
+            for victim in victims:
+                # kill -9: the cluster only marks the process down; route
+                # withdrawal is the gossip plane's job.
+                cluster.crash_peer(victim)
+            kill_time = time.perf_counter()
+            converged = False
+            detection = float("nan")
+            while time.perf_counter() - kill_time < spec.convergence_timeout:
+                if cluster.membership_converged(expect_dead=victims):
+                    converged = True
+                    detection = time.perf_counter() - kill_time
+                    break
+                await asyncio.sleep(0.02)
+            report = await soak
+            wall = time.perf_counter() - started
+            stats = await session.stats()
+            stats["killed_after"] = killed_after
+            stats["obs"] = registry.snapshot()
+        finally:
+            await session.close()
+    finally:
+        await gateway.shutdown(drain=True)
+        await cluster.stop()
+    ratio, mean_c, min_c, deadline_failed = _measure(cluster, reporter)
+    return LiveFaultsResult(
+        spec=spec,
+        report=report,
+        wall_seconds=wall,
+        killed=victims,
+        success_ratio=ratio,
+        mean_completeness=mean_c,
+        min_completeness=min_c,
+        deadline_failed=deadline_failed,
+        detection_seconds=detection,
+        converged=converged,
+        stats=stats,
+    )

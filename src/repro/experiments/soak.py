@@ -92,6 +92,8 @@ class SoakSpec:
     #: hard-kill one peer (no restart, route withdrawn) after seeding —
     #: the forced-failure lever of the CI postmortem leg
     kill_peer: bool = False
+    #: run the gossip control plane (SWIM membership) during the soak
+    gossip: bool = False
 
     def __post_init__(self) -> None:
         if self.peers < 3:
@@ -330,6 +332,7 @@ async def run_async(spec: SoakSpec) -> SoakResult:
         attribute_intervals=(spec.attribute_interval, spec.attribute_interval),
         storage=spec.storage,
         data_dir=data_dir,
+        gossip=spec.gossip,
     )
     await cluster.start()
     tracer, registry = build_observability(cluster)

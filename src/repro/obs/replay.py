@@ -231,6 +231,11 @@ class _Replayer:
         self.results: Dict[Tuple[str, int], Any] = {}
         #: per-peer recorded store events, for durable-restart re-application
         self.store_log: Dict[str, List[Dict[str, Any]]] = {}
+        #: peers hard-killed as of the current event (driven by the fault
+        #: stream) — the live node records a delivery *before* the cluster's
+        #: down-peer check drops it on the floor, so the replay pops the
+        #: message but must apply the same drop
+        self.down: set = set()
 
     # -- event application -------------------------------------------------
 
@@ -390,6 +395,10 @@ class _Replayer:
                 send=key[2],
                 **mismatches,
             )
+        if frame.get("receiver") in self.down:
+            # kill -9 mirror: the live host recorded the arrival, then the
+            # dispatch dropped it because the addressed peer was down.
+            return None
         executor = self.executors[frame["kind"]]
         executor.handle_message(self.transport, message)
         return None
@@ -465,8 +474,10 @@ class _Replayer:
                 error=f"{type(exc).__name__}: {exc}",
             )
         if action in ("crash", "power_fail"):
+            self.down.add(peer_id)
             peer.on_power_fail()
         elif action in ("restart", "replay", "recover"):
+            self.down.discard(peer_id)
             peer.on_recover()
             if int(event.get("replayed", 0)) > 0:
                 # The live peer recovered durably-acknowledged writes from

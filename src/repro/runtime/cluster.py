@@ -41,6 +41,15 @@ from repro.core.mira import MiraExecutor
 from repro.core.multiple_hash import MultiAttributeNamer
 from repro.core.single_hash import SingleAttributeNamer
 from repro.fissione.network import FissioneNetwork
+from repro.gossip.membership import ALIVE, DEAD, LEFT, MembershipTable
+from repro.gossip.swim import (
+    EVENT_FRAME,
+    OP_ACK,
+    OP_PING,
+    OP_PING_REQ,
+    SwimConfig,
+    SwimNode,
+)
 from repro.kautz import strings as ks
 from repro.runtime.node import PeerNode
 from repro.runtime.protocol import RpcChannel, wire_to_message
@@ -70,6 +79,8 @@ class LiveCluster:
         extra_transit: float = 0.0,
         storage: str = "memory",
         data_dir: Optional[str] = None,
+        gossip: bool = False,
+        gossip_config: Optional[SwimConfig] = None,
     ) -> None:
         base = 2
         if num_peers < base + 1:
@@ -102,6 +113,22 @@ class LiveCluster:
         self.store_syncs = 0
         #: optional flight recorder (see :meth:`attach_recorder`)
         self.recorder: Optional[Any] = None
+
+        #: gossip control plane (decentralized membership; see repro.gossip)
+        self.gossip_enabled = gossip
+        self.gossip_config = gossip_config if gossip_config is not None else SwimConfig()
+        #: one SWIM agent per node, keyed by node name
+        self.agents: Dict[str, SwimNode] = {}
+        #: gossip control frames sent, by op (``ping``/``ping-req``/``ack``)
+        self.gossip_frames: Dict[str, int] = {}
+        self._gossip_counter: Optional[Any] = None
+        self._gossip_rng: Optional[DeterministicRNG] = None
+        #: peers whose membership-confirmed death already withdrew the route
+        self._dead_handled: set = set()
+        #: addresses of gateways currently fronting this cluster — the
+        #: session-side failover list, served through ``stats``
+        self.gateway_addresses: List[Address] = []
+        self._topology_rng: Optional[Any] = None
 
         self.transport = AsyncioTransport(extra_transit=extra_transit)
         self.network = FissioneNetwork(object_id_length=object_id_length, base=base)
@@ -149,11 +176,16 @@ class LiveCluster:
         if self.multi_namer is not None:
             self.mira = MiraExecutor(self.network, self.multi_namer, transport=self.transport)
 
-        rng = DeterministicRNG(self.seed).substream("topology")
+        # Keep the substream: live churn joins (join_peer) continue drawing
+        # from it, so a cluster started at N and grown to N+k has the same
+        # topology as one started at N+k with the same seed.
+        self._topology_rng = DeterministicRNG(self.seed).substream("topology")
         while self.network.size < self.num_peers:
-            await self._join_one(rng)
+            await self._join_one(self._topology_rng)
         if self.storage != "memory":
             self._attach_durable_stores()
+        if self.gossip_enabled:
+            self._start_gossip()
         self.started = True
         return self
 
@@ -226,6 +258,8 @@ class LiveCluster:
 
     async def stop(self) -> None:
         """Close channels, links, every node's listener, and peer stores."""
+        for agent in self.agents.values():
+            agent.stop()
         for channel in self._channels.values():
             await channel.close()
         self._channels.clear()
@@ -257,8 +291,11 @@ class LiveCluster:
     # bootstrap protocol                                                   #
     # ------------------------------------------------------------------ #
 
-    async def _join_one(self, rng) -> str:
-        """One peer joins through the seed, over a real TCP round trip."""
+    async def _join_one(self, rng) -> Tuple[str, Dict[str, str], PeerNode]:
+        """One peer joins through the seed, over a real TCP round trip.
+
+        Returns ``(assigned_id, {renamed_victim: new_id}, hosting_node)``.
+        """
         assert self.seed_node is not None
         target = self.network.random_object_id(rng)
         reply = await self._request(self.seed_node.address, {"type": "join", "target": target})
@@ -269,13 +306,21 @@ class LiveCluster:
             {"type": "announce", "peer": assigned, "host": node.host, "port": node.port},
         )
         node.hosted.add(assigned)
-        return assigned
+        return assigned, dict(reply.get("renamed", {})), node
 
     async def _request(self, address: Address, frame: Dict[str, Any]) -> Dict[str, Any]:
         channel = self._channels.get(address)
         if channel is None:
             channel = await RpcChannel(*address).connect()
-            self._channels[address] = channel
+            existing = self._channels.get(address)
+            if existing is not None:
+                # Lost a connect race against a concurrent caller: keep the
+                # cached winner, close ours (leaked reader tasks otherwise
+                # pile up one per raced request).
+                await channel.close()
+                channel = existing
+            else:
+                self._channels[address] = channel
         return await channel.request(frame)
 
     # Public RPC surface, used by the gateway.
@@ -288,6 +333,13 @@ class LiveCluster:
     def _dispatch_cast(self, frame: Dict[str, Any]) -> None:
         """Route a fire-and-forget frame into the protocol handlers."""
         if frame.get("type") != "msg":
+            return
+        receiver = frame.get("receiver")
+        if receiver is not None and receiver in self.down_peers:
+            # kill -9 semantics: the zone's process is gone, so a frame that
+            # still reaches its host endpoint dies on the floor.  The sender
+            # learns nothing until its own resilience timers fire — or a
+            # gossip dead report withdraws the route.
             return
         message = wire_to_message(frame)
         executor = self.pira if message.kind == "pira" else self.mira
@@ -466,6 +518,304 @@ class LiveCluster:
         return None, []
 
     # ------------------------------------------------------------------ #
+    # gossip control plane (decentralized membership)                      #
+    # ------------------------------------------------------------------ #
+
+    def _start_gossip(self) -> None:
+        """Boot one SWIM agent per node, every view seeded from bootstrap.
+
+        The bootstrap protocol is centralized (the seed owns the topology);
+        from here on liveness is not: each node's agent pings, suspects and
+        confirms deaths on its own view, and the views converge through the
+        digests piggybacked on every frame.
+        """
+        self._gossip_rng = DeterministicRNG(self.seed)
+        for node in self.nodes:
+            self._ensure_agent(node).start()
+
+    def _ensure_agent(self, node: PeerNode) -> SwimNode:
+        agent = self.agents.get(node.name)
+        if agent is not None:
+            return agent
+        assert self._gossip_rng is not None
+        table = MembershipTable()
+        # Seed *before* registering the routing listener: bootstrap entries
+        # describe routes that already exist.
+        donor = next(iter(self.agents.values()), None)
+        if donor is not None:
+            # A node added after boot bootstraps by anti-entropy: one full
+            # digest from any existing view.
+            table.merge(donor.table.digest(None))
+        else:
+            for peer_id in self.network.peer_ids():
+                address = self.transport.address_of(peer_id)
+                if address is not None:
+                    table.apply(peer_id, ALIVE, 0, address)
+        table.on_change(self._on_membership_change)
+        agent = SwimNode(
+            node.name,
+            node.address,
+            table,
+            self.gossip_config,
+            self._gossip_rng.substream("gossip", node.name),
+            clock=lambda: asyncio.get_running_loop().time(),
+            schedule=lambda delay, callback: asyncio.get_running_loop().call_later(
+                delay, callback
+            ),
+            send=self.transport.send_frame,
+            hosted=(lambda node=node: node.hosted),
+            is_up=lambda peer_id: peer_id not in self.down_peers,
+            on_event=self._on_gossip_event,
+        )
+        self.agents[node.name] = agent
+        node.on_gossip = self._dispatch_gossip
+        return agent
+
+    def _dispatch_gossip(self, node: PeerNode, frame: Dict[str, Any]) -> None:
+        """Deliver one gossip cast into the receiving node's agent."""
+        agent = self.agents.get(node.name)
+        if agent is not None:
+            agent.handle_frame(frame)
+
+    def _on_gossip_event(self, kind: str, node: str = "", **fields: Any) -> None:
+        """Agent event tap: frame counts to metrics, transitions to the
+        flight recorder (``repro replay`` treats the ``gossip`` events as
+        forward-compatible timeline annotations)."""
+        if kind == EVENT_FRAME:
+            op = fields.get("op", "?")
+            self.gossip_frames[op] = self.gossip_frames.get(op, 0) + 1
+            if self._gossip_counter is not None:
+                self._gossip_counter.inc(1.0, op)
+            return
+        if self.recorder is not None:
+            self.recorder.record("gossip", event=kind, node=node, **fields)
+
+    def set_gossip_metrics(self, counter: Any) -> None:
+        """Attach the ``gossip_frames_total{type}`` counter (late-bound by
+        ``build_observability``; frames sent before the attach backfill)."""
+        self._gossip_counter = counter
+        for op in (OP_PING, OP_PING_REQ, OP_ACK):
+            # Zero-seed the known operations so the series exist in the
+            # very first scrape, before any frame happens to be sent.
+            counter.child(op)
+        for op, count in self.gossip_frames.items():
+            counter.inc(float(count), op)
+
+    def _on_membership_change(
+        self, peer_id: str, old_state: Optional[str], new_state: str, entry: Any
+    ) -> None:
+        """Feed membership verdicts into the data plane's routing layer.
+
+        The first view to confirm a death withdraws the victim's route —
+        from then on executor sends to it degrade into *immediate* drops,
+        so in-flight queries retry/reroute through prefix siblings instead
+        of burning per-hop timeouts against a corpse.  A later alive
+        record (refutation, restart, relocation) rebinds the route from
+        the gossiped address.
+        """
+        if new_state in (DEAD, LEFT):
+            if peer_id not in self._dead_handled:
+                self._dead_handled.add(peer_id)
+                self.transport.unregister(peer_id)
+            return
+        if new_state != ALIVE:
+            return
+        self._dead_handled.discard(peer_id)
+        if (
+            entry.address is not None
+            and self.transport.address_of(peer_id) is None
+            and peer_id not in self.down_peers
+            and peer_id in self.network.peer_ids()
+        ):
+            self.transport.assign(peer_id, tuple(entry.address))
+
+    @property
+    def membership(self) -> Optional[MembershipTable]:
+        """The observer view (the first node's agent); None without gossip."""
+        if not self.nodes:
+            return None
+        agent = self.agents.get(self.nodes[0].name)
+        return agent.table if agent is not None else None
+
+    def membership_counts(self) -> Dict[str, int]:
+        """``{alive, suspect, dead, left}`` counts — the gossip observer
+        view when the control plane runs, the centralized ``down_peers``
+        authority otherwise (same shape either way, for the gauges)."""
+        view = self.membership
+        if view is not None:
+            return view.counts()
+        down = len(self.down_peers)
+        return {
+            "alive": self.network.size - down,
+            "suspect": 0,
+            "dead": down,
+            "left": 0,
+        }
+
+    def membership_converged(self, expect_dead: Any = ()) -> bool:
+        """True when every agent's view agrees — same alive and dead/left
+        sets — and agrees that ``expect_dead`` are dead."""
+        if not self.agents:
+            return False
+        expected = set(expect_dead)
+        fingerprints = {agent.table.liveness_view() for agent in self.agents.values()}
+        if len(fingerprints) != 1:
+            return False
+        alive, dead = next(iter(fingerprints))
+        return expected.issubset(set(dead)) and expected.isdisjoint(set(alive))
+
+    def register_gateway(self, address: Address) -> None:
+        """A gateway fronting this cluster announces itself (stats carries
+        the list, which is what sessions fail over with)."""
+        address = (address[0], int(address[1]))
+        if address not in self.gateway_addresses:
+            self.gateway_addresses.append(address)
+
+    def unregister_gateway(self, address: Address) -> None:
+        address = (address[0], int(address[1]))
+        if address in self.gateway_addresses:
+            self.gateway_addresses.remove(address)
+
+    # ------------------------------------------------------------------ #
+    # live churn: join / leave                                             #
+    # ------------------------------------------------------------------ #
+
+    def _require_churn(self, op: str) -> None:
+        if not self.started:
+            raise ClusterError(f"{op} needs a started cluster")
+        if self.storage != "memory":
+            raise ClusterError(
+                f"{op} needs storage='memory': durable logs are keyed by the "
+                "bootstrap-final PeerIDs, and live churn renames zones"
+            )
+
+    @staticmethod
+    def _gossip_alive(table: MembershipTable, peer_id: str, address: Address) -> None:
+        """Announce ``peer_id`` alive at ``address``, superseding whatever
+        the table already holds — churn recycles PeerIDs, so a fresh id may
+        collide with a ``left`` record from an earlier departure."""
+        entry = table.get(peer_id)
+        incarnation = entry.incarnation + 1 if entry is not None else 0
+        table.apply(peer_id, ALIVE, incarnation, address)
+
+    @staticmethod
+    def _gossip_left(table: MembershipTable, peer_id: str) -> None:
+        entry = table.get(peer_id)
+        incarnation = entry.incarnation + 1 if entry is not None else 0
+        table.apply(peer_id, LEFT, incarnation)
+
+    async def join_peer(self) -> str:
+        """Live churn: one new peer joins the running overlay.
+
+        Runs the exact bootstrap join protocol (seeded target draw, zone
+        split over TCP, announce), continuing the ``seed → "topology"``
+        substream — so a cluster grown by ``k`` joins matches a cluster
+        *started* with ``num_peers + k``.  With gossip enabled the new
+        peer and the renamed incumbent enter the hosting node's view and
+        spread epidemically; the retired id is gossiped ``left``.
+        """
+        self._require_churn("join_peer")
+        assert self._topology_rng is not None
+        assigned, renamed, node = await self._join_one(self._topology_rng)
+        if self.gossip_enabled:
+            agent = self._ensure_agent(node)
+            if not agent.running:
+                agent.start()
+            self._gossip_alive(agent.table, assigned, node.address)
+            for victim, new_id in renamed.items():
+                address = self.transport.address_of(new_id)
+                if address is not None:
+                    self._gossip_alive(agent.table, new_id, address)
+                self._gossip_left(agent.table, victim)
+        if self.recorder is not None:
+            self.recorder.record(
+                "gossip", event="join", peer=assigned, renamed=renamed
+            )
+        return assigned
+
+    def _rebind_route(
+        self, old_id: str, new_id: str, address: Optional[Address]
+    ) -> None:
+        """Atomically move a node's tenancy from a retired id to its heir."""
+        if address is not None:
+            node = self._node_by_address.get(address)
+            if node is not None:
+                node.hosted.discard(old_id)
+                node.hosted.add(new_id)
+            self.transport.assign(new_id, address)
+        self.transport.unregister(old_id)
+
+    async def leave_peer(self, peer_id: str) -> str:
+        """Graceful departure: merge the deepest sibling pair, hand the
+        leaver's prefix slice to the relocated heir.
+
+        :meth:`~repro.fissione.network.FissioneNetwork.leave` does the
+        namespace surgery (the freed sibling adopts the leaver's PeerID
+        *and its objects* — the prefix-slice handoff); this method moves
+        the routes and hosted sets to match, then gossips the changes:
+        retired ids as ``left``, the merged parent and the relocated heir
+        as fresh ``alive`` records carrying their addresses.  Returns the
+        merged parent's PeerID.
+        """
+        self._require_churn("leave_peer")
+        if peer_id in self.down_peers:
+            raise ClusterError(
+                f"peer {peer_id!r} is down — hard deaths are detected, not left"
+            )
+        before = set(self.network.peer_ids())
+        if peer_id not in before:
+            raise ClusterError(f"no peer with id {peer_id!r}")
+        addresses = {pid: self.transport.address_of(pid) for pid in before}
+        self.network.leave(peer_id)
+        after = set(self.network.peer_ids())
+        removed = before - after
+        added = after - before
+        if len(added) != 1:
+            raise ClusterError(f"leave produced {len(added)} merged peers")
+        parent = added.pop()
+        children = [
+            parent + symbol
+            for symbol in ks.allowed_symbols(parent[-1], base=self.network.base)
+        ]
+        left_id, right_id = children[0], children[-1]
+
+        relocated_address: Optional[Address] = None
+        if peer_id in removed:
+            # The leaver was one of the deepest siblings: its sibling
+            # absorbs the parent zone in place, nobody relocates.
+            survivor = (removed - {peer_id}).pop()
+            self._rebind_route(survivor, parent, addresses.get(survivor))
+            node = self._node_by_address.get(addresses.get(peer_id))
+            if node is not None:
+                node.hosted.discard(peer_id)
+            self.transport.unregister(peer_id)
+        else:
+            # The freed sibling (right child) relocates into the leaver's
+            # zone under the leaver's PeerID; the left child grows into
+            # the parent zone.
+            self._rebind_route(left_id, parent, addresses.get(left_id))
+            relocated_address = addresses.get(right_id)
+            self._rebind_route(right_id, peer_id, relocated_address)
+            node = self._node_by_address.get(addresses.get(peer_id))
+            if node is not None:
+                node.hosted.discard(peer_id)
+
+        if self.gossip_enabled and self.agents:
+            observer = next(iter(self.agents.values()))
+            for gone in sorted(removed):
+                self._gossip_left(observer.table, gone)
+            parent_address = self.transport.address_of(parent)
+            if parent_address is not None:
+                self._gossip_alive(observer.table, parent, parent_address)
+            if relocated_address is not None:
+                self._gossip_alive(observer.table, peer_id, relocated_address)
+        if self.recorder is not None:
+            self.recorder.record(
+                "gossip", event="leave", peer=peer_id, merged=parent
+            )
+        return parent
+
+    # ------------------------------------------------------------------ #
     # crash / restart (kill-restart harness)                               #
     # ------------------------------------------------------------------ #
 
@@ -495,11 +845,33 @@ class LiveCluster:
         replayed = peer.on_recover()
         self.replayed_records += replayed
         self.down_peers.discard(peer_id)
+        if self.gossip_enabled:
+            self._gossip_rejoin(peer_id)
         if self.recorder is not None:
             self.recorder.record(
                 "fault", action="restart", peer=peer_id, replayed=replayed
             )
         return replayed
+
+    def _gossip_rejoin(self, peer_id: str) -> None:
+        """Announce a restarted peer alive at a fresh incarnation.
+
+        The restart happens *on its hosting node*, so that node's agent is
+        the one entitled to bump the incarnation — the bumped record then
+        supersedes any ``dead`` rumor still circulating, and the routing
+        listener (or this direct assign, whichever runs first) restores
+        the withdrawn route.
+        """
+        node = next((n for n in self.nodes if peer_id in n.hosted), None)
+        if node is None:
+            return
+        self.transport.assign(peer_id, node.address)
+        agent = self.agents.get(node.name)
+        if agent is None:
+            return
+        entry = agent.table.get(peer_id)
+        incarnation = entry.incarnation + 1 if entry is not None else 0
+        agent.table.apply(peer_id, ALIVE, incarnation, node.address)
 
     def stats(self) -> Dict[str, Any]:
         """Cluster-level statistics for the gateway's ``stats`` command."""
@@ -517,6 +889,10 @@ class LiveCluster:
             "messages_dropped": self.transport.messages_dropped,
             "pira_in_flight": self.pira.active_queries if self.pira is not None else 0,
             "mira_in_flight": self.mira.active_queries if self.mira is not None else 0,
+            "gossip": self.gossip_enabled,
+            "membership": self.membership_counts(),
+            "gossip_frames": int(sum(self.gossip_frames.values())),
+            "gateways": [list(address) for address in self.gateway_addresses],
         }
 
     def __repr__(self) -> str:

@@ -44,6 +44,12 @@ class PeerNode:
         self._on_request = on_request
         self._server: Optional[asyncio.base_events.Server] = None
         self.frames_received = 0
+        self.gossip_frames_received = 0
+        #: optional gossip control-plane handler, called as
+        #: ``on_gossip(node, frame)`` — the handler needs to know *which*
+        #: endpoint a frame arrived at, because each node holds its own
+        #: membership view (unlike query casts, whose dispatch is shared)
+        self.on_gossip: Optional[Callable[["PeerNode", Dict[str, Any]], None]] = None
         #: optional flight recorder (set by the cluster's attach_recorder)
         self.recorder: Optional[Any] = None
 
@@ -73,6 +79,17 @@ class PeerNode:
                 self.frames_received += 1
                 rid = frame.get("rid")
                 if rid is None:
+                    if frame.get("type") == "gossip":
+                        # Control plane: membership gossip is per-endpoint
+                        # state, handled outside the shared cast dispatch
+                        # (and outside the flight-recorder deliver tap —
+                        # the replay engine re-executes the data plane
+                        # only; membership transitions are recorded as
+                        # their own ``gossip`` events by the cluster).
+                        self.gossip_frames_received += 1
+                        if self.on_gossip is not None:
+                            self.on_gossip(self, frame)
+                        continue
                     if self.recorder is not None and frame.get("type") == "msg":
                         # Recorded before the handler runs: the delivery's
                         # sequence number must precede the sends it fans

@@ -131,6 +131,32 @@ def build_observability(cluster: LiveCluster):
         lambda: float(cluster.store_syncs),
         "Store writes acknowledged after a backend sync, across all peers",
     )
+
+    # Membership gauges read the gossip observer view when the control
+    # plane runs, and the centralized down-peer authority otherwise —
+    # either way the series exist, so dashboards need no mode switch.
+    def _membership(state: str):
+        return lambda: float(cluster.membership_counts().get(state, 0))
+
+    registry.register_callback(
+        "membership_alive", _membership("alive"), "Peers the membership view holds alive"
+    )
+    registry.register_callback(
+        "membership_suspect",
+        _membership("suspect"),
+        "Peers currently under unrefuted suspicion",
+    )
+    registry.register_callback(
+        "membership_dead",
+        _membership("dead"),
+        "Peers the membership view has confirmed dead",
+    )
+    gossip_frames = registry.counter(
+        "gossip_frames_total",
+        "Gossip control frames sent, by operation",
+        ("type",),
+    )
+    cluster.set_gossip_metrics(gossip_frames)
     return tracer, registry
 
 

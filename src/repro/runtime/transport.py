@@ -35,37 +35,51 @@ Address = Tuple[str, int]
 
 
 class _Link:
-    """One outgoing TCP connection to a peer node, drained by a task."""
+    """One outgoing TCP connection to a peer node, drained by a task.
+
+    The queue carries two item kinds: executor :class:`Message` objects
+    (framed lazily by the writer) and pre-encoded ``bytes`` — control
+    frames from the gossip plane.  Only messages get drop callbacks; a
+    lost control frame needs no notification, because for the gossip
+    protocol the loss itself *is* the signal.
+    """
 
     def __init__(self, address: Address, on_drop: Callable[[Message], None]) -> None:
         self.address = address
         self._on_drop = on_drop
-        self._queue: "asyncio.Queue[Optional[Message]]" = asyncio.Queue()
+        self._queue: "asyncio.Queue[Any]" = asyncio.Queue()
         self._task: Optional[asyncio.Task] = None
         self.broken = False
 
-    def enqueue(self, message: Message) -> None:
-        """Queue one message for transmission (starts the writer lazily)."""
+    def enqueue(self, item: Any) -> None:
+        """Queue one message or raw frame (starts the writer lazily)."""
         if self.broken:
-            self._on_drop(message)
+            self._discard(item)
             return
-        self._queue.put_nowait(message)
+        self._queue.put_nowait(item)
         if self._task is None:
             self._task = asyncio.get_running_loop().create_task(self._run())
 
+    def _discard(self, item: Any) -> None:
+        if isinstance(item, Message):
+            self._on_drop(item)
+
     async def _run(self) -> None:
         writer: Optional[asyncio.StreamWriter] = None
-        message: Optional[Message] = None
+        item: Any = None
         try:
             host, port = self.address
             _, writer = await asyncio.open_connection(host, port)
             while True:
-                message = await self._queue.get()
-                if message is None:
+                item = await self._queue.get()
+                if item is None:
                     break
-                writer.write(encode_frame(message_to_wire(message)))
+                if isinstance(item, Message):
+                    writer.write(encode_frame(message_to_wire(item)))
+                else:
+                    writer.write(item)
                 await writer.drain()
-                message = None
+                item = None
         except asyncio.CancelledError:
             raise
         except OSError:
@@ -73,12 +87,12 @@ class _Link:
             # everything queued (and everything enqueued from now on), is
             # undeliverable — report every one as a drop.
             self.broken = True
-            if message is not None:
-                self._on_drop(message)
+            if item is not None:
+                self._discard(item)
             while not self._queue.empty():
                 pending = self._queue.get_nowait()
                 if pending is not None:
-                    self._on_drop(pending)
+                    self._discard(pending)
         finally:
             if writer is not None:
                 writer.close()
@@ -123,6 +137,9 @@ class AsyncioTransport:
         self._links: Dict[Address, _Link] = {}
         self.messages_sent = 0
         self.messages_dropped = 0
+        #: raw control frames (gossip plane) put on links; they bypass the
+        #: PeerID route table and are never retried
+        self.control_frames_sent = 0
         #: optional flight recorder (set by the cluster's attach_recorder);
         #: None keeps every hot path at one attribute check of overhead
         self.recorder: Optional[Any] = None
@@ -201,12 +218,25 @@ class AsyncioTransport:
         else:
             self._enqueue(address, message)
 
-    def _enqueue(self, address: Address, message: Message) -> None:
+    def send_frame(self, address: Address, frame: Dict[str, Any]) -> None:
+        """Enqueue one raw control frame on the link to ``address``.
+
+        The control plane addresses *processes*, not zones: gossip frames
+        go straight to a node address, bypassing the PeerID route table —
+        a dead peer's route being withdrawn must never silence the very
+        pings that would detect its host.  Fire-and-forget: a broken link
+        just loses the frame, and that silence is exactly the liveness
+        signal the SWIM loop is built to read.
+        """
+        self.control_frames_sent += 1
+        self._enqueue(address, encode_frame(frame))
+
+    def _enqueue(self, address: Address, item: Any) -> None:
         link = self._links.get(address)
         if link is None or link.broken:
             link = _Link(address, self._drop)
             self._links[address] = link
-        link.enqueue(message)
+        link.enqueue(item)
 
     def _drop(self, message: Message) -> None:
         """Tell the sender's protocol layer this message will never arrive."""

@@ -35,6 +35,10 @@ REQUIRED_SERIES = (
     "repro_cluster_peers",
     "repro_peer_frames_total",
     "repro_peer_store_sync_total",
+    "repro_membership_alive",
+    "repro_membership_suspect",
+    "repro_membership_dead",
+    "repro_gossip_frames_total",
 )
 
 #: counters whose values must never decrease between two scrapes
@@ -46,6 +50,7 @@ MONOTONE_SERIES = (
     "repro_transport_messages_sent",
     "repro_peer_frames_total",
     "repro_peer_store_sync_total",
+    "repro_gossip_frames_total",
 )
 
 
